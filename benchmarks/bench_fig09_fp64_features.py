@@ -1,0 +1,16 @@
+"""Figure 9 — FP64 distance step vs feature dimension N (A100).
+
+Paper: the FT K-means and cuML curves nearly coincide (avg 1.04x).
+"""
+
+import numpy as np
+from conftest import record
+
+from repro.bench.figures import fig8_fig9_distance_vs_features
+
+
+def test_fig9_fp64(benchmark):
+    res = benchmark(fig8_fig9_distance_vs_features, np.float64)
+    record(res)
+    # FP64 headroom is small (paper: 1.04x; nothing like FP32's 2.35x)
+    assert 1.0 <= res.summary["ft_vs_cuml_mean"] < 1.6

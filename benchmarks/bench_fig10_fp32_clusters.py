@@ -1,0 +1,15 @@
+"""Figure 10 — FP32 distance step vs cluster count K (A100).
+
+Paper: 2.39x average speedup over cuML with N in {8, 128}.
+"""
+
+import numpy as np
+from conftest import record
+
+from repro.bench.figures import fig10_fig11_distance_vs_clusters
+
+
+def test_fig10_fp32(benchmark):
+    res = benchmark(fig10_fig11_distance_vs_clusters, np.float32)
+    record(res)
+    assert res.summary["ft_vs_cuml_mean"] > 1.8

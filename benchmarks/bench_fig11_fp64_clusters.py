@@ -1,0 +1,15 @@
+"""Figure 11 — FP64 distance step vs cluster count K (A100).
+
+Paper: 8% overall gain, larger (15%) at small N.
+"""
+
+import numpy as np
+from conftest import record
+
+from repro.bench.figures import fig10_fig11_distance_vs_clusters
+
+
+def test_fig11_fp64(benchmark):
+    res = benchmark(fig10_fig11_distance_vs_clusters, np.float64)
+    record(res)
+    assert 1.0 <= res.summary["ft_vs_cuml_mean"] < 1.6

@@ -1,0 +1,25 @@
+"""Figure 12 — FT K-means / cuML speedup heat map over (K, N).
+
+Paper: FP32 avg 2.49x / max 4.55x with gains shrinking past N=64;
+FP64 avg 1.04x / max 1.39x.
+"""
+
+import numpy as np
+import pytest
+from conftest import record
+
+from repro.bench.figures import fig12_speedup_grid
+
+
+def test_fig12_fp32(benchmark):
+    res = benchmark(fig12_speedup_grid, np.float32)
+    record(res, max_rows=None)
+    s = res.summary
+    assert 1.8 < s["avg_speedup"] < 3.2
+    assert s["min_speedup"] >= 1.0
+
+
+def test_fig12_fp64(benchmark):
+    res = benchmark(fig12_speedup_grid, np.float64)
+    record(res, max_rows=None)
+    assert 1.0 <= res.summary["avg_speedup"] < 1.45

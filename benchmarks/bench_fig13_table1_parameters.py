@@ -1,0 +1,23 @@
+"""Figure 13 / Table I — the parameter groups the selector chooses.
+
+Paper: of ~157 FP32 / ~145 FP64 generated kernels, only 7 / 4 are ever
+selected; Table I lists the main winners next to cuML's fixed group.
+"""
+
+import numpy as np
+from conftest import record
+
+from repro.bench.figures import fig13_table1_selected_parameters
+
+
+def test_fig13_fp32(benchmark):
+    res = benchmark(fig13_table1_selected_parameters, np.float32)
+    record(res)
+    assert res.summary["n_candidates"] >= 100
+    assert res.summary["n_selected"] <= 20
+
+
+def test_fig13_fp64(benchmark):
+    res = benchmark(fig13_table1_selected_parameters, np.float64)
+    record(res)
+    assert res.summary["n_selected"] <= 20

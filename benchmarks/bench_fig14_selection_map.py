@@ -1,0 +1,22 @@
+"""Figure 14 — winning parameter id at each (K, N) grid point.
+
+Paper: FP32 splits into regions along the feature dimension
+(N<=32 / 32<N<=64 / N>64); FP64 into two.
+"""
+
+import numpy as np
+from conftest import record
+
+from repro.bench.figures import fig14_selection_map
+
+
+def test_fig14_fp32(benchmark):
+    res = benchmark(fig14_selection_map, np.float32)
+    record(res, max_rows=None)
+    rows = res.summary["winners_by_feature_row"]
+    assert len({tuple(v) for v in rows.values()}) >= 2  # region structure
+
+
+def test_fig14_fp64(benchmark):
+    res = benchmark(fig14_selection_map, np.float64)
+    record(res, max_rows=None)

@@ -1,0 +1,17 @@
+"""Figure 16 — FP64 fault-tolerance overhead (A100).
+
+Paper: ~13% average; 7.9% at K=8, 20% at K=128 (the DMMA pipe runs near
+the roofline, so the three checksum MMAs cost real time).
+"""
+
+import numpy as np
+from conftest import record
+
+from repro.bench.figures import fig15_fig16_ft_overhead
+
+
+def test_fig16_fp64(benchmark):
+    res = benchmark(fig15_fig16_ft_overhead, np.float64)
+    record(res)
+    assert 5.0 < res.summary["overhead_pct_avg"] < 30.0
+    assert res.summary["overhead_pct_by_panel"]["K=128"] > 10.0

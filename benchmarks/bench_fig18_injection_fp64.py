@@ -1,0 +1,15 @@
+"""Figure 18 — FP64 error injection (A100).
+
+Paper: ~9.21% average overhead; K=8 10.12%, K=128 24.07%.
+"""
+
+import numpy as np
+from conftest import record
+
+from repro.bench.figures import fig17_fig18_error_injection
+
+
+def test_fig18_fp64(benchmark):
+    res = benchmark(fig17_fig18_error_injection, np.float64)
+    record(res)
+    assert 4.0 < res.summary["injection_overhead_pct_avg"] < 15.0

@@ -1,0 +1,15 @@
+"""Figure 19 — T4 FP32 distance step vs N.
+
+Paper: FT K-means 4.13x over cuML on T4 (more headroom than A100: no
+cp.async and a 64 KB shared-memory budget hurt the fixed parameters more).
+"""
+
+from conftest import record
+
+from repro.bench.figures import fig19_t4_vs_features
+
+
+def test_fig19_t4(benchmark):
+    res = benchmark(fig19_t4_vs_features)
+    record(res)
+    assert res.summary["ft_vs_cuml_mean"] > 2.0

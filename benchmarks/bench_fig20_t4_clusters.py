@@ -1,0 +1,14 @@
+"""Figure 20 — T4 FP32 distance step vs K.
+
+Paper: FT K-means 3.81x over cuML.
+"""
+
+from conftest import record
+
+from repro.bench.figures import fig20_t4_vs_clusters
+
+
+def test_fig20_t4(benchmark):
+    res = benchmark(fig20_t4_vs_clusters)
+    record(res)
+    assert res.summary["ft_vs_cuml_mean"] > 2.0

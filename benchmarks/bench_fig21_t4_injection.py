@@ -1,0 +1,15 @@
+"""Figure 21 — T4 FP32 under error injection.
+
+Paper: FT overhead 18% with FT, 30% under injection; ~60% better than
+Wu's scheme (threadblock-level synchronisation eliminated).
+"""
+
+from conftest import record
+
+from repro.bench.figures import fig21_t4_injection
+
+
+def test_fig21_t4(benchmark):
+    res = benchmark(fig21_t4_injection)
+    record(res)
+    assert res.summary["ft_vs_wu_mean"] > 1.25

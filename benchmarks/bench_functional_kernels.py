@@ -1,0 +1,37 @@
+"""Wall-clock benchmarks of the functional simulator itself.
+
+Not a paper figure: keeps the tile-accurate kernels' host cost visible so
+regressions in the simulator are caught (the figure benches above use the
+analytic model and are host-cheap by design).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.api import FTKMeans
+from repro.data.synthetic import gaussian_blobs
+
+
+@pytest.fixture(scope="module")
+def blob_data():
+    x, _, _ = gaussian_blobs(2048, 32, 16, seed=0)
+    return x
+
+
+@pytest.mark.parametrize("variant", ["v3", "tensorop", "ft"])
+def test_functional_fit(benchmark, blob_data, variant):
+    def run():
+        return FTKMeans(n_clusters=16, variant=variant, seed=0,
+                        mode="functional", max_iter=3, tol=0.0).fit(blob_data)
+
+    km = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert km.n_iter_ == 3
+
+
+def test_fast_mode_fit(benchmark, blob_data):
+    def run():
+        return FTKMeans(n_clusters=16, variant="ft", seed=0, mode="fast",
+                        max_iter=10, tol=0.0).fit(blob_data)
+
+    km = benchmark(run)
+    assert km.inertia_ > 0

@@ -1,0 +1,42 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Each ``bench_figXX_*.py`` regenerates one table/figure of the paper:
+it prints the paper-style series, records them under
+``benchmarks/results/`` and times the full experiment with
+pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.tables import format_figure
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record(res, *, max_rows: int | None = 10) -> None:
+    """Print a figure result and persist it under benchmarks/results/."""
+    text = format_figure(res, max_rows=max_rows)
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{res.figure_id}.txt").write_text(
+        format_figure(res) + "\n")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _warm_selectors():
+    """Build the kernel selectors once so per-figure timings are stable."""
+    import numpy as np
+
+    from repro.bench.figures import _selector
+
+    for dev in ("a100", "t4"):
+        for dt in (np.float32, np.float64):
+            _selector(dev, dt)
+    yield

@@ -1,0 +1,57 @@
+"""Kernel auto-tuning with the code-generation framework (paper Fig. 3).
+
+Enumerates the rule-respecting tile-parameter space, filters it through
+the feasibility check, selects per-shape winners with the timing model,
+and prints a Table-I-style comparison against cuML's fixed parameters —
+including the generated kernel source for one winner.
+
+    python examples/autotune_kernels.py
+"""
+
+import numpy as np
+
+from repro.codegen import (
+    KernelSelector,
+    cuml_tile,
+    enumerate_space,
+    render_kernel_source,
+    score_candidate,
+)
+from repro.gpusim.device import A100_PCIE_40GB
+from repro.gpusim.timing import TimingModel
+
+M = 131072
+
+
+def main() -> None:
+    for dtype in (np.float32, np.float64):
+        name = np.dtype(dtype).name
+        space = enumerate_space(dtype)
+        sel = KernelSelector.for_device("a100", dtype)
+        print(f"=== {name}: {len(space)} generated kernels, "
+              f"{len(sel.candidates)} pass the feasibility demo ===")
+
+        model = TimingModel(A100_PCIE_40GB)
+        cu = cuml_tile(dtype)
+        print(f"{'shape (K, N)':>16s} | {'selected parameters':>42s} | "
+              f"{'FT GFLOPS':>10s} | {'cuML':>8s} | {'speedup':>7s}")
+        for nc, nf in [(8, 32), (8, 128), (64, 16), (128, 64), (128, 128),
+                       (448, 96)]:
+            best = sel.best_score(M, nc, nf)
+            cus = score_candidate(model, cu, M, nc, nf, dtype)
+            print(f"  ({nc:4d}, {nf:4d})  | {best.tile.label():>42s} | "
+                  f"{best.gflops:10.0f} | {cus.gflops:8.0f} | "
+                  f"{best.gflops / cus.gflops:6.2f}x")
+        print(f"  cuML fixed:     {cu.label()}")
+        ids = sel.selected_param_ids()
+        print(f"  distinct winning parameter groups: {len(ids)} "
+              f"(paper: 7 FP32 / 4 FP64)\n")
+
+    # show one generated translation unit, as the codegen emits it
+    tile = KernelSelector.for_device("a100", np.float32).best_tile(M, 128, 128)
+    print("=== generated kernel source (winning FP32 parameters) ===")
+    print(render_kernel_source(tile, np.float32))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Fault-tolerant clustering under SEU injection.
+
+Demonstrates the paper's core claim end to end on the tile-accurate
+functional simulator: with the warp-level ABFT scheme, a K-means run
+bombarded with bit flips (one per threadblock, per the paper's fault
+model) produces the *same* clustering as the fault-free run, while the
+unprotected kernel visibly corrupts results.
+
+    python examples/fault_tolerant_clustering.py
+"""
+
+import numpy as np
+
+from repro import FTKMeans
+from repro.data.synthetic import gaussian_blobs
+
+
+def run(variant: str, p_inject: float, seed: int) -> FTKMeans:
+    x, _, _ = gaussian_blobs(3_000, 24, 12, dtype=np.float32, seed=9)
+    return FTKMeans(n_clusters=12, variant=variant, seed=seed,
+                    mode="functional", p_inject=p_inject, max_iter=15).fit(x)
+
+
+def main() -> None:
+    print("clean run (no faults, no protection)...")
+    clean = run("tensorop", p_inject=0.0, seed=0)
+    print(f"  inertia {clean.inertia_:.2f} after {clean.n_iter_} iterations")
+
+    print("\nunprotected runs under SEU injection (p_block = 1.0):")
+    corrupted = 0
+    for trial in range(5):
+        noisy = run("tensorop", p_inject=0.999, seed=0)
+        same = np.array_equal(noisy.labels_, clean.labels_)
+        corrupted += not same
+        print(f"  trial {trial}: injected={noisy.counters_.errors_injected:4d}"
+              f"  labels match clean: {same}"
+              f"  inertia {noisy.inertia_:.2f}")
+    print(f"  -> {corrupted}/5 runs corrupted without protection")
+
+    print("\nFT K-means runs under the same injection:")
+    for trial in range(5):
+        ft = run("ft", p_inject=0.999, seed=0)
+        c = ft.counters_
+        same = np.array_equal(ft.labels_, clean.labels_)
+        print(f"  trial {trial}: injected={c.errors_injected:4d} "
+              f"detected={c.errors_detected:4d} corrected={c.errors_corrected:4d}"
+              f"  labels match clean: {same}")
+        assert same, "ABFT failed to protect the run!"
+    print("  -> every FT run matches the fault-free clustering exactly")
+
+    print("\noverhead (simulated time, distance stage):")
+    base = run("tensorop", p_inject=0.0, seed=0)
+    ft = run("ft", p_inject=0.0, seed=0)
+    ratio = ft.assignment_time_s_ / base.assignment_time_s_
+    print(f"  FT vs no-FT: {100 * (ratio - 1):.1f}% "
+          f"(paper: ~11% average across shapes and precisions)")
+
+
+if __name__ == "__main__":
+    main()

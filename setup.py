@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept alongside pyproject.toml so ``pip install -e .`` works in offline
+environments whose setuptools predates built-in ``bdist_wheel`` support
+(legacy ``setup.py develop`` path needs this file).
+"""
+
+from setuptools import setup
+
+setup()

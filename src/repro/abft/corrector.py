@@ -1,0 +1,153 @@
+"""Online error location and correction (the paper's core contribution).
+
+Given residuals (r1, r2, r3) from :mod:`repro.abft.detector` over a warp
+accumulator C:
+
+* single corrupted accumulator element ε at (i, j):
+  ``r1 = −ε``, ``r2 = −ε(j+1)``, ``r3 = −ε(i+1)`` ⇒ decode, fix in
+  place, then *verify* (re-measure residuals) before accepting;
+* non-finite corruption (flipped exponent bit → Inf/NaN): located by
+  inspection, value recovered from the e1 identity
+  ``C[i,j] = d1 − Σ_{(p,q)≠(i,j)} C[p,q]``;
+* corrupted *checksum register* (d1/d2/d3 hit instead of C): the decoded
+  index falls outside the tile / far from integral while C verifies clean
+  after a resync — checksums are redundant, so they are rebuilt from C;
+* detectable but unlocatable (|r1| inside the ratio-decode noise band) or
+  failed verification ⇒ :data:`CorrectionKind.RECOMPUTE` — the kernel
+  replays the warp tile (rare, counted, still fully automatic).
+
+This is the warp-level scheme of Fig. 6; its tensor-core cost lives in the
+timing model, its dataflow in :class:`repro.core.ft_kmeans.FtTensorOpGemm`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.abft.detector import Detector, Residuals, measure_residuals
+from repro.abft.encoding import acc_checksum_triple
+from repro.gpusim.errors import UncorrectableError
+
+__all__ = ["CorrectionKind", "CorrectionResult", "Corrector"]
+
+
+class CorrectionKind(Enum):
+    """Outcome of one detect/locate/correct pass."""
+
+    CLEAN = "clean"                      # no fault present
+    CORRECTED = "corrected"              # accumulator element fixed in place
+    CHECKSUM_RESYNC = "checksum_resync"  # checksum registers rebuilt from C
+    RECOMPUTE = "recompute"              # fault real but unlocatable: replay
+
+
+@dataclass(frozen=True)
+class CorrectionResult:
+    kind: CorrectionKind
+    row: int = -1
+    col: int = -1
+    magnitude: float = 0.0
+
+
+class Corrector:
+    """Locate-and-correct engine for one warp tile."""
+
+    #: how far a decoded index may sit from an integer before the decode
+    #: is declared unreliable
+    INDEX_TOLERANCE = 0.45
+
+    def __init__(self, detector: Detector):
+        self.detector = detector
+
+    # ------------------------------------------------------------------
+    def check_and_correct(self, d: tuple[float, float, float],
+                          acc: np.ndarray) -> tuple[CorrectionResult, tuple[float, float, float]]:
+        """Verify checksums against ``acc``; fix a single error in place.
+
+        Returns the outcome and the (possibly resynchronised) running
+        checksums to carry forward.  ``CorrectionKind.RECOMPUTE`` asks the
+        caller to rebuild the tile (and then the checksums) itself.
+        """
+        nf = self._fix_nonfinite(d, acc)
+        if nf is not None:
+            return nf
+
+        res = measure_residuals(d, acc)
+        if not self.detector.is_faulty(res):
+            return CorrectionResult(CorrectionKind.CLEAN), d
+
+        if not self.detector.acc_is_faulty(res):
+            # r1 clean, r2/r3 large: a d2/d3 checksum register took the
+            # hit; the accumulator is intact
+            return (CorrectionResult(CorrectionKind.CHECKSUM_RESYNC),
+                    acc_checksum_triple(acc, dtype=np.float64))
+
+        if self.detector.location_decodable(res):
+            loc = self._decode_location(res, acc.shape)
+            if loc is not None:
+                i, j = loc
+                before = acc[i, j]
+                acc[i, j] += acc.dtype.type(res.r1)
+                fresh = acc_checksum_triple(acc, dtype=np.float64)
+                if not self.detector.is_faulty(measure_residuals(fresh, acc)):
+                    return (CorrectionResult(CorrectionKind.CORRECTED, i, j,
+                                             -res.r1), fresh)
+                acc[i, j] = before  # verification failed: undo, fall through
+
+        # r1 could itself be the corrupted d1 register: a resync explains
+        # everything iff the accumulator then verifies clean
+        fresh = acc_checksum_triple(acc, dtype=np.float64)
+        res2 = measure_residuals(fresh, acc)
+        if not self.detector.is_faulty(res2):
+            # cannot distinguish "d1 corrupted" from "acc corrupted but
+            # unlocatable" by checksums alone; residual-consistency breaks
+            # the tie: a d1 hit leaves r2, r3 ≈ 0
+            consistent_d1_hit = (
+                not self.detector.policy.exceeds(res.r2, res.scale, weight=res.n)
+                and not self.detector.policy.exceeds(res.r3, res.scale, weight=res.m))
+            if consistent_d1_hit:
+                return CorrectionResult(CorrectionKind.CHECKSUM_RESYNC), fresh
+            return CorrectionResult(CorrectionKind.RECOMPUTE), d
+        raise UncorrectableError(  # pragma: no cover - defensive
+            "residuals inconsistent with a single error "
+            f"(r1={res.r1:.3e}, r2={res.r2:.3e}, r3={res.r3:.3e})")
+
+    # ------------------------------------------------------------------
+    def _fix_nonfinite(self, d, acc):
+        """Handle Inf/NaN corruption by inspection + e1 identity."""
+        finite = np.isfinite(acc)
+        if finite.all():
+            return None
+        nonfinite = np.argwhere(~finite)
+        if len(nonfinite) > 1:
+            raise UncorrectableError(
+                f"{len(nonfinite)} non-finite accumulator elements violate "
+                "the single-event-upset assumption")
+        if not np.isfinite(d[0]):
+            # both the element and the checksum are non-finite: the flip
+            # happened before this interval's accumulation split them;
+            # recomputation is the only recovery
+            return CorrectionResult(CorrectionKind.RECOMPUTE), d
+        i, j = (int(v) for v in nonfinite[0])
+        others = float(np.where(finite, acc, 0.0).sum(dtype=np.float64))
+        acc[i, j] = acc.dtype.type(d[0] - others)
+        fresh = acc_checksum_triple(acc, dtype=np.float64)
+        return (CorrectionResult(CorrectionKind.CORRECTED, i, j,
+                                 float(acc[i, j])), fresh)
+
+    def _decode_location(self, res: Residuals, shape: tuple[int, int]):
+        """(i, j) from the e2/e1 residual ratios, or None if non-decodable."""
+        if res.r1 == 0.0 or not np.isfinite(res.r1):
+            return None
+        jf = res.r2 / res.r1 - 1.0
+        if_ = res.r3 / res.r1 - 1.0
+        if not (np.isfinite(jf) and np.isfinite(if_)):
+            return None
+        i, j = int(round(if_)), int(round(jf))
+        if abs(if_ - i) > self.INDEX_TOLERANCE or abs(jf - j) > self.INDEX_TOLERANCE:
+            return None
+        if not (0 <= i < shape[0] and 0 <= j < shape[1]):
+            return None
+        return i, j

@@ -1,0 +1,65 @@
+"""Dual modular redundancy (DMR) for memory-bound stages.
+
+The paper's observation (Sec. I): in the centroid-update stage the memory
+latency of streaming every sample dominates, so *duplicating all
+arithmetic* and comparing costs under 1% — DMR is the right tool there,
+while the compute-bound distance stage needs ABFT.
+
+:func:`dmr_protected` runs a computation twice (optionally with a fault
+injected into one replica), compares, and re-executes on mismatch —
+detect + recover by recomputation, which is sound for fail-continue
+errors because the two replicas are independent.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.gpusim.counters import PerfCounters
+from repro.gpusim.errors import UncorrectableError
+
+__all__ = ["dmr_protected"]
+
+
+def dmr_protected(compute: Callable[[], np.ndarray], *,
+                  counters: PerfCounters | None = None,
+                  corrupt_first: Callable[[np.ndarray], None] | None = None,
+                  max_retries: int = 3,
+                  rtol: float = 0.0) -> np.ndarray:
+    """Execute ``compute`` with duplicated-instruction protection.
+
+    Parameters
+    ----------
+    compute:
+        Deterministic computation returning an ndarray.  Called twice per
+        attempt (the duplicated instruction stream).
+    corrupt_first:
+        Test hook: mutates the *first* replica's output in place, modelling
+        an SEU inside one instruction stream.  Applied only on the first
+        attempt, matching the single-event-upset assumption.
+    max_retries:
+        Recomputation budget before declaring the error persistent.
+    rtol:
+        Comparison tolerance (0 = bitwise, valid because replicas run the
+        same instruction order).
+    """
+    counters = counters if counters is not None else PerfCounters()
+    for attempt in range(max_retries + 1):
+        first = np.asarray(compute()).copy()
+        if corrupt_first is not None and attempt == 0:
+            corrupt_first(first)
+            counters.errors_injected += 1
+        second = np.asarray(compute())
+        counters.dmr_checks += 1
+        if rtol == 0.0:
+            ok = np.array_equal(first, second, equal_nan=True)
+        else:
+            ok = np.allclose(first, second, rtol=rtol, atol=0.0, equal_nan=True)
+        if ok:
+            return second
+        counters.dmr_mismatches += 1
+        counters.errors_detected += 1
+    raise UncorrectableError(
+        f"DMR mismatch persisted across {max_retries + 1} attempts")

@@ -1,0 +1,74 @@
+"""Checksum encodings for algorithm-based fault tolerance.
+
+The scheme of Sec. IV uses two encoding vectors over a (m x n) result
+tile C = A·Bᵀ accumulated over K steps:
+
+* ``e1 = [1, 1, …, 1]``   — detection (Huang & Abraham's classic sum);
+* ``e2 = [1, 2, …, m]``   — *location* encoding: with a single corrupted
+  element ε at (i, j),
+
+      r1 = d1 − e1ᵀ C e1 = −ε
+      r2 = d2 − e1ᵀ C e2 = −ε·(j+1)
+      r3 = d3 − e2ᵀ C e1 = −ε·(i+1)
+
+  so ``i = r3/r1 − 1`` and ``j = r2/r1 − 1`` pinpoint the error and
+  ``C[i,j] += r1`` corrects it — online, without recomputation.
+
+These helpers build the vectors and the three running checksums; the
+warp-level state machine lives in :mod:`repro.abft.corrector`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["e1", "e2", "checksum_triple", "acc_checksum_triple"]
+
+
+def e1(n: int, dtype=np.float64) -> np.ndarray:
+    """The all-ones detection vector."""
+    if n <= 0:
+        raise ValueError(f"vector length must be positive, got {n}")
+    return np.ones(n, dtype=dtype)
+
+
+def e2(n: int, dtype=np.float64) -> np.ndarray:
+    """The location-encoding vector [1, 2, …, n]."""
+    if n <= 0:
+        raise ValueError(f"vector length must be positive, got {n}")
+    return np.arange(1, n + 1, dtype=dtype)
+
+
+def checksum_triple(a: np.ndarray, b: np.ndarray, dtype=np.float64) -> tuple[float, float, float]:
+    """(d1, d2, d3) = (e1ᵀAB e1, e1ᵀAB e2, e2ᵀAB e1) for one K-step.
+
+    ``a``: (m, k) fragment; ``b``: (n, k) fragment (so AB ≡ a @ b.T).
+    Computed as (e1ᵀa)(bᵀe1) etc. — the cheap factored form of Fig. 6
+    lines 15-24 — never materialising the product.  Checksum registers
+    accumulate in float64 by default (the kernels' behaviour).
+    """
+    dt = np.dtype(dtype) if dtype is not None else a.dtype
+    m, n = a.shape[0], b.shape[0]
+    with np.errstate(over="ignore", invalid="ignore"):
+        sa1 = e1(m, dt) @ a.astype(dt)
+        sa2 = e2(m, dt) @ a.astype(dt)
+        sb1 = e1(n, dt) @ b.astype(dt)
+        sb2 = e2(n, dt) @ b.astype(dt)
+        return float(sa1 @ sb1), float(sa1 @ sb2), float(sa2 @ sb1)
+
+
+def acc_checksum_triple(acc: np.ndarray, dtype=np.float64) -> tuple[float, float, float]:
+    """(e1ᵀ acc e1, e1ᵀ acc e2, e2ᵀ acc e1) measured from the accumulator.
+
+    Computed in float64 by default, matching the precision of the running
+    checksum registers the kernels maintain."""
+    dt = np.dtype(dtype) if dtype is not None else acc.dtype
+    m, n = acc.shape
+    with np.errstate(over="ignore", invalid="ignore"):
+        # overflow to Inf is a legitimate state when the accumulator holds
+        # a corrupted near-max-float element; the detector handles it
+        a64 = acc.astype(dt)
+        row = e1(m, dt) @ a64          # column sums
+        row2 = e2(m, dt) @ a64
+        return (float(row @ e1(n, dt)), float(row @ e2(n, dt)),
+                float(row2 @ e1(n, dt)))

@@ -1,0 +1,117 @@
+"""Kosaian & Rashmi's warp-level detection-only scheme (SC'21 baseline).
+
+Arithmetic-intensity-guided ABFT for tensor-core GPUs: a single e1
+checksum per warp detects corruption, but there is no location encoding —
+recovery is *time-redundant recomputation* of the affected block.  This
+is the scheme of the paper's Fig. 5(b): warp-level, tensor-core
+compatible, detection ✓, correction ✗.
+
+The functional kernel recomputes the block's accumulator from shared
+operands when a residual fires, and counts the duplicated work so tests
+can show the recovery-cost asymmetry against FT K-means' in-place fix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.abft.thresholds import ThresholdPolicy
+from repro.gemm.tensorop_gemm import TensorOpGemm
+from repro.gpusim.hierarchy import ThreadBlock, Warp
+
+__all__ = ["KosaianDetectGemm", "KosaianBlockState"]
+
+
+@dataclass
+class KosaianBlockState:
+    """Per-warp running d1 checksums (detection needs nothing more;
+    recovery replays the block's tile from global memory)."""
+
+    d1: dict[int, float] = field(default_factory=dict)
+
+
+class KosaianDetectGemm(TensorOpGemm):
+    """Tensor-core GEMM + e1-only warp checksums, recompute on detect."""
+
+    def __init__(self, *args, safety: float = 4.0, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._safety = safety
+        self.recomputed_blocks: list[int] = []
+
+    def block_begin(self, block: ThreadBlock, warps: list[Warp]) -> KosaianBlockState:
+        return KosaianBlockState(d1={w.warp_id: 0.0 for w in warps})
+
+    def warp_step(self, state: KosaianBlockState, warp: Warp, a_w: np.ndarray,
+                  b_w: np.ndarray, acc_w: np.ndarray, k_iter: int) -> None:
+        super().warp_step(state, warp, a_w, b_w, acc_w, k_iter)
+        sa = a_w.sum(axis=0, dtype=np.float64)
+        sb = b_w.sum(axis=0, dtype=np.float64)
+        state.d1[warp.warp_id] += float(sa @ sb)
+        # one checksum MMA per warp step (e1ᵀA · Be1)
+        self.counters.mma_ops += 1
+        self.counters.abft_mma_ops += 1
+        self.counters.abft_simt_ops += a_w.size + b_w.size
+
+    def block_end(self, state: KosaianBlockState, block: ThreadBlock,
+                  warps: list[Warp], acc: np.ndarray) -> None:
+        policy = ThresholdPolicy(self.dtype, tf32=self.mma_unit.use_tf32,
+                                 safety=self._safety)
+        faulty = False
+        for w in warps:
+            wm0 = w.warp_m * self.tile.warp.m
+            wn0 = w.warp_n * self.tile.warp.n
+            acc_w = acc[wm0: wm0 + self.tile.warp.m, wn0: wn0 + self.tile.warp.n]
+            with np.errstate(over="ignore", invalid="ignore"):
+                c1 = float(acc_w.sum(dtype=np.float64))
+            r1 = state.d1[w.warp_id] - c1
+            # robust tile-magnitude scale (|Σc| cancels for random data and
+            # would false-alarm; see repro.abft.detector.measure_residuals)
+            finite = np.abs(acc_w[np.isfinite(acc_w)].astype(np.float64))
+            mx = float(np.partition(finite, finite.size - 2)[-2]) \
+                if finite.size >= 2 else 1.0
+            scale = max(1.0, min(mx, 1e290) * float(np.sqrt(max(1, finite.size))))
+            self.counters.checksum_tests += 1
+            if policy.exceeds(r1, scale):
+                faulty = True
+                self.counters.errors_detected += 1
+        if faulty:
+            self._recompute_block(block, warps, acc)
+
+    # ------------------------------------------------------------------
+    def _recompute_block(self, block: ThreadBlock, warps: list[Warp],
+                         acc: np.ndarray) -> None:
+        """Time-redundant recovery: rebuild the accumulator from global
+        memory (duplicated loads + duplicated MMAs, all counted)."""
+        self.recomputed_blocks.append(block.block_id)
+        shape = self._replay_shape
+        tile = self.tile
+        tb_m, tb_n, tb_k = tile.tb.m, tile.tb.n, tile.tb.k
+        row0 = block.block_m * tb_m
+        col0 = block.block_n * tb_n
+        rows = min(tb_m, shape.m - row0)
+        cols = min(tb_n, shape.n - col0)
+        acc[:] = 0
+        k_iters = -(-shape.k // tb_k)
+        for ki in range(k_iters):
+            kk0 = ki * tb_k
+            kw = min(tb_k, shape.k - kk0)
+            a_tile = np.zeros((tb_m, tb_k), self.dtype)
+            a_tile[:rows, :kw] = self._replay_gmem.load(
+                "samples", slice(row0, row0 + rows), slice(kk0, kk0 + kw))
+            b_tile = np.zeros((tb_n, tb_k), self.dtype)
+            b_tile[:cols, :kw] = self._replay_gmem.load(
+                "centroids", slice(col0, col0 + cols), slice(kk0, kk0 + kw))
+            for w in warps:
+                wm0, wn0 = w.warp_m * tile.warp.m, w.warp_n * tile.warp.n
+                acc_w = acc[wm0: wm0 + tile.warp.m, wn0: wn0 + tile.warp.n]
+                self.mma_unit.mma(a_tile[wm0: wm0 + tile.warp.m],
+                                  b_tile[wn0: wn0 + tile.warp.n].T, acc_w)
+        self.trace.emit("recompute", block.block_id, -1, scheme="kosaian")
+
+    def run(self, gmem, shape) -> None:
+        # keep handles for the recompute path (a relaunch on real HW)
+        self._replay_gmem = gmem
+        self._replay_shape = shape
+        super().run(gmem, shape)

@@ -1,0 +1,99 @@
+"""ABFT scheme registry — the capability matrix of the paper's Fig. 5(d).
+
+==============  ============  =====  ===========  =========  ==========
+Scheme          Level         SIMT   Tensor core  Detection  Correction
+==============  ============  =====  ===========  =========  ==========
+Wu's FT-GEMM    Threadblock    yes    no (cksum)      yes        yes
+Kosaian's       Warp           yes      yes           yes        no
+FT K-Means      Warp           yes      yes           yes        yes
+==============  ============  =====  ===========  =========  ==========
+
+Each :class:`AbftScheme` entry also records the properties the timing
+model needs: how many checksum MMAs per warp step, whether the scheme is
+compatible with the ``cp.async`` pipeline (Wu's register reuse is not),
+and how recovery is performed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AbftScheme", "SCHEMES", "get_scheme", "NONE", "FTKMEANS", "WU",
+           "KOSAIAN", "TENSOR_ONLY"]
+
+
+@dataclass(frozen=True)
+class AbftScheme:
+    """Static description of one fault-tolerance scheme.
+
+    Attributes
+    ----------
+    name / level:
+        Registry key and protection granularity.
+    uses_simt_checksums / uses_tensor_checksums:
+        Where the checksum arithmetic executes.
+    detects / corrects:
+        Capability bits (Kosaian detects only → recovery is recompute).
+    checksum_mmas_per_warp_step:
+        Tensor-core instructions added per warp per K-step (FT K-means: 3
+        — e1ᵀA·Be1, e1ᵀA·Be2, e2ᵀA·Be1; Kosaian: 1).
+    async_compatible:
+        False when the scheme needs the register-staged copy path (Wu's).
+    recovery:
+        'online' (locate & fix in place), 'recompute' (time redundancy),
+        or 'none'.
+    """
+
+    name: str
+    level: str
+    uses_simt_checksums: bool
+    uses_tensor_checksums: bool
+    detects: bool
+    corrects: bool
+    checksum_mmas_per_warp_step: int
+    async_compatible: bool
+    recovery: str
+
+    @property
+    def timing_key(self) -> str:
+        """Identifier understood by ``TimingModel.distance_tensorop``."""
+        return self.name
+
+
+NONE = AbftScheme(
+    name="none", level="-", uses_simt_checksums=False,
+    uses_tensor_checksums=False, detects=False, corrects=False,
+    checksum_mmas_per_warp_step=0, async_compatible=True, recovery="none")
+
+FTKMEANS = AbftScheme(
+    name="ftkmeans", level="warp", uses_simt_checksums=True,
+    uses_tensor_checksums=True, detects=True, corrects=True,
+    checksum_mmas_per_warp_step=3, async_compatible=True, recovery="online")
+
+WU = AbftScheme(
+    name="wu", level="threadblock", uses_simt_checksums=True,
+    uses_tensor_checksums=False, detects=True, corrects=True,
+    checksum_mmas_per_warp_step=0, async_compatible=False, recovery="online")
+
+KOSAIAN = AbftScheme(
+    name="kosaian", level="warp", uses_simt_checksums=True,
+    uses_tensor_checksums=True, detects=True, corrects=False,
+    checksum_mmas_per_warp_step=1, async_compatible=True, recovery="recompute")
+
+TENSOR_ONLY = AbftScheme(
+    name="tensor_only", level="warp", uses_simt_checksums=False,
+    uses_tensor_checksums=True, detects=True, corrects=True,
+    checksum_mmas_per_warp_step=3, async_compatible=True, recovery="online")
+
+SCHEMES = {s.name: s for s in (NONE, FTKMEANS, WU, KOSAIAN, TENSOR_ONLY)}
+
+
+def get_scheme(name) -> AbftScheme:
+    """Look up a scheme by name (accepts an AbftScheme pass-through)."""
+    if isinstance(name, AbftScheme):
+        return name
+    try:
+        return SCHEMES[str(name)]
+    except KeyError:
+        raise KeyError(
+            f"unknown ABFT scheme {name!r}; available: {sorted(SCHEMES)}")

@@ -1,0 +1,82 @@
+"""Detection-threshold (δ) analysis.
+
+A checksum residual is nonzero even without faults, because the factored
+path ``(e1ᵀA)(B e1)`` and the accumulated path ``e1ᵀ C e1`` round
+differently.  The threshold must sit *above* that rounding noise (else
+false alarms) and *below* the corruption magnitudes worth correcting.
+
+Empirical characterisation on the simulator (see
+``tests/abft/test_thresholds.py``) shows the fault-free residual obeys::
+
+    |r1| ≲ 0.9 · u · ‖C‖_F              (no sqrt(k) growth: errors cancel)
+    |r2| ≲ 0.9 · u · ‖C‖_F · n          (e2 weights grow with tile width)
+    |r3| ≲ 0.9 · u · ‖C‖_F · m
+
+where ``u`` is the unit roundoff of the *product* arithmetic (TF32's
+2⁻¹⁰ on the FP32 tensor path, else the dtype's own).  The policy is
+therefore ``δ = safety · u · ‖C‖_F`` with a per-residual weight, safety
+defaulting to 8 (an order of magnitude above the observed noise while
+still catching any flip that could plausibly move an argmin).
+
+A bit flip below δ escapes detection — by construction it is comparable
+to the noise floor of the arithmetic itself, exactly the argument the
+paper's fault model makes for its threshold test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["unit_roundoff", "detection_threshold", "ThresholdPolicy"]
+
+
+def unit_roundoff(dtype, *, tf32: bool = False) -> float:
+    """Unit roundoff of the product arithmetic."""
+    dt = np.dtype(dtype)
+    if dt == np.float32:
+        return 2.0 ** -10 if tf32 else 2.0 ** -23
+    if dt == np.float64:
+        return 2.0 ** -52
+    raise ValueError(f"unsupported dtype {dt!r}")
+
+
+def detection_threshold(dtype, scale: float, *, tf32: bool = False,
+                        safety: float = 8.0) -> float:
+    """δ for one checksum comparison; ``scale`` is ‖C‖_F of the tile."""
+    u = unit_roundoff(dtype, tf32=tf32)
+    return safety * u * max(1e-30, abs(scale))
+
+
+class ThresholdPolicy:
+    """Reusable δ policy bound to a dtype.
+
+    ``weight`` lets callers scale δ for the e2-weighted residuals (r2
+    grows with the tile width, r3 with its height).
+    """
+
+    def __init__(self, dtype, *, tf32: bool = False, safety: float = 8.0):
+        self.dtype = np.dtype(dtype)
+        self.tf32 = bool(tf32)
+        self.safety = float(safety)
+        self.u = unit_roundoff(dtype, tf32=tf32)
+
+    def delta(self, scale: float, weight: float = 1.0) -> float:
+        return self.safety * self.u * max(1e-30, abs(scale)) * max(1.0, weight)
+
+    def exceeds(self, residual: float, scale: float, weight: float = 1.0) -> bool:
+        """True when |residual| signals a genuine fault (NaN/Inf included:
+        a flipped exponent bit can produce non-finite checksums, which a
+        plain ``>`` comparison would silently miss)."""
+        if not np.isfinite(residual):
+            return True
+        return abs(residual) > self.delta(scale, weight)
+
+    def locatable(self, residual: float, scale: float, tile_dim: int) -> bool:
+        """Can the e2/e1 ratio decode the location reliably?
+
+        The ratio's noise is ~(u·‖C‖_F·dim)/|r1|; decoding needs it below
+        ~0.45, so |r1| must clear the noise floor by a factor ~2·dim.
+        """
+        if not np.isfinite(residual):
+            return False
+        return abs(residual) > 2.5 * self.u * max(1e-30, abs(scale)) * tile_dim

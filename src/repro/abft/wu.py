@@ -1,0 +1,124 @@
+"""Wu's threadblock-level FT-GEMM (the ISC'23 baseline).
+
+Pre-Ampere ABFT-GEMM fuses checksum accumulation into the *register
+staging* of operand tiles: while an element passes global → register →
+shared, the kernel folds it into full row/column checksum vectors at
+threadblock scope.  Location uses the classic 2-D (row, column) checksum
+intersection; correction is in place.
+
+Two structural properties make this scheme lose on Ampere, both modelled
+here and in the timing model:
+
+* it *requires* the register-mediated copy path — with ``cp.async`` the
+  data never visits a register, so the fusion breaks (the kernel runs
+  with the synchronous path even on A100, forfeiting overlap);
+* the checksum vectors live at threadblock scope, so every verification
+  needs shared-memory round trips and block-wide barriers (counted via
+  ``counters.barriers`` / shared traffic), unlike FT K-means' warp-local
+  scalars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.abft.thresholds import ThresholdPolicy
+from repro.gemm.simt_gemm import SimtGemm
+from repro.gpusim.errors import UncorrectableError
+from repro.gpusim.hierarchy import ThreadBlock, Warp
+
+__all__ = ["WuFtGemm", "WuBlockState"]
+
+
+@dataclass
+class WuBlockState:
+    """Threadblock-scope running checksums.
+
+    ``col_check[j] = Σ_k (e1ᵀ A_k · B_kᵀ)[j]`` — expected column sums of C;
+    ``row_check[i] = Σ_k (A_k · B_kᵀ e1)[i]`` — expected row sums of C.
+    """
+
+    col_check: np.ndarray
+    row_check: np.ndarray
+
+
+class WuFtGemm(SimtGemm):
+    """SIMT GEMM + threadblock-level 2-D checksum ABFT."""
+
+    def __init__(self, *args, safety: float = 4.0, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._safety = safety
+
+    def block_begin(self, block: ThreadBlock, warps: list[Warp]) -> WuBlockState:
+        tb = self.tile.tb
+        return WuBlockState(
+            col_check=np.zeros(tb.n, dtype=np.float64),
+            row_check=np.zeros(tb.m, dtype=np.float64),
+        )
+
+    def on_stage_register(self, state: WuBlockState, a_tile: np.ndarray,
+                          b_tile: np.ndarray, k_iter: int) -> None:
+        """The register-reuse window: fold staged tiles into the checksums."""
+        sa = a_tile.sum(axis=0, dtype=np.float64)         # e1ᵀ A_k   (tb_k,)
+        sb = b_tile.sum(axis=0, dtype=np.float64)         # e1ᵀ B_k   (tb_k,)
+        state.col_check += sa @ b_tile.astype(np.float64).T
+        state.row_check += a_tile.astype(np.float64) @ sb
+        ops = a_tile.size + b_tile.size
+        self.counters.abft_simt_ops += ops
+        self.counters.simt_fma += ops
+
+    def block_end(self, state: WuBlockState, block: ThreadBlock,
+                  warps: list[Warp], acc: np.ndarray) -> None:
+        """Threadblock-wide verification: shared-memory reduction + barrier,
+        then 2-D locate-and-correct."""
+        # the reduction of per-warp partials into block totals passes
+        # through shared memory and requires two barriers
+        self.counters.shared_stores += acc.shape[0] * 8 + acc.shape[1] * 8
+        self.counters.shared_loads += acc.shape[0] * 8 + acc.shape[1] * 8
+        block.syncthreads()
+        block.syncthreads()
+
+        with np.errstate(over="ignore", invalid="ignore"):
+            col_sum = acc.sum(axis=0, dtype=np.float64)
+            row_sum = acc.sum(axis=1, dtype=np.float64)
+            col_res = state.col_check - col_sum
+            row_res = state.row_check - row_sum
+        policy = ThresholdPolicy(self.dtype, safety=self._safety)
+        finite = np.abs(acc[np.isfinite(acc)].astype(np.float64))
+        mx = float(finite.max()) if finite.size else 1.0
+        scale = max(1.0, min(mx, 1e290) * float(np.sqrt(acc.size)))
+        self.counters.checksum_tests += 1
+
+        bad_cols = [j for j in range(col_res.size)
+                    if policy.exceeds(float(col_res[j]), scale)]
+        bad_rows = [i for i in range(row_res.size)
+                    if policy.exceeds(float(row_res[i]), scale)]
+        if not bad_cols and not bad_rows:
+            return
+        self.counters.errors_detected += 1
+        if len(bad_cols) == 1 and len(bad_rows) == 1:
+            i, j = bad_rows[0], bad_cols[0]
+            if np.isfinite(acc[i, j]):
+                acc[i, j] += acc.dtype.type(row_res[i])
+            else:
+                # Inf/NaN corruption: rebuild the element from the row
+                # checksum identity C[i,j] = row_check[i] − Σ_{q≠j} C[i,q]
+                row = acc[i].astype(np.float64)
+                others = float(np.where(np.isfinite(row), row, 0.0).sum())
+                acc[i, j] = acc.dtype.type(state.row_check[i] - others)
+            self.counters.errors_corrected += 1
+            self.trace.emit("correct", block.block_id, -1, row=i, col=j,
+                            scheme="wu")
+            return
+        if len(bad_cols) <= 1 and len(bad_rows) <= 1:
+            # one axis localises but the other sits inside its noise band:
+            # the corruption is of threshold magnitude — too small to move
+            # a result, too ambiguous to place.  Leave it (the paper's δ
+            # test passes such values through by design).
+            self.trace.emit("subthreshold", block.block_id, -1, scheme="wu")
+            return
+        raise UncorrectableError(
+            f"Wu-ABFT: ambiguous residual pattern (rows={bad_rows}, "
+            f"cols={bad_cols}) violates the single-error assumption")

@@ -1,0 +1,13 @@
+"""Baselines: simulated cuML, plain-NumPy Lloyd, Wu's FT K-means."""
+
+from repro.baselines.cuml_like import CuMLKMeans, cuml_assignment
+from repro.baselines.sklearn_like import LloydResult, lloyd_reference
+from repro.baselines.wu_ft_kmeans import WuFTKMeans
+
+__all__ = [
+    "CuMLKMeans",
+    "cuml_assignment",
+    "LloydResult",
+    "lloyd_reference",
+    "WuFTKMeans",
+]

@@ -1,0 +1,46 @@
+"""Simulated cuML K-means baseline.
+
+Runs the *same* tensor-core fused kernels as FT K-means but pinned to
+cuML's fixed tile parameters (Table I) — reproducing exactly the contrast
+the paper evaluates: tuned-per-shape parameters versus one hard-coded
+CUTLASS instantiation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codegen.cuml_params import cuml_tile
+from repro.core.api import FTKMeans
+
+__all__ = ["CuMLKMeans", "cuml_assignment"]
+
+
+class CuMLKMeans(FTKMeans):
+    """Drop-in estimator with cuML's hard-coded kernel parameters.
+
+    Accepts the same arguments as :class:`repro.core.api.FTKMeans` except
+    ``tile``/``variant`` (pinned to the tensor-core kernel with Table I
+    parameters; cuML has no ABFT, so ``abft`` is rejected too).
+    """
+
+    def __init__(self, n_clusters: int = 8, *, dtype="float32",
+                 device="a100", mode: str = "fast", p_inject: float = 0.0,
+                 use_tf32: bool = True, init: str = "k-means++",
+                 max_iter: int = 50, tol: float = 1e-4,
+                 seed: int | None = None, init_centroids=None):
+        super().__init__(
+            n_clusters, variant="tensorop", dtype=dtype, device=device,
+            mode=mode, tile=cuml_tile(np.dtype(dtype)), abft="none",
+            p_inject=p_inject, use_tf32=use_tf32, init=init,
+            max_iter=max_iter, tol=tol, seed=seed,
+            init_centroids=init_centroids)
+
+
+def cuml_assignment(device, dtype, *, mode: str = "fast", injector=None):
+    """The cuML-parameterised assignment kernel (for benches that time the
+    distance stage in isolation)."""
+    from repro.core.tensorop import TensorOpAssignment
+
+    return TensorOpAssignment(device, dtype, mode=mode, injector=injector,
+                              tile=cuml_tile(np.dtype(dtype)))

@@ -1,0 +1,62 @@
+"""Plain-NumPy Lloyd reference (the algorithmic ground truth).
+
+No simulator, no tiles — just textbook Lloyd iterations.  Tests compare
+every simulated variant's clustering against this to separate "GPU
+mapping bugs" from "algorithm bugs".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.initializers import initialize
+from repro.gemm.reference import (
+    reference_assignment,
+    reference_inertia,
+    reference_update,
+)
+
+__all__ = ["lloyd_reference", "LloydResult"]
+
+
+class LloydResult:
+    """Outcome of a reference Lloyd run."""
+
+    def __init__(self, centroids, labels, inertia, n_iter, history):
+        self.cluster_centers_ = centroids
+        self.labels_ = labels
+        self.inertia_ = inertia
+        self.n_iter_ = n_iter
+        self.inertia_history_ = history
+
+
+def lloyd_reference(x: np.ndarray, n_clusters: int, *, max_iter: int = 50,
+                    tol: float = 1e-4, seed: int | None = None,
+                    init: str = "k-means++", init_centroids=None) -> LloydResult:
+    """Run textbook Lloyd iterations in full precision."""
+    x = np.asarray(x)
+    rng = np.random.default_rng(seed)
+    if init_centroids is not None:
+        y = np.array(init_centroids, dtype=x.dtype, copy=True)
+    else:
+        y = initialize(x, n_clusters, init, rng)
+
+    history: list[float] = []
+    labels = np.zeros(x.shape[0], dtype=np.int64)
+    n_iter = 0
+    for n_iter in range(1, max_iter + 1):
+        labels, best = reference_assignment(x, y)
+        inertia = float(np.sum(best.astype(np.float64)))
+        new_y, counts = reference_update(x, labels, n_clusters)
+        # keep empty clusters at their previous position (reference policy)
+        empty = counts == 0
+        new_y[empty] = y[empty]
+        shift = float(np.linalg.norm(new_y.astype(np.float64) - y.astype(np.float64)))
+        y = new_y
+        prev = history[-1] if history else None
+        history.append(inertia)
+        if shift == 0.0:
+            break
+        if prev is not None and prev > 0 and (prev - inertia) / prev <= tol:
+            break
+    return LloydResult(y, labels, history[-1], n_iter, history)

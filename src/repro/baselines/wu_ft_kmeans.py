@@ -1,0 +1,30 @@
+"""K-means on Wu's threadblock-level FT-GEMM (the ABFT baseline).
+
+The error-injection figures (17, 18, 21) compare FT K-means against
+"Wu's w/ err. inj." — the same K-means pipeline but with the pre-Ampere
+register-reuse ABFT kernel doing the distance stage.  Its ~30% overhead
+on A100 comes from forfeiting the async-copy overlap (Sec. V-C).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.api import FTKMeans
+
+__all__ = ["WuFTKMeans"]
+
+
+class WuFTKMeans(FTKMeans):
+    """Estimator using Wu's threadblock-level ABFT for the distance stage."""
+
+    def __init__(self, n_clusters: int = 8, *, dtype="float32",
+                 device="a100", mode: str = "fast", p_inject: float = 0.0,
+                 init: str = "k-means++", max_iter: int = 50,
+                 tol: float = 1e-4, seed: int | None = None,
+                 init_centroids=None, tile=None):
+        super().__init__(
+            n_clusters, variant="ft", dtype=dtype, device=device, mode=mode,
+            tile=tile, abft="wu", p_inject=p_inject, init=init,
+            max_iter=max_iter, tol=tol, seed=seed,
+            init_centroids=init_centroids)

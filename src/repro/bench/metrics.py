@@ -1,0 +1,39 @@
+"""Benchmark metrics: GFLOPS accounting and overhead percentages."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gflops", "overhead_pct", "speedup", "geomean"]
+
+
+def gflops(n_samples: int, n_clusters: int, n_features: int,
+           time_s: float) -> float:
+    """Distance-stage GFLOPS, counted as the paper does (2·M·K·N)."""
+    if time_s <= 0:
+        raise ValueError(f"time must be positive, got {time_s}")
+    return 2.0 * n_samples * n_clusters * n_features / time_s / 1e9
+
+
+def overhead_pct(base_gflops: float, with_feature_gflops: float) -> float:
+    """Overhead of a feature in percent: +11 means 11% slower."""
+    if with_feature_gflops <= 0:
+        raise ValueError("GFLOPS must be positive")
+    return (base_gflops / with_feature_gflops - 1.0) * 100.0
+
+
+def speedup(ours: float, baseline: float) -> float:
+    """ours / baseline (in GFLOPS: higher is better)."""
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return ours / baseline
+
+
+def geomean(values) -> float:
+    """Geometric mean (the right average for ratios)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("geomean of empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geomean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))

@@ -1,0 +1,47 @@
+"""Run every figure experiment in one pass (the full harness entry point).
+
+``python -m repro.bench.runner`` regenerates all 15 figure/table
+reproductions and prints them in paper order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import figures
+from repro.bench.tables import print_figure
+
+__all__ = ["all_figures", "main"]
+
+
+def all_figures() -> list:
+    """Compute every FigureResult in paper order."""
+    return [
+        figures.fig7_stepwise(),
+        figures.fig8_fig9_distance_vs_features(np.float32),
+        figures.fig8_fig9_distance_vs_features(np.float64),
+        figures.fig10_fig11_distance_vs_clusters(np.float32),
+        figures.fig10_fig11_distance_vs_clusters(np.float64),
+        figures.fig12_speedup_grid(np.float32),
+        figures.fig12_speedup_grid(np.float64),
+        figures.fig13_table1_selected_parameters(np.float32),
+        figures.fig13_table1_selected_parameters(np.float64),
+        figures.fig14_selection_map(np.float32),
+        figures.fig15_fig16_ft_overhead(np.float32),
+        figures.fig15_fig16_ft_overhead(np.float64),
+        figures.fig17_fig18_error_injection(np.float32),
+        figures.fig17_fig18_error_injection(np.float64),
+        figures.fig19_t4_vs_features(),
+        figures.fig20_t4_vs_clusters(),
+        figures.fig21_t4_injection(),
+    ]
+
+
+def main() -> None:
+    for res in all_figures():
+        print_figure(res, max_rows=8)
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Paper-style printing of figure results."""
+
+from __future__ import annotations
+
+from repro.bench.figures import FigureResult
+
+__all__ = ["format_figure", "print_figure"]
+
+
+def format_figure(res: FigureResult, *, max_rows: int | None = None) -> str:
+    """Render a FigureResult as aligned text (series as columns)."""
+    lines = [f"== {res.figure_id}: {res.title} =="]
+    names = list(res.series)
+    if names:
+        xs = sorted({x for pts in res.series.values() for x, _ in pts})
+        if max_rows is not None:
+            xs = xs[:max_rows]
+        header = f"{res.x_label:>14s} | " + " | ".join(f"{n:>20s}" for n in names)
+        lines.append(header)
+        lines.append("-" * len(header))
+        maps = {n: dict(res.series[n]) for n in names}
+        for x in xs:
+            cells = []
+            for n in names:
+                v = maps[n].get(x)
+                cells.append(f"{v:20.1f}" if v is not None else " " * 20)
+            lines.append(f"{x:14.0f} | " + " | ".join(cells))
+    if res.summary:
+        lines.append("-- summary --")
+        for key, val in res.summary.items():
+            lines.append(f"  {key}: {val}")
+    return "\n".join(lines)
+
+
+def print_figure(res: FigureResult, *, max_rows: int | None = None) -> None:
+    print(format_figure(res, max_rows=max_rows))

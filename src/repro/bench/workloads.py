@@ -1,0 +1,71 @@
+"""Problem-size grids for every figure in the paper's evaluation.
+
+All sweeps share M = 131072 samples (the paper's fixed M).  The axis
+vocabulary follows the paper: N = feature dimension, K = cluster count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["M_PAPER", "Sweep", "FIG7_SWEEP", "fig8_sweeps", "fig10_sweeps",
+           "fig12_grid", "fig15_panels", "N_SWEEP", "K_SWEEP"]
+
+#: the paper's sample count in every evaluation figure
+M_PAPER = 131072
+
+#: N (features) sweep used on the x-axis of Figs. 8/9/15-19/21 panels
+N_SWEEP = tuple(range(8, 129, 8))
+
+#: K (clusters) sweep used on the x-axis of Figs. 10/11 and K-panels
+K_SWEEP = tuple(range(8, 129, 8))
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """One benchmark sweep: a fixed panel plus a swept axis."""
+
+    name: str
+    fixed: dict
+    axis: str          # 'n_features' or 'n_clusters'
+    values: tuple
+
+    def shapes(self):
+        """Yield (m, n_clusters, n_features) triples."""
+        for v in self.values:
+            params = dict(self.fixed)
+            params[self.axis] = v
+            yield (M_PAPER, params["n_clusters"], params["n_features"])
+
+
+#: Fig. 7 sweeps clusters at fixed features N=128
+FIG7_SWEEP = Sweep("fig7", {"n_features": 128}, "n_clusters",
+                   tuple(range(32, 193, 32)))
+
+
+def fig8_sweeps() -> list[Sweep]:
+    """Figs. 8/9/19: sweep features N with clusters K in {8, 128}."""
+    return [
+        Sweep("K=8", {"n_clusters": 8}, "n_features", N_SWEEP),
+        Sweep("K=128", {"n_clusters": 128}, "n_features", N_SWEEP),
+    ]
+
+
+def fig10_sweeps() -> list[Sweep]:
+    """Figs. 10/11/20: sweep clusters K with features N in {8, 128}."""
+    return [
+        Sweep("N=8", {"n_features": 8}, "n_clusters", K_SWEEP),
+        Sweep("N=128", {"n_features": 128}, "n_clusters", K_SWEEP),
+    ]
+
+
+def fig12_grid() -> list[tuple[int, int, int]]:
+    """Fig. 12/13/14: the (K, N) heat-map grid."""
+    return [(M_PAPER, nc, nf)
+            for nc in range(32, 449, 64)
+            for nf in range(8, 121, 16)]
+
+
+def fig15_panels() -> list[Sweep]:
+    """Figs. 15-18/21: the four fault-tolerance panels."""
+    return fig8_sweeps() + fig10_sweeps()

@@ -1,0 +1,41 @@
+"""Template-based code generation and kernel selection (paper Fig. 3)."""
+
+from repro.codegen.bench import CandidateScore, rank_candidates, score_candidate
+from repro.codegen.compile import compile_kernel, demo_check, feasible_candidates
+from repro.codegen.cuml_params import CUML_PARAM_ID, cuml_tile
+from repro.codegen.database import (
+    load_selection,
+    save_selection,
+    tile_from_dict,
+    tile_to_dict,
+)
+from repro.codegen.selector import KernelSelector
+from repro.codegen.space import (
+    DEFAULT_BOUNDS,
+    SpaceBounds,
+    enumerate_space,
+    enumerate_warp_tiles,
+)
+from repro.codegen.template import kernel_name, render_kernel_source
+
+__all__ = [
+    "CandidateScore",
+    "rank_candidates",
+    "score_candidate",
+    "compile_kernel",
+    "demo_check",
+    "feasible_candidates",
+    "CUML_PARAM_ID",
+    "cuml_tile",
+    "load_selection",
+    "save_selection",
+    "tile_from_dict",
+    "tile_to_dict",
+    "KernelSelector",
+    "DEFAULT_BOUNDS",
+    "SpaceBounds",
+    "enumerate_space",
+    "enumerate_warp_tiles",
+    "kernel_name",
+    "render_kernel_source",
+]

@@ -1,0 +1,50 @@
+"""cuML's fixed kernel parameters (paper Table I).
+
+cuML hard-codes one parameter group per precision in its CUTLASS-based
+FusedDistanceNN; these constants pin the simulated cuML baseline to
+exactly those tiles:
+
+========  =============  ============  ===========
+dtype     Threadblock    Warp          Thread
+========  =============  ============  ===========
+FP32      32, 256, 16    32, 64, 16    16, 8, 4
+FP64      64, 64, 16     32, 32, 16    8, 8, 4
+========  =============  ============  ===========
+
+The pipeline depth follows the CUTLASS SM80 default (4 stages), which is
+what makes cuML's prologue so expensive against 1-2-iteration main loops
+at small feature counts — the "very low occupancy/utilisation" failure
+the paper describes in Sec. V-A6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gemm.tiling import TileConfig
+from repro.gpusim.device import get_device
+
+__all__ = ["cuml_tile", "CUML_PARAM_ID"]
+
+#: sentinel parameter id for the cuML fixed configuration
+CUML_PARAM_ID = -100
+
+
+def cuml_tile(dtype, device=None, *, stages: int | None = None) -> TileConfig:
+    """The fixed cuML parameter group for ``dtype`` (Table I).
+
+    FP32 uses the CUTLASS SM80 default pipeline depth (4); the FP64 DMMA
+    path ships with 3 stages (smaller shared-memory budget per stage at
+    8-byte elements).  Pre-Ampere devices (no ``cp.async``) fall back to
+    the classic 2-stage double buffer.
+    """
+    if stages is None:
+        if device is not None and get_device(device).sm_version < 80:
+            stages = 2
+        else:
+            stages = 4 if np.dtype(dtype) == np.float32 else 3
+    if np.dtype(dtype) == np.float32:
+        return TileConfig.make((32, 256, 16), (32, 64, 16), dtype,
+                               stages=stages, param_id=CUML_PARAM_ID)
+    return TileConfig.make((64, 64, 16), (32, 32, 16), dtype,
+                           stages=stages, param_id=CUML_PARAM_ID)

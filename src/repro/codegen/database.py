@@ -1,0 +1,58 @@
+"""Persistence for kernel-selection tables.
+
+The paper ships the benchmark-derived selection as part of the library;
+this module serialises a selector's (shape → parameter id) table plus the
+parameter definitions to JSON so a deployment can skip the sweep.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.gemm.tiling import Tile3, TileConfig
+
+__all__ = ["tile_to_dict", "tile_from_dict", "save_selection", "load_selection"]
+
+
+def tile_to_dict(tile: TileConfig) -> dict:
+    """JSON-serialisable form of one parameter group."""
+    return {
+        "tb": list(tile.tb),
+        "warp": list(tile.warp),
+        "thread": list(tile.thread),
+        "stages": tile.stages,
+        "param_id": tile.param_id,
+    }
+
+
+def tile_from_dict(d: dict) -> TileConfig:
+    """Inverse of :func:`tile_to_dict`."""
+    return TileConfig(
+        tb=Tile3(*d["tb"]), warp=Tile3(*d["warp"]), thread=Tile3(*d["thread"]),
+        stages=int(d["stages"]), param_id=int(d["param_id"]))
+
+
+def save_selection(path, *, device_name: str, dtype, entries: dict,
+                   tiles: dict) -> None:
+    """Write a selection table.
+
+    ``entries``: {"m,n,k": param_id}; ``tiles``: {param_id: TileConfig}.
+    """
+    payload = {
+        "device": device_name,
+        "dtype": np.dtype(dtype).name,
+        "entries": {key: int(pid) for key, pid in entries.items()},
+        "tiles": {str(pid): tile_to_dict(t) for pid, t in tiles.items()},
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_selection(path) -> tuple[str, str, dict, dict]:
+    """Read a selection table; returns (device, dtype, entries, tiles)."""
+    payload = json.loads(Path(path).read_text())
+    entries = {key: int(pid) for key, pid in payload["entries"].items()}
+    tiles = {int(pid): tile_from_dict(d) for pid, d in payload["tiles"].items()}
+    return payload["device"], payload["dtype"], entries, tiles

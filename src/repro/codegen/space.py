@@ -1,0 +1,98 @@
+"""Kernel-parameter search-space enumeration (Sec. III-B1).
+
+The paper does not brute-force every integer; candidates obey:
+
+1. all parameters are powers of two;
+2. ``Warp.K == Threadblock.K``;
+3. the warp/thread area ratio is 8 or 16;
+4. the thread level is fixed per dtype by the tensor-core fragment.
+
+On top of those validity rules this module applies the search *bounds*
+(tile extents, warp counts per block) that keep the space at the paper's
+scale — 157 FP32 / 145 FP64 kernel definitions before the feasibility
+filter.  Parameter ids are assigned in enumeration order, mirroring the
+parameter numbers of Fig. 13/14 and Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gemm.tiling import THREAD_TILE, Tile3, TileConfig, validate_rules
+
+__all__ = ["SpaceBounds", "enumerate_warp_tiles", "enumerate_space", "DEFAULT_BOUNDS"]
+
+
+@dataclass(frozen=True)
+class SpaceBounds:
+    """Search-space bounds for the enumeration.
+
+    The defaults were chosen so the rule-respecting candidate count lands
+    at the paper's scale; widen them for ablation studies.
+    """
+
+    tb_m_max: int = 256
+    tb_n_max: int = 256
+    tb_m_min: int = 32
+    tb_n_min: int = 32
+    tb_k_options: tuple[int, ...] = (8, 16, 32)
+    max_warps_per_block: int = 8
+    min_warps_per_block: int = 1
+    stages: int = 3
+
+
+DEFAULT_BOUNDS = SpaceBounds()
+
+
+def _pow2_range(lo: int, hi: int) -> list[int]:
+    out, v = [], lo
+    while v <= hi:
+        out.append(v)
+        v *= 2
+    return out
+
+
+def enumerate_warp_tiles(dtype, bounds: SpaceBounds = DEFAULT_BOUNDS) -> list[tuple[int, int]]:
+    """(w_m, w_n) pairs whose warp/thread area ratio is 8 or 16."""
+    t = THREAD_TILE[np.dtype(dtype)]
+    pairs = []
+    for w_m in _pow2_range(t.m, bounds.tb_m_max):
+        for w_n in _pow2_range(t.n, bounds.tb_n_max):
+            ratio = (w_m // t.m) * (w_n // t.n)
+            if w_m % t.m == 0 and w_n % t.n == 0 and ratio in (8, 16):
+                pairs.append((w_m, w_n))
+    return pairs
+
+
+def enumerate_space(dtype, bounds: SpaceBounds = DEFAULT_BOUNDS) -> list[TileConfig]:
+    """All rule-respecting kernel parameter groups, ids in order.
+
+    This is the *definition* space; resource feasibility (the demo
+    compile+run of Fig. 3) is applied later by
+    :func:`repro.codegen.compile.feasible_candidates`.
+    """
+    dt = np.dtype(dtype)
+    thread = THREAD_TILE[dt]
+    configs: list[TileConfig] = []
+    pid = 0
+    for tb_k in bounds.tb_k_options:
+        for w_m, w_n in enumerate_warp_tiles(dt, bounds):
+            for tb_m in _pow2_range(max(w_m, bounds.tb_m_min), bounds.tb_m_max):
+                if tb_m % w_m:
+                    continue
+                for tb_n in _pow2_range(max(w_n, bounds.tb_n_min), bounds.tb_n_max):
+                    if tb_n % w_n:
+                        continue
+                    warps = (tb_m // w_m) * (tb_n // w_n)
+                    if not bounds.min_warps_per_block <= warps <= bounds.max_warps_per_block:
+                        continue
+                    tb = Tile3(tb_m, tb_n, tb_k)
+                    warp = Tile3(w_m, w_n, tb_k)
+                    if validate_rules(tb, warp, thread):
+                        continue  # pragma: no cover - bounds guarantee valid
+                    configs.append(TileConfig(tb, warp, thread,
+                                              stages=bounds.stages, param_id=pid))
+                    pid += 1
+    return configs

@@ -1,0 +1,155 @@
+"""FTKMeans — the public estimator.
+
+An sklearn-style interface over the simulated-GPU K-means of the paper::
+
+    from repro import FTKMeans
+
+    km = FTKMeans(n_clusters=16, variant="ft", dtype="float32",
+                  device="a100", seed=0)
+    km.fit(X)
+    km.labels_, km.cluster_centers_, km.inertia_, km.sim_time_s_
+
+``variant`` selects the paper's optimisation rung (naive → v1 → v2 → v3 →
+tensorop → ft); ``p_inject`` turns on SEU error injection; ``mode``
+chooses tile-accurate ('functional') or vectorised ('fast') execution.
+The fitted model also exposes the simulated clock (``sim_time_s_``), the
+per-kernel timing log (``timing_log_``) and the merged performance
+counters (``counters_``) so benchmarks can report paper-style GFLOPS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.assignment import AssignmentResult
+from repro.core.config import KMeansConfig
+from repro.core.convergence import ConvergenceMonitor
+from repro.core.initializers import initialize
+from repro.core.update import UpdateStage
+from repro.core.validation import validate_centroids, validate_data
+from repro.core.variants import build_assignment
+from repro.gemm.shapes import distance_flops
+from repro.gpusim.clock import SimClock
+from repro.gpusim.counters import PerfCounters
+
+__all__ = ["FTKMeans"]
+
+
+class FTKMeans:
+    """K-means estimator running on the simulated GPU.
+
+    Parameters mirror :class:`repro.core.config.KMeansConfig`; see its
+    docstring for the full list.  Additional constructor conveniences:
+
+    ``init_centroids``
+        Optional explicit (K x N) starting centroids (overrides ``init``).
+
+    Fitted attributes (sklearn naming): ``cluster_centers_``, ``labels_``,
+    ``inertia_``, ``n_iter_``; plus simulator outputs ``sim_time_s_``,
+    ``assignment_time_s_``, ``timing_log_``, ``counters_``,
+    ``inertia_history_``.
+    """
+
+    def __init__(self, n_clusters: int = 8, *, variant: str = "tensorop",
+                 dtype="float32", device="a100", mode: str = "fast",
+                 tile=None, abft="none", p_inject: float = 0.0,
+                 dmr_update: bool = True, use_tf32: bool = True,
+                 init: str = "k-means++", max_iter: int = 50,
+                 tol: float = 1e-4, seed: int | None = None,
+                 init_centroids=None):
+        self.config = KMeansConfig(
+            n_clusters=n_clusters, variant=variant, dtype=np.dtype(dtype),
+            device=device, mode=mode, tile=tile, abft=abft,
+            p_inject=p_inject, dmr_update=dmr_update, use_tf32=use_tf32,
+            init=init, max_iter=max_iter, tol=tol, seed=seed)
+        self._init_centroids = init_centroids
+
+    # ------------------------------------------------------------------
+    def fit(self, x) -> "FTKMeans":
+        """Run Lloyd iterations until convergence or ``max_iter``."""
+        cfg = self.config
+        x = validate_data(x, cfg.dtype)
+        m, k = x.shape
+        if cfg.n_clusters > m:
+            raise ValueError(
+                f"n_clusters={cfg.n_clusters} exceeds n_samples={m}")
+        rng = np.random.default_rng(cfg.seed)
+
+        if self._init_centroids is not None:
+            y = validate_centroids(self._init_centroids, cfg.n_clusters, k,
+                                   cfg.dtype)
+        else:
+            y = initialize(x, cfg.n_clusters, cfg.init, rng)
+
+        assigner = build_assignment(cfg, m, k, rng)
+        updater = UpdateStage(cfg.device, cfg.dtype, dmr=cfg.dmr_update)
+        clock = SimClock()
+        counters = PerfCounters()
+        monitor = ConvergenceMonitor(cfg.tol)
+        labels = np.zeros(m, dtype=np.int64)
+
+        n_iter = 0
+        for n_iter in range(1, cfg.max_iter + 1):
+            res: AssignmentResult = assigner.assign(x, y)
+            labels = res.labels
+            counters.merge(res.counters)
+            for label, t in res.timings:
+                clock.charge(label, t)
+
+            upd = updater.update(x, labels, res.min_sqdist, y, counters)
+            for label, t in upd.timings:
+                clock.charge(label, t)
+            y = upd.centroids
+
+            inertia = float(np.sum(res.min_sqdist.astype(np.float64)))
+            if monitor.update(inertia, upd.shift):
+                break
+
+        self.cluster_centers_ = y
+        self.labels_ = labels
+        self.inertia_ = monitor.history[-1]
+        self.inertia_history_ = list(monitor.history)
+        self.n_iter_ = n_iter
+        self.sim_time_s_ = clock.elapsed_s
+        self.assignment_time_s_ = clock.total("distance")
+        self.timing_log_ = list(clock.log)
+        self.counters_ = counters
+        self._assigner = assigner
+        return self
+
+    # ------------------------------------------------------------------
+    def predict(self, x) -> np.ndarray:
+        """Assign new samples to the fitted centroids."""
+        self._check_fitted()
+        x = validate_data(x, self.config.dtype)
+        if x.shape[1] != self.cluster_centers_.shape[1]:
+            raise ValueError(
+                f"X has {x.shape[1]} features, model has "
+                f"{self.cluster_centers_.shape[1]}")
+        res = self._assigner.assign(x, self.cluster_centers_)
+        return res.labels
+
+    def fit_predict(self, x) -> np.ndarray:
+        """fit(X) then return the training labels."""
+        return self.fit(x).labels_
+
+    def score(self, x) -> float:
+        """Negative inertia of ``x`` under the fitted centroids."""
+        self._check_fitted()
+        x = validate_data(x, self.config.dtype)
+        res = self._assigner.assign(x, self.cluster_centers_)
+        return -float(np.sum(res.min_sqdist.astype(np.float64)))
+
+    # ------------------------------------------------------------------
+    def distance_gflops_(self) -> float:
+        """Simulated distance-stage GFLOPS over the fit (paper metric)."""
+        self._check_fitted()
+        m = self.labels_.shape[0]
+        n, k = self.cluster_centers_.shape
+        total = self.n_iter_ * distance_flops(m, n, k)
+        t = self.assignment_time_s_
+        return total / t / 1e9 if t > 0 else float("nan")
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "cluster_centers_"):
+            raise RuntimeError("estimator is not fitted; call fit() first")

@@ -1,0 +1,156 @@
+"""Assignment-stage infrastructure shared by all kernel variants.
+
+Defines the :class:`AssignmentResult` contract, the common base class,
+global-memory setup helpers, and the vectorised ``fast`` execution path
+that preserves the fault-injection / ABFT semantics of the functional
+kernels at NumPy speed (Sec. 5 of DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.abft.schemes import NONE, AbftScheme
+from repro.abft.thresholds import ThresholdPolicy
+from repro.gemm.reference import reference_gemm
+from repro.gemm.shapes import GemmShape
+from repro.gemm.tiling import TileConfig
+from repro.gpusim.counters import PerfCounters
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.memory import GlobalMemory
+from repro.gpusim.timing import KernelTiming, TimingModel
+from repro.utils.arrays import ceil_div
+from repro.utils.bits import flip_bit
+
+__all__ = ["AssignmentResult", "AssignmentKernelBase", "setup_gmem", "fast_assign"]
+
+
+@dataclass
+class AssignmentResult:
+    """Output of one assignment-stage execution.
+
+    ``timings`` holds the modelled durations of every kernel the variant
+    launched (the simulated clock charges them); ``counters`` the
+    functional-execution statistics.
+    """
+
+    labels: np.ndarray
+    min_sqdist: np.ndarray
+    counters: PerfCounters
+    timings: list[tuple[str, KernelTiming]] = field(default_factory=list)
+
+    @property
+    def sim_time_s(self) -> float:
+        return sum(t.time_s for _, t in self.timings)
+
+
+def setup_gmem(x: np.ndarray, y: np.ndarray, counters: PerfCounters) -> GlobalMemory:
+    """Bind operands + precomputed norms the fused kernels expect.
+
+    The squared-norm vectors correspond to the two 'Samples²'/'Centroids²'
+    kernels of Fig. 2 step 1; their cost is charged separately by the
+    variants that need them.
+    """
+    gmem = GlobalMemory(counters)
+    gmem.bind("samples", x)
+    gmem.bind("centroids", y)
+    gmem.bind("x_norms", np.sum(x * x, axis=1, dtype=x.dtype).reshape(-1, 1))
+    gmem.bind("y_norms", np.sum(y * y, axis=1, dtype=y.dtype).reshape(-1, 1))
+    assign = np.full((x.shape[0], 2), np.inf)
+    assign[:, 1] = -1
+    gmem.bind("assign", assign)
+    return gmem
+
+
+class AssignmentKernelBase(ABC):
+    """Common interface of the step-wise assignment variants."""
+
+    name: str = "base"
+
+    def __init__(self, device: DeviceSpec, dtype, *, mode: str = "fast",
+                 injector=None):
+        self.device = device
+        self.dtype = np.dtype(dtype)
+        self.mode = mode
+        self.injector = injector
+        self.model = TimingModel(device)
+
+    @abstractmethod
+    def assign(self, x: np.ndarray, y: np.ndarray) -> AssignmentResult:
+        """Compute (labels, min distances) for samples ``x`` against
+        centroids ``y``."""
+
+    @abstractmethod
+    def estimate(self, m: int, n_clusters: int, k_features: int) -> list[tuple[str, KernelTiming]]:
+        """Modelled kernel timings for one assignment pass at this shape."""
+
+
+def fast_assign(x: np.ndarray, y: np.ndarray, *, dtype, tf32: bool,
+                counters: PerfCounters, tile: TileConfig | None = None,
+                injector=None, scheme: AbftScheme = NONE,
+                safety: float = 4.0) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised assignment with fault/ABFT semantics.
+
+    Computes the GEMM accumulator in one shot, then replays the SEU plan
+    block-by-block: each planned flip lands on the corresponding element
+    of the accumulator; a detecting scheme measures the corruption against
+    the same threshold policy the functional kernel uses and (for
+    correcting schemes) undoes it.  Sub-threshold flips survive — exactly
+    the functional kernels' behaviour.
+    """
+    dt = np.dtype(dtype)
+    m, k = x.shape
+    n = y.shape[0]
+    acc = reference_gemm(x, y, tf32=tf32).astype(dt)
+
+    if injector is not None and getattr(injector, "enabled", False) and tile is not None:
+        policy = ThresholdPolicy(dt, tf32=tf32, safety=safety)
+        tb = tile.tb
+        grid_m, grid_n = ceil_div(m, tb.m), ceil_div(n, tb.n)
+        k_iters = ceil_div(k, tb.k)
+        bid = 0
+        for bm in range(grid_m):
+            for bn in range(grid_n):
+                plan = injector.plan_for_block(bid, k_iters)
+                bid += 1
+                if plan is None:
+                    continue
+                counters.errors_injected += 1
+                r, c = plan.locate(tb.m, tb.n)
+                rows = min(tb.m, m - bm * tb.m)
+                cols = min(tb.n, n - bn * tb.n)
+                if r >= rows or c >= cols:
+                    # the flip landed in tile padding: numerically inert
+                    # (and trivially corrected by any detecting scheme)
+                    continue
+                i, j = bm * tb.m + r, bn * tb.n + c
+                old = acc[i, j]
+                new = flip_bit(old, plan.bit)
+                eps = float(new) - float(old)
+                if not scheme.detects:
+                    acc[i, j] = new
+                    continue
+                counters.checksum_tests += 1
+                # warp-tile checksum scale, matching measure_residuals()
+                wm0 = (r // tile.warp.m) * tile.warp.m
+                wn0 = (c // tile.warp.n) * tile.warp.n
+                wtile = acc[bm * tb.m + wm0: bm * tb.m + min(wm0 + tile.warp.m, rows),
+                            bn * tb.n + wn0: bn * tb.n + min(wn0 + tile.warp.n, cols)]
+                mx = float(np.max(np.abs(wtile.astype(np.float64)))) if wtile.size else 1.0
+                scale = max(1.0, min(mx, 1e290) * float(np.sqrt(max(1, wtile.size))))
+                residual = eps if np.isfinite(eps) else np.inf
+                if policy.exceeds(residual, scale):
+                    counters.errors_detected += 1
+                    if scheme.corrects:
+                        counters.errors_corrected += 1  # acc left clean
+                    # detection-only schemes recompute: also clean
+                else:
+                    acc[i, j] = new  # sub-threshold: escapes, as designed
+    xx = np.sum(x * x, axis=1, dtype=dt)
+    yy = np.sum(y * y, axis=1, dtype=dt)
+    d = xx[:, None] + yy[None, :] - 2.0 * acc
+    labels = np.argmin(d, axis=1).astype(np.int64)
+    return labels, d[np.arange(m), labels]

@@ -1,0 +1,97 @@
+"""Configuration for the FT K-Means estimator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.abft.schemes import AbftScheme, get_scheme
+from repro.gemm.tiling import TileConfig
+from repro.gpusim.device import DeviceSpec, get_device
+
+__all__ = ["KMeansConfig", "VARIANT_NAMES", "MODES"]
+
+#: assignment-stage implementations, in the paper's optimisation order
+VARIANT_NAMES = ("naive", "v1", "v2", "v3", "tensorop", "ft")
+
+#: execution modes of the simulator
+MODES = ("fast", "functional")
+
+
+@dataclass
+class KMeansConfig:
+    """All knobs of a K-means run.
+
+    Attributes
+    ----------
+    n_clusters:
+        K — number of centroids.
+    variant:
+        Assignment-stage implementation ('naive', 'v1', 'v2', 'v3',
+        'tensorop', 'ft'); the paper's step-wise ladder (Sec. III-A) plus
+        the fault-tolerant final form.
+    dtype:
+        float32 or float64.
+    device:
+        'a100' / 't4' or a :class:`DeviceSpec`.
+    mode:
+        'fast' (vectorised, identical numerics, for large problems) or
+        'functional' (tile-accurate dataflow, for verification).
+    tile:
+        Kernel tile parameters; None selects a sensible default, 'auto'
+        asks the code-generation selector for the best feasible kernel.
+    abft:
+        Fault-tolerance scheme name (implied 'ftkmeans' when variant='ft';
+        'none' otherwise).
+    p_inject:
+        SEU probability per threadblock per kernel (error-injection
+        experiments).
+    dmr_update:
+        Protect the centroid-update stage with DMR (Sec. I / IV).
+    use_tf32:
+        TF32 rounding on the FP32 tensor-core path (paper default: on).
+    init / max_iter / tol / seed:
+        Standard Lloyd controls; ``tol`` is on relative inertia change.
+    """
+
+    n_clusters: int = 8
+    variant: str = "tensorop"
+    dtype: np.dtype = np.dtype(np.float32)
+    device: DeviceSpec | str = "a100"
+    mode: str = "fast"
+    tile: TileConfig | str | None = None
+    abft: str | AbftScheme = "none"
+    p_inject: float = 0.0
+    dmr_update: bool = True
+    use_tf32: bool = True
+    init: str = "k-means++"
+    max_iter: int = 50
+    tol: float = 1e-4
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_clusters < 1:
+            raise ValueError(f"n_clusters must be >= 1, got {self.n_clusters}")
+        if self.variant not in VARIANT_NAMES:
+            raise ValueError(
+                f"unknown variant {self.variant!r}; choose from {VARIANT_NAMES}")
+        if self.mode not in MODES:
+            raise ValueError(f"unknown mode {self.mode!r}; choose from {MODES}")
+        self.dtype = np.dtype(self.dtype)
+        if self.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValueError(f"dtype must be float32/float64, got {self.dtype}")
+        self.device = get_device(self.device)
+        if self.variant == "ft" and str(self.abft) in ("none",):
+            self.abft = "ftkmeans"
+        self.abft = get_scheme(self.abft)
+        if self.p_inject and self.abft.name == "none" and self.variant == "ft":
+            raise ValueError("error injection with variant='ft' needs a scheme")
+        if not 0.0 <= self.p_inject <= 1.0:
+            raise ValueError(f"p_inject must be in [0, 1], got {self.p_inject}")
+        if self.max_iter < 1:
+            raise ValueError(f"max_iter must be >= 1, got {self.max_iter}")
+        if self.tol < 0:
+            raise ValueError(f"tol must be >= 0, got {self.tol}")
+        if self.init not in ("k-means++", "random"):
+            raise ValueError(f"init must be 'k-means++' or 'random', got {self.init!r}")

@@ -1,0 +1,41 @@
+"""Lloyd-iteration stopping rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ConvergenceMonitor"]
+
+
+@dataclass
+class ConvergenceMonitor:
+    """Tracks inertia across iterations and decides when to stop.
+
+    Stops when the relative inertia improvement falls below ``tol`` or
+    when labels stop changing (``centroid_shift`` ≈ 0).  Records the full
+    history for tests asserting the Lloyd monotonicity invariant.
+    """
+
+    tol: float
+    history: list[float] = field(default_factory=list)
+
+    def update(self, inertia: float, centroid_shift: float) -> bool:
+        """Record this iteration; return True when converged."""
+        if not np.isfinite(inertia):
+            raise ValueError(f"non-finite inertia {inertia!r}")
+        prev = self.history[-1] if self.history else None
+        self.history.append(float(inertia))
+        if centroid_shift == 0.0:
+            return True
+        if prev is None:
+            return False
+        if prev <= 0.0:
+            return True
+        improvement = (prev - inertia) / prev
+        return improvement <= self.tol
+
+    @property
+    def n_iterations(self) -> int:
+        return len(self.history)

@@ -1,0 +1,50 @@
+"""V2 — kernel fusion at thread and threadblock level (Sec. III-A3).
+
+The row-wise argmin moves *inside* the GEMM kernel: each thread reduces
+its sub-tile, partials meet in shared memory, and thread 0 writes one
+(min, argmin) candidate per row per block column.  The follow-up merge
+only touches ``grid_n`` candidates per row — ``TB_N/N`` of the data the
+V1 reduction kernel re-read (the paper's 1.13x step).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.gemm_kmeans import V1GemmAssignment
+from repro.gemm.epilogue import PartialArgminEpilogue
+from repro.gemm.shapes import GemmShape
+from repro.gemm.simt_gemm import SimtGemm
+from repro.utils.arrays import ceil_div
+
+__all__ = ["V2FusedAssignment"]
+
+
+class V2FusedAssignment(V1GemmAssignment):
+    """Fused thread/threadblock argmin with a light cross-block merge."""
+
+    name = "v2"
+    variant_key = "v2"
+
+    def _assign_functional(self, x, y, counters):
+        from repro.core.assignment import setup_gmem
+
+        m, k = x.shape
+        n = y.shape[0]
+        grid_n = ceil_div(n, self.tile.tb.n)
+        gmem = setup_gmem(x, y, counters)
+        gmem.alloc("partial_min", (m, grid_n), self.dtype)
+        gmem.alloc("partial_arg", (m, grid_n), np.int64)
+        kern = SimtGemm(self.device, self.tile, self.dtype,
+                        epilogue=PartialArgminEpilogue(), counters=counters,
+                        injector=self.injector)
+        kern.run(gmem, GemmShape(m, n, k))
+        # merge kernel: one candidate per block column instead of per centroid
+        pmin = gmem.load("partial_min", slice(0, m), slice(0, grid_n))
+        parg = gmem.load("partial_arg", slice(0, m), slice(0, grid_n))
+        counters.kernels_launched += 1
+        col = np.argmin(pmin, axis=1)
+        rows = np.arange(m)
+        labels = parg[rows, col].astype(np.int64)
+        best = pmin[rows, col]
+        return labels, best

@@ -1,0 +1,94 @@
+"""Centroid-update stage (Fig. 2 step 3) with optional DMR protection.
+
+One kernel handles all centroids: each thread streams its sample and
+``atomicAdd``s every dimension into the assigned centroid's accumulator,
+plus a count; a small second kernel divides.  The stage is memory-bound
+(it must touch every sample once), which is why duplicated-instruction
+redundancy (DMR) protects it for <1% (Sec. I) — the duplicate arithmetic
+hides behind the loads.
+
+Empty clusters are re-seeded from the samples farthest from their
+assigned centroid (a common cuML/sklearn policy), keeping K constant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.abft.dmr import dmr_protected
+from repro.gpusim.counters import PerfCounters
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.timing import KernelTiming, TimingModel
+
+__all__ = ["UpdateStage", "UpdateResult"]
+
+
+class UpdateResult:
+    """Output of one centroid update."""
+
+    def __init__(self, centroids: np.ndarray, counts: np.ndarray,
+                 shift: float, timings: list[tuple[str, KernelTiming]]):
+        self.centroids = centroids
+        self.counts = counts
+        self.shift = shift
+        self.timings = timings
+
+
+class UpdateStage:
+    """Atomic-accumulation centroid update with DMR and empty-cluster
+    re-seeding."""
+
+    def __init__(self, device: DeviceSpec, dtype, *, dmr: bool = True,
+                 corrupt_hook=None):
+        self.device = device
+        self.dtype = np.dtype(dtype)
+        self.dmr = dmr
+        self.model = TimingModel(device)
+        #: test hook — an SEU inside one DMR replica (see abft.dmr)
+        self.corrupt_hook = corrupt_hook
+
+    # ------------------------------------------------------------------
+    def update(self, x: np.ndarray, labels: np.ndarray, best_sqdist: np.ndarray,
+               old_centroids: np.ndarray, counters: PerfCounters) -> UpdateResult:
+        n_clusters, k = old_centroids.shape
+        m = x.shape[0]
+
+        def accumulate() -> np.ndarray:
+            """The duplicated instruction stream: sums ‖ counts packed."""
+            sums = np.zeros((n_clusters, k + 1), dtype=np.float64)
+            np.add.at(sums[:, :k], labels, x.astype(np.float64))
+            np.add.at(sums[:, k], labels, 1.0)
+            return sums
+
+        counters.atomics += m * (k + 1)
+        counters.global_loads += x.nbytes
+        if self.dmr:
+            sums = dmr_protected(accumulate, counters=counters,
+                                 corrupt_first=self.corrupt_hook)
+            # the hook models a one-shot SEU; don't re-fire next iteration
+            self.corrupt_hook = None
+        else:
+            sums = accumulate()
+        counts = sums[:, k].astype(np.int64)
+        centroids = np.array(old_centroids, dtype=self.dtype, copy=True)
+        nz = counts > 0
+        centroids[nz] = (sums[nz, :k] / counts[nz, None]).astype(self.dtype)
+
+        # re-seed empty clusters from the worst-fit samples
+        empty = np.flatnonzero(~nz)
+        if empty.size:
+            order = np.argsort(best_sqdist)[::-1]
+            donors = order[: empty.size]
+            centroids[empty] = x[donors].astype(self.dtype)
+
+        shift = float(np.linalg.norm(
+            centroids.astype(np.float64) - old_centroids.astype(np.float64)))
+        timings = self.estimate(m, n_clusters, k)
+        counters.kernels_launched += 2
+        return UpdateResult(centroids, counts, shift, timings)
+
+    # ------------------------------------------------------------------
+    def estimate(self, m: int, n_clusters: int, k_features: int):
+        t = self.model.update_kernel(m, n_clusters, k_features, self.dtype,
+                                     dmr=self.dmr)
+        return [("update", t)]

@@ -1,0 +1,30 @@
+"""Input validation shared by the estimator and the kernel drivers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.arrays import check_2d
+
+__all__ = ["validate_data", "validate_centroids"]
+
+
+def validate_data(x, dtype) -> np.ndarray:
+    """Return samples as a C-contiguous finite 2-D array of ``dtype``."""
+    x = check_2d(np.asarray(x), "X")
+    x = np.ascontiguousarray(x, dtype=dtype)
+    if not np.all(np.isfinite(x)):
+        raise ValueError("X contains NaN or Inf")
+    return x
+
+
+def validate_centroids(y, n_clusters: int, n_features: int, dtype) -> np.ndarray:
+    """Validate a user-supplied initial centroid matrix."""
+    y = check_2d(np.asarray(y), "initial centroids")
+    if y.shape != (n_clusters, n_features):
+        raise ValueError(
+            f"initial centroids shape {y.shape} != ({n_clusters}, {n_features})")
+    y = np.ascontiguousarray(y, dtype=dtype)
+    if not np.all(np.isfinite(y)):
+        raise ValueError("initial centroids contain NaN or Inf")
+    return y

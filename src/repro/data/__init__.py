@@ -1,0 +1,23 @@
+"""Synthetic workload generators for examples, tests and benchmarks."""
+
+from repro.data.quantization import (
+    quantize_pixels,
+    reconstruction_psnr,
+    synthetic_image,
+)
+from repro.data.synthetic import (
+    anisotropic_blobs,
+    benchmark_operands,
+    gaussian_blobs,
+    uniform_matrix,
+)
+
+__all__ = [
+    "quantize_pixels",
+    "reconstruction_psnr",
+    "synthetic_image",
+    "anisotropic_blobs",
+    "benchmark_operands",
+    "gaussian_blobs",
+    "uniform_matrix",
+]

@@ -1,0 +1,68 @@
+"""Synthetic workload generators.
+
+The paper's benchmarks draw random matrices at controlled (M, N, K)
+shapes; its motivation section cites image classification, vector
+quantisation and pattern classification.  These generators provide both:
+shape-controlled random operands for kernel benchmarking and structured
+cluster data for end-to-end clustering quality checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gaussian_blobs", "uniform_matrix", "anisotropic_blobs",
+           "benchmark_operands"]
+
+
+def uniform_matrix(m: int, k: int, dtype=np.float32, *, seed=0,
+                   low: float = -1.0, high: float = 1.0) -> np.ndarray:
+    """Uniform random operand matrix (the kernels' benchmark input)."""
+    rng = np.random.default_rng(seed)
+    return rng.uniform(low, high, size=(m, k)).astype(dtype)
+
+
+def benchmark_operands(m: int, n_clusters: int, k_features: int,
+                       dtype=np.float32, *, seed=0) -> tuple[np.ndarray, np.ndarray]:
+    """(samples, centroids) pair at a benchmark shape."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((m, k_features)).astype(dtype)
+    y = rng.standard_normal((n_clusters, k_features)).astype(dtype)
+    return x, y
+
+
+def gaussian_blobs(m: int, k_features: int, n_clusters: int,
+                   dtype=np.float32, *, seed=0, spread: float = 5.0,
+                   std: float = 0.6) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Isotropic Gaussian clusters.
+
+    Returns (samples, true_centers, true_labels); cluster sizes are
+    near-equal with the remainder spread over the first clusters.
+    """
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-spread, spread, size=(n_clusters, k_features))
+    labels = np.repeat(np.arange(n_clusters), m // n_clusters)
+    labels = np.concatenate([labels, rng.integers(0, n_clusters, m - labels.size)])
+    rng.shuffle(labels)
+    x = centers[labels] + rng.normal(0.0, std, size=(m, k_features))
+    return x.astype(dtype), centers.astype(dtype), labels.astype(np.int64)
+
+
+def anisotropic_blobs(m: int, k_features: int, n_clusters: int,
+                      dtype=np.float32, *, seed=0,
+                      condition: float = 8.0) -> tuple[np.ndarray, np.ndarray]:
+    """Stretched clusters (harder assignment boundaries).
+
+    Each cluster is sheared by a random matrix with the given condition
+    number — exercises tie-breaking and TF32 sensitivity.
+    """
+    rng = np.random.default_rng(seed)
+    x, centers, labels = gaussian_blobs(m, k_features, n_clusters,
+                                        np.float64, seed=seed)
+    for c in range(n_clusters):
+        q, _ = np.linalg.qr(rng.standard_normal((k_features, k_features)))
+        scales = np.linspace(1.0, condition, k_features)
+        t = (q * scales) @ q.T
+        mask = labels == c
+        x[mask] = (x[mask] - centers[c]) @ t + centers[c]
+    return x.astype(dtype), labels

@@ -1,0 +1,47 @@
+"""Tiled GEMM kernels on the simulated GPU (distance-computation substrate)."""
+
+from repro.gemm.epilogue import (
+    BroadcastArgminEpilogue,
+    EpilogueContext,
+    PartialArgminEpilogue,
+    StoreEpilogue,
+)
+from repro.gemm.reference import (
+    reference_assignment,
+    reference_distance_matrix,
+    reference_gemm,
+    reference_inertia,
+    reference_update,
+)
+from repro.gemm.shapes import GemmShape, distance_flops
+from repro.gemm.simt_gemm import SimtGemm
+from repro.gemm.tensorop_gemm import TensorOpGemm
+from repro.gemm.tiling import THREAD_TILE, Tile3, TileConfig, validate_rules
+from repro.gemm.verify import (
+    assert_allclose_gemm,
+    gemm_tolerance,
+    labels_agree_fraction,
+)
+
+__all__ = [
+    "BroadcastArgminEpilogue",
+    "EpilogueContext",
+    "PartialArgminEpilogue",
+    "StoreEpilogue",
+    "reference_assignment",
+    "reference_distance_matrix",
+    "reference_gemm",
+    "reference_inertia",
+    "reference_update",
+    "GemmShape",
+    "distance_flops",
+    "SimtGemm",
+    "TensorOpGemm",
+    "THREAD_TILE",
+    "Tile3",
+    "TileConfig",
+    "validate_rules",
+    "assert_allclose_gemm",
+    "gemm_tolerance",
+    "labels_agree_fraction",
+]

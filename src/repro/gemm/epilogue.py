@@ -1,0 +1,120 @@
+"""GEMM epilogues.
+
+The step-wise optimisation of Sec. III-A is, at heart, a progression of
+epilogues for the same main loop:
+
+* :class:`StoreEpilogue`       — V1: write the whole distance tile back to
+  global memory (a separate kernel then reduces it).
+* :class:`PartialArgminEpilogue` — V2: fold the row-wise argmin into the
+  GEMM kernel at thread/threadblock level; each block writes one partial
+  (min, argmin) pair per row, and a light second pass merges block
+  columns.
+* :class:`BroadcastArgminEpilogue` — V3/final: finish the global argmin
+  inside the kernel with a per-row lock + atomic-min ("threadblock level
+  broadcast"), eliminating the second pass.
+
+All epilogues add the precomputed norm terms, converting the GEMM
+accumulator ``X @ Yᵀ`` into squared distances ``‖x‖² + ‖y‖² − 2·acc``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpusim.counters import PerfCounters
+from repro.gpusim.memory import GlobalMemory
+
+__all__ = [
+    "EpilogueContext",
+    "StoreEpilogue",
+    "PartialArgminEpilogue",
+    "BroadcastArgminEpilogue",
+]
+
+
+@dataclass
+class EpilogueContext:
+    """Everything an epilogue needs about the current block.
+
+    ``acc`` is the block's (tb_m x tb_n) GEMM accumulator; ``rows`` /
+    ``cols`` are the *valid* global index ranges (predication against the
+    problem boundary); norm vectors are global-memory handles.
+    """
+
+    gmem: GlobalMemory
+    counters: PerfCounters
+    acc: np.ndarray
+    row0: int
+    col0: int
+    rows: int
+    cols: int
+    block_col: int = 0
+
+    def distances(self) -> np.ndarray:
+        """Valid-region squared distances ``x² + y² − 2·acc``."""
+        xx = self.gmem.load("x_norms", slice(self.row0, self.row0 + self.rows),
+                            slice(None))
+        yy = self.gmem.load("y_norms", slice(self.col0, self.col0 + self.cols),
+                            slice(None))
+        tile = self.acc[: self.rows, : self.cols]
+        with np.errstate(over="ignore", invalid="ignore"):
+            # Inf/NaN distances are legitimate when a corrupted (and
+            # unprotected) accumulator reaches the epilogue
+            return xx.reshape(-1, 1) + yy.reshape(1, -1) - 2.0 * tile
+
+
+class StoreEpilogue:
+    """V1: store raw distances; reduction happens in a separate kernel."""
+
+    name = "store"
+    needs_merge_kernel = True
+
+    def __call__(self, ctx: EpilogueContext) -> None:
+        d = ctx.distances()
+        ctx.gmem.store("distances",
+                       slice(ctx.row0, ctx.row0 + ctx.rows),
+                       slice(ctx.col0, ctx.col0 + ctx.cols), d)
+
+
+class PartialArgminEpilogue:
+    """V2: per-block fused argmin; partials merged by a second pass.
+
+    Per the paper: each thread reduces its sub-tile, writes to shared
+    memory, and thread 0 reduces the block's candidates — modelled here as
+    the tile-level reduction plus a shared-memory round trip in the
+    counters.
+    """
+
+    name = "partial_argmin"
+    needs_merge_kernel = True
+
+    def __call__(self, ctx: EpilogueContext) -> None:
+        d = ctx.distances()
+        # thread-level partials pass through shared memory (Fig. 2 step 2)
+        ctx.counters.shared_stores += d.shape[0] * (d.dtype.itemsize + 4)
+        ctx.counters.shared_loads += d.shape[0] * (d.dtype.itemsize + 4)
+        mins = d.min(axis=1)
+        args = d.argmin(axis=1) + ctx.col0
+        rows = slice(ctx.row0, ctx.row0 + ctx.rows)
+        cols = slice(ctx.block_col, ctx.block_col + 1)
+        ctx.gmem.store("partial_min", rows, cols, mins.reshape(-1, 1))
+        ctx.gmem.store("partial_arg", rows, cols,
+                       args.reshape(-1, 1).astype(np.int64))
+
+
+class BroadcastArgminEpilogue:
+    """V3/final: global argmin finished in-kernel via per-row atomics."""
+
+    name = "broadcast_argmin"
+    needs_merge_kernel = False
+
+    def __call__(self, ctx: EpilogueContext) -> None:
+        d = ctx.distances()
+        mins = d.min(axis=1)
+        args = d.argmin(axis=1) + ctx.col0
+        for i in range(ctx.rows):
+            # per-row lock + compare-and-swap against the broadcast vector
+            ctx.gmem.atomic_min_packed("assign", ctx.row0 + i,
+                                       float(mins[i]), int(args[i]))

@@ -1,0 +1,58 @@
+"""Problem geometry for the K-means distance GEMM.
+
+The paper's distance stage computes ``D = -2 * X @ Yᵀ`` (plus rank-1 norm
+terms) where ``X`` is (M samples x N features) and ``Y`` is (K clusters x
+N features).  In GEMM convention that is an ``M x K`` output with an
+``N``-deep inner dimension — a *tall-and-skinny* multiply, which is why
+tile-parameter selection matters so much (Sec. I).
+
+To avoid the M/N/K naming clash between K-means and GEMM, this module
+fixes the vocabulary used across the package:
+
+* ``m``  — number of samples (GEMM M),
+* ``n``  — number of clusters (GEMM N; K-means' "K"),
+* ``k``  — feature dimension (GEMM K; K-means' "N").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["GemmShape", "distance_flops"]
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """Distance-GEMM extents: ``m`` samples, ``n`` clusters, ``k`` features."""
+
+    m: int
+    n: int
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.m <= 0 or self.n <= 0 or self.k <= 0:
+            raise ValueError(f"GemmShape extents must be positive, got {self}")
+
+    @property
+    def flops(self) -> float:
+        """Useful FLOPs of the multiply, counted the way the paper does."""
+        return 2.0 * self.m * self.n * self.k
+
+    @classmethod
+    def from_kmeans(cls, n_samples: int, n_clusters: int, n_features: int) -> "GemmShape":
+        """Build from K-means vocabulary (M, K, N in the paper's notation)."""
+        return cls(m=n_samples, n=n_clusters, k=n_features)
+
+    def check_operands(self, x: np.ndarray, y: np.ndarray) -> None:
+        """Validate sample/centroid matrices against this shape."""
+        if x.shape != (self.m, self.k):
+            raise ValueError(f"X shape {x.shape} != ({self.m}, {self.k})")
+        if y.shape != (self.n, self.k):
+            raise ValueError(f"Y shape {y.shape} != ({self.n}, {self.k})")
+
+
+def distance_flops(n_samples: int, n_clusters: int, n_features: int) -> float:
+    """``2*M*K*N`` — the FLOP count behind every GFLOPS figure in Sec. V."""
+    return 2.0 * n_samples * n_clusters * n_features

@@ -1,0 +1,208 @@
+"""Functional tensor-core GEMM with the async-copy pipeline.
+
+This is the tile-accurate model of the kernel in the paper's Fig. 4:
+
+* a ``stages``-deep ``cp.async`` pipeline prefetches A (samples) and B
+  (centroids) tiles from global to shared memory, bypassing registers;
+* each iteration of the main loop advances the pipeline by one commit
+  group, loads warp fragments from shared memory and issues warp-level
+  MMA operations on the (simulated) tensor cores;
+* a pluggable epilogue turns the accumulator into distances and performs
+  the fused nearest-centroid reduction.
+
+Subclass hook points (``block_begin`` / ``warp_step`` / ``interval_check``
+/ ``block_end``) are where :class:`repro.core.ft_kmeans.FtTensorOpGemm`
+splices in the warp-level ABFT of Fig. 6 — same main loop, extra
+instructions, exactly like the real fused kernel.
+
+Blocks execute sequentially (GPU blocks are independent, so this is
+semantics-preserving), and the per-block SEU injector corrupts
+accumulators mid-loop for fault-tolerance tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gemm.epilogue import BroadcastArgminEpilogue, EpilogueContext
+from repro.gemm.shapes import GemmShape
+from repro.gemm.tiling import TileConfig
+from repro.gpusim.counters import PerfCounters
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.faults import NullInjector
+from repro.gpusim.hierarchy import Grid, LaunchConfig, ThreadBlock, Warp
+from repro.gpusim.memory import GlobalMemory
+from repro.gpusim.mma import MmaUnit
+from repro.gpusim.pipeline import AsyncCopyPipeline
+from repro.gpusim.trace import NullTrace
+from repro.utils.arrays import ceil_div
+
+__all__ = ["TensorOpGemm"]
+
+
+class TensorOpGemm:
+    """Tile-accurate fused distance kernel (tensor-core path).
+
+    Parameters
+    ----------
+    device:
+        Target :class:`DeviceSpec`; controls whether the async pipeline is
+        enabled (Ampere) or copies are synchronous (Turing).
+    tile:
+        Validated :class:`TileConfig`.
+    dtype:
+        float32 (TF32 MMA) or float64 (DMMA).
+    epilogue:
+        Callable receiving an :class:`EpilogueContext`; defaults to the
+        fused broadcast argmin (the paper's final form).
+    injector:
+        SEU fault injector (default: no faults).
+    use_tf32:
+        Round FP32 operands to TF32 on tensor-core ingestion.
+    """
+
+    def __init__(self, device: DeviceSpec, tile: TileConfig, dtype, *,
+                 epilogue=None, counters: PerfCounters | None = None,
+                 trace=None, injector=None, use_tf32: bool = True):
+        self.device = device
+        self.tile = tile
+        self.dtype = np.dtype(dtype)
+        self.counters = counters if counters is not None else PerfCounters()
+        self.trace = trace if trace is not None else NullTrace()
+        self.injector = injector if injector is not None else NullInjector()
+        self.epilogue = epilogue if epilogue is not None else BroadcastArgminEpilogue()
+        self.mma_unit = MmaUnit(dtype, self.counters, use_tf32=use_tf32)
+        if hasattr(self.injector, "counters"):
+            self.injector.counters = self.counters
+        tile.assert_feasible(device, dtype)
+
+    # ------------------------------------------------------------------
+    # subclass hook points (base implementations are no-ops)
+    # ------------------------------------------------------------------
+    def block_begin(self, block: ThreadBlock, warps: list[Warp]):
+        """Create per-block ABFT state; returns an opaque state object."""
+        return None
+
+    def warp_step(self, state, warp: Warp, a_w: np.ndarray, b_w: np.ndarray,
+                  acc_w: np.ndarray, k_iter: int) -> None:
+        """One warp's work for one main-loop iteration.
+
+        ``a_w``: (w_m, tb_k) sample fragment; ``b_w``: (w_n, tb_k) centroid
+        fragment; ``acc_w``: the warp's accumulator view (w_m, w_n).
+        """
+        self.mma_unit.mma(a_w, b_w.T, acc_w)
+
+    def interval_check(self, state, block: ThreadBlock, warps: list[Warp],
+                       acc: np.ndarray, k_iter: int) -> None:
+        """Called at detection-interval boundaries (``k % 256 == 0``)."""
+
+    def block_end(self, state, block: ThreadBlock, warps: list[Warp],
+                  acc: np.ndarray) -> None:
+        """Called after the main loop, before the epilogue."""
+
+    # ------------------------------------------------------------------
+    # kernel driver
+    # ------------------------------------------------------------------
+    def run(self, gmem: GlobalMemory, shape: GemmShape) -> None:
+        """Execute the kernel over the whole grid.
+
+        Expects ``gmem`` to hold 'samples' (m x k), 'centroids' (n x k),
+        'x_norms' (m x 1), 'y_norms' (n x 1), and the epilogue outputs
+        ('assign' (m x 2) for the broadcast epilogue).  The memory's
+        traffic counters are redirected to this kernel's for the launch.
+        """
+        gmem.counters = self.counters
+        tb = self.tile.tb
+        cfg = LaunchConfig(
+            grid_m=ceil_div(shape.m, tb.m),
+            grid_n=ceil_div(shape.n, tb.n),
+            threads_per_block=self.tile.threads_per_block,
+            smem_bytes=self.tile.smem_bytes(self.dtype),
+            regs_per_thread=min(self.tile.regs_per_thread(self.dtype),
+                                self.device.regs_per_thread_max),
+        )
+        grid = Grid(self.device, cfg, counters=self.counters)
+        for block in grid.blocks():
+            self._run_block(block, gmem, shape)
+
+    # ------------------------------------------------------------------
+    def _run_block(self, block: ThreadBlock, gmem: GlobalMemory,
+                   shape: GemmShape) -> None:
+        tile, dt = self.tile, self.dtype
+        tb_m, tb_n, tb_k = tile.tb.m, tile.tb.n, tile.tb.k
+        stages = tile.stages
+        k_iters = ceil_div(shape.k, tb_k)
+        row0, col0 = block.block_m * tb_m, block.block_n * tb_n
+        rows = min(tb_m, shape.m - row0)
+        cols = min(tb_n, shape.n - col0)
+
+        a_st = block.smem.alloc("A_tb", (stages, tb_m, tb_k), dt)
+        b_st = block.smem.alloc("B_tb", (stages, tb_n, tb_k), dt)
+        pipe = AsyncCopyPipeline(self.counters, enabled=self.device.has_async_copy)
+
+        def issue(k_iter: int) -> None:
+            """cp.async one A tile and one B tile into the slot buffers."""
+            slot = k_iter % stages
+            kk0 = k_iter * tb_k
+            kw = min(tb_k, shape.k - kk0)
+            a_tile = np.zeros((tb_m, tb_k), dt)
+            a_tile[:rows, :kw] = gmem.async_copy(
+                "samples", slice(row0, row0 + rows), slice(kk0, kk0 + kw))
+            b_tile = np.zeros((tb_n, tb_k), dt)
+            b_tile[:cols, :kw] = gmem.async_copy(
+                "centroids", slice(col0, col0 + cols), slice(kk0, kk0 + kw))
+            pipe.async_copy(a_st[slot], a_tile)
+            pipe.async_copy(b_st[slot], b_tile)
+
+        # prologue: prefetch the first (stages - 1) tiles (Fig. 4 l.3-8).
+        # When the main loop is shorter than the pipeline (k_iters <
+        # stages - 1, e.g. very low feature counts) fewer groups are ever
+        # in flight; the steady-state wait depth must shrink with it or
+        # iterations would read stages that never completed.  Waiting to
+        # (prologue_groups - 1) in flight always completes exactly the
+        # group the next iteration consumes.
+        prologue_groups = min(stages - 1, k_iters)
+        wait_depth = max(0, prologue_groups - 1)
+        for s in range(prologue_groups):
+            issue(s)
+            pipe.commit_group()
+        pipe.wait_group(wait_depth)
+        block.syncthreads()
+
+        acc = np.zeros((tb_m, tb_n), dt)
+        warps = block.warps(tb_m // tile.warp.m, tb_n // tile.warp.n)
+        state = self.block_begin(block, warps)
+        fault = self.injector.plan_for_block(block.block_id, k_iters)
+
+        interval_iters = max(1, 256 // tb_k)
+        for ki in range(k_iters):
+            slot = ki % stages
+            # prefetch the tile (stages - 1) iterations ahead (Fig. 4 l.13-14)
+            nxt = ki + stages - 1
+            if nxt < k_iters:
+                issue(nxt)
+            # shared -> register fragment loads for this iteration
+            a_tile = block.smem.read("A_tb", slot)
+            b_tile = block.smem.read("B_tb", slot)
+            for w in warps:
+                wm0, wn0 = w.warp_m * tile.warp.m, w.warp_n * tile.warp.n
+                a_w = a_tile[wm0: wm0 + tile.warp.m]
+                b_w = b_tile[wn0: wn0 + tile.warp.n]
+                acc_w = acc[wm0: wm0 + tile.warp.m, wn0: wn0 + tile.warp.n]
+                self.warp_step(state, w, a_w, b_w, acc_w, ki)
+            if fault is not None and fault.step == ki:
+                r, c = self.injector.apply(fault, acc)
+                self.trace.emit("fault", block.block_id, ki, row=r, col=c,
+                                bit=fault.bit)
+            if (ki + 1) % interval_iters == 0 and ki + 1 < k_iters:
+                self.interval_check(state, block, warps, acc, ki)
+            pipe.commit_group()
+            pipe.wait_group(wait_depth)
+        pipe.drain()
+        block.syncthreads()
+        self.block_end(state, block, warps, acc)
+
+        ctx = EpilogueContext(gmem=gmem, counters=self.counters, acc=acc,
+                              row0=row0, col0=col0, rows=rows, cols=cols,
+                              block_col=block.block_n)
+        self.epilogue(ctx)

@@ -1,0 +1,182 @@
+"""Tile configurations and the paper's kernel-parameter rules.
+
+A kernel parameter group (Sec. III-B1) is three levels of (M, N, K) tile
+extents — threadblock, warp, thread — subject to:
+
+1. every parameter is a power of two;
+2. ``Warp.K == Threadblock.K``;
+3. the warp-tile / thread-tile area ratio (MMA tiles per warp per K-step,
+   ``m_w * n_w``) is 8 or 16;
+4. the thread level is fixed by the tensor-core fragment size:
+   (16, 8, 4) for FP32 and (8, 8, 4) for FP64.
+
+:class:`TileConfig` validates a parameter group against those rules plus
+basic divisibility, and derives the launch resources the occupancy
+calculator and the feasibility check consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.errors import ResourceLimitExceeded
+from repro.gpusim.occupancy import compute_occupancy
+from repro.utils.arrays import is_power_of_two
+
+__all__ = ["Tile3", "TileConfig", "THREAD_TILE", "validate_rules"]
+
+
+@dataclass(frozen=True)
+class Tile3:
+    """An (m, n, k) tile extent triple."""
+
+    m: int
+    n: int
+    k: int
+
+    def __iter__(self):
+        return iter((self.m, self.n, self.k))
+
+    def __str__(self) -> str:
+        return f"{self.m},{self.n},{self.k}"
+
+
+#: Fixed thread-level (tensor-core fragment) tiles per dtype (paper rule 4).
+THREAD_TILE = {
+    np.dtype(np.float32): Tile3(16, 8, 4),
+    np.dtype(np.float64): Tile3(8, 8, 4),
+}
+
+
+def validate_rules(tb: Tile3, warp: Tile3, thread: Tile3) -> list[str]:
+    """Return the list of violated paper rules (empty = valid)."""
+    violations: list[str] = []
+    for level, t in (("threadblock", tb), ("warp", warp), ("thread", thread)):
+        for dim, v in (("M", t.m), ("N", t.n), ("K", t.k)):
+            if not is_power_of_two(v):
+                violations.append(f"{level}.{dim}={v} is not a power of two")
+    if warp.k != tb.k:
+        violations.append(f"Warp.K ({warp.k}) != Threadblock.K ({tb.k})")
+    if tb.m % warp.m or tb.n % warp.n:
+        violations.append(
+            f"threadblock tile {tb} not divisible by warp tile {warp}")
+    if warp.m % thread.m or warp.n % thread.n:
+        violations.append(
+            f"warp tile {warp} not divisible by thread tile {thread}")
+    else:
+        ratio = (warp.m // thread.m) * (warp.n // thread.n)
+        if ratio not in (8, 16):
+            violations.append(
+                f"warp/thread area ratio {ratio} not in {{8, 16}}")
+    return violations
+
+
+@dataclass(frozen=True)
+class TileConfig:
+    """One validated kernel parameter group.
+
+    Attributes
+    ----------
+    tb, warp, thread:
+        Tile extents at the three levels.
+    stages:
+        Depth of the async-copy pipeline (shared-memory multi-buffering).
+    param_id:
+        Identifier assigned by the enumeration order of the code
+        generator (mirrors the parameter numbers in Fig. 13/14/Table I).
+    """
+
+    tb: Tile3
+    warp: Tile3
+    thread: Tile3
+    stages: int = 3
+    param_id: int = -1
+
+    def __post_init__(self) -> None:
+        violations = validate_rules(self.tb, self.warp, self.thread)
+        if self.stages < 2:
+            violations.append(f"stages must be >= 2, got {self.stages}")
+        if violations:
+            raise ValueError("invalid tile configuration: " + "; ".join(violations))
+
+    # -- derived resources ------------------------------------------------
+    @property
+    def warps_per_block(self) -> int:
+        return (self.tb.m // self.warp.m) * (self.tb.n // self.warp.n)
+
+    @property
+    def threads_per_block(self) -> int:
+        return self.warps_per_block * 32
+
+    @property
+    def mma_tiles_per_warp(self) -> int:
+        """``m_w * n_w``: MMA fragments per warp per K-step; the ABFT
+        overhead denominator (paper Sec. IV-B)."""
+        return (self.warp.m // self.thread.m) * (self.warp.n // self.thread.n)
+
+    @property
+    def m_w(self) -> int:
+        return self.warp.m // self.thread.m
+
+    @property
+    def n_w(self) -> int:
+        return self.warp.n // self.thread.n
+
+    def smem_bytes(self, dtype) -> int:
+        """Staged shared-memory footprint for the A and B tiles."""
+        itemsize = np.dtype(dtype).itemsize
+        return self.stages * (self.tb.m + self.tb.n) * self.tb.k * itemsize
+
+    def regs_per_thread(self, dtype) -> int:
+        """Estimated register footprint (accumulator + fragments + control).
+
+        Deliberately *uncapped*: a footprint above the device's per-thread
+        limit is how the feasibility check rejects oversized warp tiles.
+        """
+        words = 2 if np.dtype(dtype) == np.float64 else 1
+        acc = (self.warp.m * self.warp.n) // 32 * words
+        frags = (self.warp.m + self.warp.n) // 4 * words
+        return acc + frags + 24
+
+    def feasible_on(self, device: DeviceSpec, dtype) -> bool:
+        """The code generator's demo check: can this kernel launch at all?"""
+        try:
+            self.assert_feasible(device, dtype)
+        except ResourceLimitExceeded:
+            return False
+        return True
+
+    def assert_feasible(self, device: DeviceSpec, dtype) -> None:
+        """Raise :class:`ResourceLimitExceeded` when the kernel cannot run."""
+        if self.threads_per_block > device.max_threads_per_block:
+            raise ResourceLimitExceeded(
+                f"{self.threads_per_block} threads/block > device max "
+                f"{device.max_threads_per_block}")
+        smem = self.smem_bytes(dtype)
+        if smem > device.smem_per_block:
+            raise ResourceLimitExceeded(
+                f"{smem} B shared memory > per-block max {device.smem_per_block}")
+        regs = self.regs_per_thread(dtype)
+        if regs > device.regs_per_thread_max:
+            raise ResourceLimitExceeded(
+                f"{regs} registers/thread > device max {device.regs_per_thread_max}")
+        occ = compute_occupancy(device, self.threads_per_block, smem, regs)
+        if not occ.feasible:
+            raise ResourceLimitExceeded(
+                f"zero occupancy (limited by {occ.limiter})")
+
+    # -- misc ---------------------------------------------------------------
+    def label(self) -> str:
+        """Human-readable form matching the paper's Table I layout."""
+        return f"TB({self.tb}) W({self.warp}) T({self.thread})"
+
+    @classmethod
+    def make(cls, tb: tuple, warp: tuple, dtype, *, stages: int = 3,
+             param_id: int = -1) -> "TileConfig":
+        """Convenience constructor with the dtype-implied thread tile."""
+        thread = THREAD_TILE[np.dtype(dtype)]
+        return cls(Tile3(*tb), Tile3(*warp), thread, stages=stages,
+                   param_id=param_id)

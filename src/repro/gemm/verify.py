@@ -1,0 +1,51 @@
+"""Tolerant comparison helpers for kernel outputs.
+
+TF32 rounding makes bit-exact comparison against full-precision references
+meaningless for FP32 tensor-core results; these helpers centralise the
+appropriate tolerances so tests state *why* a bound holds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gemm_tolerance", "assert_allclose_gemm", "labels_agree_fraction"]
+
+
+def gemm_tolerance(dtype, k: int, *, tf32: bool = False) -> float:
+    """Worst-case relative accumulation error bound for a k-deep dot.
+
+    ``~u * sqrt(k)`` for stochastic rounding behaviour with a 8x safety
+    factor; TF32 uses its 10-bit-mantissa unit roundoff for the products.
+    """
+    dt = np.dtype(dtype)
+    if dt == np.float32:
+        u = 2.0 ** -10 if tf32 else 2.0 ** -23
+    elif dt == np.float64:
+        u = 2.0 ** -52
+    else:
+        raise ValueError(f"unsupported dtype {dt!r}")
+    return 8.0 * u * max(1.0, np.sqrt(k))
+
+
+def assert_allclose_gemm(actual: np.ndarray, expected: np.ndarray, dtype,
+                         k: int, *, tf32: bool = False) -> None:
+    """Assert element-wise closeness under the GEMM accumulation bound."""
+    rtol = gemm_tolerance(dtype, k, tf32=tf32)
+    scale = np.maximum(np.abs(expected), 1.0)
+    err = np.abs(actual.astype(np.float64) - expected.astype(np.float64))
+    worst = float(np.max(err / scale))
+    if worst > rtol:
+        idx = np.unravel_index(int(np.argmax(err / scale)), err.shape)
+        raise AssertionError(
+            f"GEMM mismatch: rel err {worst:.3e} > tol {rtol:.3e} at {idx} "
+            f"(actual={actual[idx]!r}, expected={expected[idx]!r})")
+
+
+def labels_agree_fraction(a: np.ndarray, b: np.ndarray) -> float:
+    """Fraction of identical assignments (ties under TF32 may flip a few)."""
+    a = np.asarray(a).ravel()
+    b = np.asarray(b).ravel()
+    if a.shape != b.shape:
+        raise ValueError(f"label shape mismatch: {a.shape} vs {b.shape}")
+    return float(np.mean(a == b))

@@ -1,0 +1,84 @@
+"""GPU execution-model simulator.
+
+Substrate for the FT K-Means reproduction: a functional model of the
+grid/threadblock/warp hierarchy, the memory spaces, the ``cp.async``
+pipeline, the tensor-core MMA and SIMT compute units, SEU fault injection,
+and an analytic timing model that regenerates the paper's performance
+figures from tile parameters and device specs.
+"""
+
+from repro.gpusim.clock import SimClock
+from repro.gpusim.counters import PerfCounters
+from repro.gpusim.device import A100_PCIE_40GB, DEVICES, TESLA_T4, DeviceSpec, get_device
+from repro.gpusim.errors import (
+    GpuSimError,
+    LaunchError,
+    MemoryFault,
+    PipelineError,
+    ResourceLimitExceeded,
+    UncorrectableError,
+)
+from repro.gpusim.faults import FaultInjector, FaultPlan, NullInjector
+from repro.gpusim.hierarchy import Grid, LaunchConfig, ThreadBlock, Warp
+from repro.gpusim.memory import GlobalMemory, RegisterFile, SharedMemory
+from repro.gpusim.mma import (
+    MMA_FP32_TF32,
+    MMA_FP64,
+    MmaShape,
+    MmaUnit,
+    mma_shape_for,
+    round_tf32,
+)
+from repro.gpusim.occupancy import Occupancy, compute_occupancy
+from repro.gpusim.pipeline import AsyncCopyPipeline
+from repro.gpusim.simt import SimtUnit
+from repro.gpusim.timing import (
+    DEFAULT_CALIBRATION,
+    Calibration,
+    KernelTiming,
+    TimingModel,
+)
+from repro.gpusim.trace import NullTrace, Trace, TraceEvent
+
+__all__ = [
+    "SimClock",
+    "PerfCounters",
+    "A100_PCIE_40GB",
+    "TESLA_T4",
+    "DEVICES",
+    "DeviceSpec",
+    "get_device",
+    "GpuSimError",
+    "LaunchError",
+    "MemoryFault",
+    "PipelineError",
+    "ResourceLimitExceeded",
+    "UncorrectableError",
+    "FaultInjector",
+    "FaultPlan",
+    "NullInjector",
+    "Grid",
+    "LaunchConfig",
+    "ThreadBlock",
+    "Warp",
+    "GlobalMemory",
+    "RegisterFile",
+    "SharedMemory",
+    "MMA_FP32_TF32",
+    "MMA_FP64",
+    "MmaShape",
+    "MmaUnit",
+    "mma_shape_for",
+    "round_tf32",
+    "Occupancy",
+    "compute_occupancy",
+    "AsyncCopyPipeline",
+    "SimtUnit",
+    "DEFAULT_CALIBRATION",
+    "Calibration",
+    "KernelTiming",
+    "TimingModel",
+    "NullTrace",
+    "Trace",
+    "TraceEvent",
+]

@@ -1,0 +1,77 @@
+"""Performance counters collected by the functional simulator.
+
+Every memory space, MMA unit and SIMT unit increments these counters as a
+kernel executes.  Tests use them to prove structural claims from the paper
+(e.g. "V2 loads only TB_N/N of the data the separate reduction kernel
+loaded", "ABFT adds exactly 3 MMAs per warp-tile iteration").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PerfCounters"]
+
+
+@dataclass
+class PerfCounters:
+    """Mutable counter bundle; one per simulated kernel launch or device."""
+
+    # memory traffic in bytes
+    global_loads: int = 0
+    global_stores: int = 0
+    shared_loads: int = 0
+    shared_stores: int = 0
+    async_copies: int = 0           # bytes moved by cp.async (global->shared)
+    # synchronisation
+    atomics: int = 0                # global atomic operations
+    barriers: int = 0               # __syncthreads() count
+    commit_groups: int = 0          # cp.async.commit_group count
+    wait_groups: int = 0            # cp.async.wait_group count
+    # compute
+    flops: int = 0                  # useful floating point operations
+    mma_ops: int = 0                # tensor-core MMA instructions issued
+    simt_fma: int = 0               # SIMT fused multiply-add count
+    abft_mma_ops: int = 0           # MMAs issued purely for checksums
+    abft_simt_ops: int = 0          # SIMT ops issued purely for checksums
+    # fault tolerance events
+    checksum_tests: int = 0
+    errors_detected: int = 0
+    errors_corrected: int = 0
+    errors_injected: int = 0
+    false_alarms: int = 0
+    dmr_checks: int = 0
+    dmr_mismatches: int = 0
+    kernels_launched: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0)
+
+    def merge(self, other: "PerfCounters") -> None:
+        """Accumulate ``other`` into ``self`` (used to roll up per-kernel
+        counters into a per-run total)."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    # convenience -------------------------------------------------------
+    @property
+    def total_global_bytes(self) -> int:
+        """All traffic that touched global memory (incl. async copies)."""
+        return self.global_loads + self.global_stores + self.async_copies
+
+    @property
+    def abft_mma_fraction(self) -> float:
+        """Fraction of MMA instructions that are checksum-only.
+
+        The paper's theoretical overhead is ``3 / (m_w * n_w)`` extra MMAs
+        per warp-tile iteration; this property lets tests check it exactly.
+        """
+        if self.mma_ops == 0:
+            return 0.0
+        return self.abft_mma_ops / self.mma_ops
+
+    def snapshot(self) -> dict:
+        """Plain-dict copy (for logging / bench result records)."""
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}

@@ -1,0 +1,166 @@
+"""Device specifications for the simulated GPUs.
+
+The analytic timing model (:mod:`repro.gpusim.timing`) and the occupancy
+calculator are parameterised by a :class:`DeviceSpec`.  Two presets mirror
+the evaluation hardware of the paper (Sec. V):
+
+* ``A100_PCIE_40GB`` — SM80 (Ampere): tensor cores *and* ``cp.async``
+  asynchronous global→shared copies.
+* ``TESLA_T4``       — SM75 (Turing): tensor cores but **no** ``cp.async``;
+  the pre-Ampere register-mediated data path applies, which is what makes
+  Wu-style register-reuse ABFT viable there.
+
+Two peak families matter and the paper's analysis (Sec. V-A6) hinges on
+their gap:
+
+* ``simt_tflops_*`` — plain CUDA-core FMA peaks.  These are the numbers the
+  paper quotes ("19.5 TFLOPS single / 9.7 TFLOPS double" on A100).
+* ``tensor_tflops_*`` — tensor-core MMA peaks (TF32 on A100 FP32 = 156
+  TFLOPS; DMMA FP64 = 19.5 TFLOPS).  FP32 kernels therefore run at ~11% of
+  tensor peak (bound by data movement and the epilogue, so tile-parameter
+  choice has huge headroom), while FP64 kernels run near the DMMA roofline
+  (little headroom) — exactly the asymmetry the paper observes between
+  Fig. 12's FP32 (avg 2.49x) and FP64 (avg 1.04x) speedups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+__all__ = ["DeviceSpec", "A100_PCIE_40GB", "TESLA_T4", "get_device", "DEVICES"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a simulated GPU.
+
+    Attributes
+    ----------
+    name:
+        Human-readable device name.
+    sm_version:
+        Compute capability major*10+minor (80 = Ampere, 75 = Turing).
+    num_sms:
+        Streaming multiprocessor count.
+    tensor_tflops_fp32 / tensor_tflops_fp64:
+        Tensor-core MMA peak per precision (TFLOPS).  On T4 there is no
+        FP64 tensor path, so its value equals the (tiny) CUDA-core rate.
+    simt_tflops_fp32 / simt_tflops_fp64:
+        CUDA-core FMA peaks, used by the naive/V1–V3 kernels and by Wu's
+        register-reuse GEMM.
+    mem_bw_gbps:
+        Global-memory bandwidth in GB/s.
+    smem_per_sm / smem_per_block:
+        Shared-memory capacity in bytes.
+    regs_per_sm / regs_per_thread_max:
+        32-bit register file size per SM and the per-thread cap.
+    max_threads_per_sm / max_threads_per_block / max_blocks_per_sm:
+        Occupancy limits.
+    has_async_copy:
+        True on SM80+ (``cp.async``: global→shared bypassing registers).
+    atomic_ns:
+        Modelled cost of one contended global atomic (V3 broadcast locks,
+        centroid-update accumulation).
+    kernel_launch_us:
+        Host-side launch latency per kernel, in microseconds.
+    """
+
+    name: str
+    sm_version: int
+    num_sms: int
+    tensor_tflops_fp32: float
+    tensor_tflops_fp64: float
+    simt_tflops_fp32: float
+    simt_tflops_fp64: float
+    mem_bw_gbps: float
+    smem_per_sm: int = 164 * 1024
+    smem_per_block: int = 48 * 1024
+    regs_per_sm: int = 65536
+    regs_per_thread_max: int = 255
+    max_threads_per_sm: int = 2048
+    max_threads_per_block: int = 1024
+    max_blocks_per_sm: int = 32
+    warp_size: int = 32
+    has_async_copy: bool = True
+    l2_bytes: int = 40 * 1024 * 1024
+    atomic_ns: float = 15.0
+    kernel_launch_us: float = 3.0
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def peak_flops(self, dtype, *, tensor_core: bool = True) -> float:
+        """Peak FLOP/s for ``dtype`` on the chosen execution path."""
+        dt = np.dtype(dtype)
+        if dt == np.float32:
+            t = self.tensor_tflops_fp32 if tensor_core else self.simt_tflops_fp32
+        elif dt == np.float64:
+            t = self.tensor_tflops_fp64 if tensor_core else self.simt_tflops_fp64
+        else:
+            raise ValueError(f"unsupported dtype {dt!r}")
+        return t * 1e12
+
+    def mem_bw(self) -> float:
+        """Global-memory bandwidth in bytes/s."""
+        return self.mem_bw_gbps * 1e9
+
+    def has_fp64_tensor(self) -> bool:
+        """True when a dedicated FP64 MMA path exists (A100 DMMA)."""
+        return self.tensor_tflops_fp64 > self.simt_tflops_fp64
+
+    def with_(self, **kw) -> "DeviceSpec":
+        """Return a modified copy (for what-if experiments/ablations)."""
+        return replace(self, **kw)
+
+
+A100_PCIE_40GB = DeviceSpec(
+    name="NVIDIA A100-PCIE-40GB",
+    sm_version=80,
+    num_sms=108,
+    tensor_tflops_fp32=156.0,   # TF32 MMA
+    tensor_tflops_fp64=19.5,    # DMMA
+    simt_tflops_fp32=19.5,      # the peaks the paper quotes
+    simt_tflops_fp64=9.7,
+    mem_bw_gbps=1555.0,
+    smem_per_sm=164 * 1024,
+    smem_per_block=164 * 1024,  # A100 allows opt-in up to 164 KB
+    max_threads_per_sm=2048,
+    has_async_copy=True,
+    l2_bytes=40 * 1024 * 1024,
+)
+
+TESLA_T4 = DeviceSpec(
+    name="NVIDIA Tesla T4",
+    sm_version=75,
+    num_sms=40,
+    tensor_tflops_fp32=65.0,    # FP16-in/FP32-accumulate MMA
+    tensor_tflops_fp64=0.253,   # no FP64 tensor path on Turing
+    simt_tflops_fp32=8.1,       # paper-quoted peaks
+    simt_tflops_fp64=0.253,
+    mem_bw_gbps=320.0,
+    smem_per_sm=64 * 1024,
+    smem_per_block=64 * 1024,
+    max_threads_per_sm=1024,
+    has_async_copy=False,
+    l2_bytes=4 * 1024 * 1024,
+)
+
+DEVICES = {
+    "a100": A100_PCIE_40GB,
+    "t4": TESLA_T4,
+}
+
+
+def get_device(name) -> DeviceSpec:
+    """Look up a device preset by short name ('a100', 't4') or full name."""
+    if isinstance(name, DeviceSpec):
+        return name
+    key = str(name).lower()
+    if key in DEVICES:
+        return DEVICES[key]
+    for dev in DEVICES.values():
+        if dev.name == name:
+            return dev
+    raise KeyError(f"unknown device {name!r}; available: a100, t4")

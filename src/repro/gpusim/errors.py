@@ -1,0 +1,43 @@
+"""Exception types raised by the GPU simulator."""
+
+from __future__ import annotations
+
+__all__ = [
+    "GpuSimError",
+    "LaunchError",
+    "ResourceLimitExceeded",
+    "MemoryFault",
+    "PipelineError",
+    "UncorrectableError",
+]
+
+
+class GpuSimError(RuntimeError):
+    """Base class for all simulator errors."""
+
+
+class LaunchError(GpuSimError):
+    """Invalid kernel launch configuration (grid/block shape, etc.)."""
+
+
+class ResourceLimitExceeded(LaunchError):
+    """Launch exceeds shared memory / register / thread limits.
+
+    The code-generation feasibility check ("try it in a demo code",
+    Fig. 3) treats this as a *rejected* candidate parameter set, mirroring
+    how real CUTLASS kernels fail to launch when tiles do not fit.
+    """
+
+
+class MemoryFault(GpuSimError):
+    """Out-of-bounds access in a simulated memory space."""
+
+
+class PipelineError(GpuSimError):
+    """Misuse of the async-copy pipeline (e.g. waiting on an uncommitted
+    group, or issuing copies into a stage still in flight)."""
+
+
+class UncorrectableError(GpuSimError):
+    """ABFT detected more errors than the scheme can correct within one
+    detection interval (violates the single-event-upset assumption)."""

@@ -1,0 +1,179 @@
+"""Grid / threadblock / warp execution hierarchy.
+
+The functional simulator executes kernels block-by-block (GPU blocks are
+independent by construction, so sequential execution is semantics-
+preserving).  A :class:`LaunchConfig` validates the launch against device
+limits; :class:`ThreadBlock` carries per-block shared memory, the async
+pipeline and the fault-injection context; :class:`Warp` is a lightweight
+index/bookkeeping handle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.gpusim.counters import PerfCounters
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.errors import LaunchError, ResourceLimitExceeded
+from repro.gpusim.memory import RegisterFile, SharedMemory
+from repro.utils.arrays import ceil_div
+
+__all__ = ["LaunchConfig", "Grid", "ThreadBlock", "Warp"]
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """Validated kernel launch configuration.
+
+    Attributes
+    ----------
+    grid_m, grid_n:
+        Threadblock grid extents (rows of samples x columns of clusters).
+    threads_per_block:
+        Must be a positive multiple of the warp size within device limits.
+    smem_bytes:
+        Static shared-memory request per block.
+    regs_per_thread:
+        Declared register footprint per thread.
+    """
+
+    grid_m: int
+    grid_n: int
+    threads_per_block: int
+    smem_bytes: int = 0
+    regs_per_thread: int = 32
+
+    def validate(self, device: DeviceSpec) -> "LaunchConfig":
+        """Raise :class:`LaunchError` / :class:`ResourceLimitExceeded` if the
+        launch cannot run on ``device``; return self otherwise."""
+        if self.grid_m <= 0 or self.grid_n <= 0:
+            raise LaunchError(f"grid must be positive, got {self.grid_m}x{self.grid_n}")
+        if self.threads_per_block <= 0:
+            raise LaunchError("threads_per_block must be positive")
+        if self.threads_per_block % device.warp_size != 0:
+            raise LaunchError(
+                f"threads_per_block ({self.threads_per_block}) must be a "
+                f"multiple of the warp size ({device.warp_size})"
+            )
+        if self.threads_per_block > device.max_threads_per_block:
+            raise ResourceLimitExceeded(
+                f"{self.threads_per_block} threads/block exceeds device max "
+                f"{device.max_threads_per_block}"
+            )
+        if self.smem_bytes > device.smem_per_block:
+            raise ResourceLimitExceeded(
+                f"{self.smem_bytes} B shared memory exceeds per-block max "
+                f"{device.smem_per_block}"
+            )
+        if self.regs_per_thread > device.regs_per_thread_max:
+            raise ResourceLimitExceeded(
+                f"{self.regs_per_thread} regs/thread exceeds device max "
+                f"{device.regs_per_thread_max}"
+            )
+        if self.regs_per_thread * self.threads_per_block > device.regs_per_sm:
+            raise ResourceLimitExceeded(
+                "register file cannot host a single block: "
+                f"{self.regs_per_thread} x {self.threads_per_block} > "
+                f"{device.regs_per_sm}"
+            )
+        return self
+
+    @property
+    def num_blocks(self) -> int:
+        return self.grid_m * self.grid_n
+
+    @property
+    def warps_per_block(self) -> int:
+        return self.threads_per_block // 32
+
+
+@dataclass
+class Warp:
+    """A warp's coordinates inside its block (index only; lanes execute in
+    lockstep, which NumPy tile ops model exactly)."""
+
+    block: "ThreadBlock"
+    warp_id: int
+    # warp coordinates inside the block's warp raster (set by the kernel)
+    warp_m: int = 0
+    warp_n: int = 0
+
+
+class ThreadBlock:
+    """Execution context for one threadblock.
+
+    Owns its shared memory, register accounting and per-block RNG stream so
+    fault injection is reproducible regardless of block execution order.
+    """
+
+    def __init__(self, grid: "Grid", block_m: int, block_n: int):
+        self.grid = grid
+        self.block_m = block_m
+        self.block_n = block_n
+        device = grid.device
+        self.smem = SharedMemory(device.smem_per_block, counters=grid.counters)
+        self.regs = RegisterFile(device.regs_per_thread_max)
+        self.counters = grid.counters
+
+    @property
+    def block_id(self) -> int:
+        """Linear block index (row-major over the grid)."""
+        return self.block_m * self.grid.config.grid_n + self.block_n
+
+    def warps(self, raster_m: int, raster_n: int) -> list[Warp]:
+        """Enumerate the block's warps over an (raster_m x raster_n) raster.
+
+        raster_m * raster_n must equal warps_per_block; kernels derive the
+        raster from TB tile / warp tile ratios.
+        """
+        expected = self.grid.config.warps_per_block
+        if raster_m * raster_n != expected:
+            raise LaunchError(
+                f"warp raster {raster_m}x{raster_n} does not cover the "
+                f"{expected} warps in this block"
+            )
+        out = []
+        for wm in range(raster_m):
+            for wn in range(raster_n):
+                w = Warp(self, wm * raster_n + wn, warp_m=wm, warp_n=wn)
+                out.append(w)
+        return out
+
+    def syncthreads(self) -> None:
+        """Record a block-wide barrier (functional execution is already
+        sequential so this is pure accounting)."""
+        self.counters.barriers += 1
+
+
+class Grid:
+    """A validated kernel launch: iterates threadblocks sequentially."""
+
+    def __init__(self, device: DeviceSpec, config: LaunchConfig,
+                 counters: PerfCounters | None = None):
+        self.device = device
+        self.config = config.validate(device)
+        self.counters = counters if counters is not None else PerfCounters()
+        self.counters.kernels_launched += 1
+
+    def blocks(self) -> Iterator[ThreadBlock]:
+        """Yield every threadblock in row-major order."""
+        for bm in range(self.config.grid_m):
+            for bn in range(self.config.grid_n):
+                yield ThreadBlock(self, bm, bn)
+
+    @classmethod
+    def for_tiles(cls, device: DeviceSpec, rows: int, cols: int,
+                  tile_m: int, tile_n: int, threads_per_block: int,
+                  smem_bytes: int = 0, regs_per_thread: int = 32,
+                  counters: PerfCounters | None = None) -> "Grid":
+        """Build the grid that tiles an (rows x cols) output with
+        (tile_m x tile_n) blocks."""
+        cfg = LaunchConfig(
+            grid_m=ceil_div(rows, tile_m),
+            grid_n=ceil_div(cols, tile_n),
+            threads_per_block=threads_per_block,
+            smem_bytes=smem_bytes,
+            regs_per_thread=regs_per_thread,
+        )
+        return cls(device, cfg, counters=counters)

@@ -1,0 +1,181 @@
+"""Simulated GPU memory spaces with traffic accounting.
+
+Three spaces mirror the hierarchy in Fig. 1 of the paper:
+
+* :class:`GlobalMemory` — device memory; every load/store/atomic is counted.
+* :class:`SharedMemory` — per-threadblock scratch with a capacity limit;
+  allocation failures surface as :class:`ResourceLimitExceeded`, which is
+  exactly the signal the code-generation feasibility check consumes.
+* :class:`RegisterFile` — per-thread register accounting used by the
+  occupancy calculator.
+
+The functional kernels operate on NumPy views obtained through these
+wrappers, so numerical behaviour is bit-faithful while the counters record
+the traffic the timing model and the tests reason about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpusim.counters import PerfCounters
+from repro.gpusim.errors import MemoryFault, ResourceLimitExceeded
+
+__all__ = ["GlobalMemory", "SharedMemory", "RegisterFile"]
+
+
+class GlobalMemory:
+    """Named global-memory arrays plus byte-level traffic counters."""
+
+    def __init__(self, counters: PerfCounters | None = None):
+        self._arrays: dict[str, np.ndarray] = {}
+        self.counters = counters if counters is not None else PerfCounters()
+
+    # -- allocation -----------------------------------------------------
+    def alloc(self, name: str, shape, dtype) -> np.ndarray:
+        """Allocate (or replace) a zero-initialised array."""
+        arr = np.zeros(shape, dtype=dtype)
+        self._arrays[name] = arr
+        return arr
+
+    def bind(self, name: str, array: np.ndarray) -> np.ndarray:
+        """Register an existing host array as device-resident."""
+        self._arrays[name] = array
+        return array
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        try:
+            return self._arrays[name]
+        except KeyError:
+            raise MemoryFault(f"no global allocation named {name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._arrays
+
+    # -- counted accesses -------------------------------------------------
+    def load(self, name: str, rows: slice, cols: slice) -> np.ndarray:
+        """Counted read of a 2-D region; returns a copy (registers)."""
+        arr = self[name]
+        tile = arr[rows, cols].copy()
+        self.counters.global_loads += tile.nbytes
+        return tile
+
+    def store(self, name: str, rows: slice, cols: slice, tile: np.ndarray) -> None:
+        """Counted write of a 2-D region."""
+        arr = self[name]
+        arr[rows, cols] = tile
+        self.counters.global_stores += np.asarray(tile).nbytes
+
+    def async_copy(self, name: str, rows: slice, cols: slice) -> np.ndarray:
+        """``cp.async``-style read: bypasses the register file.
+
+        Byte count is recorded separately so tests can verify that the
+        Ampere tensor-core kernel moves its operands via the async path
+        (and that the pre-Ampere SIMT kernel never does).
+        """
+        arr = self[name]
+        tile = arr[rows, cols].copy()
+        self.counters.async_copies += tile.nbytes
+        return tile
+
+    def atomic_add(self, name: str, index, value) -> None:
+        """Counted atomic add to one element or a row (vectorised)."""
+        arr = self[name]
+        np.add.at(arr, index, value)
+        v = np.asarray(value)
+        self.counters.atomics += max(1, v.size)
+
+    def atomic_min_packed(self, name: str, row: int, key: float, payload: int) -> bool:
+        """Atomic "min with payload" used by the V3 broadcast epilogue.
+
+        Emulates the paper's per-row lock + compare: keeps the smaller
+        ``key`` (distance) and its ``payload`` (centroid id) for ``row``.
+        The target array has shape (M, 2): column 0 = key, column 1 = id.
+        Returns True iff this call won (updated the row).
+        """
+        arr = self[name]
+        self.counters.atomics += 1
+        if key < arr[row, 0]:
+            arr[row, 0] = key
+            arr[row, 1] = payload
+            return True
+        return False
+
+
+class SharedMemory:
+    """Per-threadblock shared memory with a hard capacity limit."""
+
+    def __init__(self, capacity_bytes: int, counters: PerfCounters | None = None):
+        self.capacity_bytes = int(capacity_bytes)
+        self.counters = counters if counters is not None else PerfCounters()
+        self._arrays: dict[str, np.ndarray] = {}
+        self._used = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def alloc(self, name: str, shape, dtype) -> np.ndarray:
+        """Allocate a shared array; raises when over capacity.
+
+        The code generator relies on this exception to discard infeasible
+        tile parameter sets, mirroring the paper's demo-compile check.
+        """
+        arr = np.zeros(shape, dtype=dtype)
+        if self._used + arr.nbytes > self.capacity_bytes:
+            raise ResourceLimitExceeded(
+                f"shared memory over capacity: {self._used + arr.nbytes} B "
+                f"requested, {self.capacity_bytes} B available"
+            )
+        self._arrays[name] = arr
+        self._used += arr.nbytes
+        return arr
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        try:
+            return self._arrays[name]
+        except KeyError:
+            raise MemoryFault(f"no shared allocation named {name!r}")
+
+    def write(self, name: str, index, tile) -> None:
+        """Counted write into shared memory."""
+        arr = self[name]
+        arr[index] = tile
+        self.counters.shared_stores += np.asarray(tile).nbytes
+
+    def read(self, name: str, index) -> np.ndarray:
+        """Counted read from shared memory (returns a copy)."""
+        arr = self[name]
+        tile = np.array(arr[index], copy=True)
+        self.counters.shared_loads += tile.nbytes
+        return tile
+
+
+@dataclass
+class RegisterFile:
+    """Per-thread register accounting.
+
+    The functional kernels do not route every scalar through this class —
+    NumPy locals stand in for registers — but each kernel *declares* its
+    register footprint here so the occupancy calculator and the feasibility
+    check see the same resource pressure a real CUTLASS kernel would have.
+    """
+
+    regs_per_thread_max: int = 255
+    declared: int = 0
+
+    def declare(self, count: int) -> None:
+        """Declare ``count`` additional 32-bit registers per thread."""
+        if count < 0:
+            raise ValueError("register count must be non-negative")
+        self.declared += count
+        if self.declared > self.regs_per_thread_max:
+            raise ResourceLimitExceeded(
+                f"register file over capacity: {self.declared} regs/thread "
+                f"declared, max {self.regs_per_thread_max}"
+            )
+
+    def reset(self) -> None:
+        self.declared = 0

@@ -1,0 +1,71 @@
+"""Occupancy calculation for simulated kernel launches.
+
+Occupancy — how many threadblocks (and hence warps) an SM can host
+concurrently — is the lever through which tile-parameter choice affects
+both latency hiding and achievable memory bandwidth.  The paper's analysis
+of why cuML's fixed ``Threadblock.N = 256`` loses at small cluster counts
+("the occupancy is very low", Sec. V-A6) is reproduced by this module plus
+the timing model's occupancy-dependent efficiency terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.device import DeviceSpec
+
+__all__ = ["Occupancy", "compute_occupancy"]
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Result of an occupancy calculation.
+
+    Attributes
+    ----------
+    blocks_per_sm:
+        Concurrent resident blocks per SM (0 = launch cannot run at all).
+    warps_per_sm:
+        Resident warps per SM.
+    occupancy:
+        warps_per_sm / max warps per SM, in [0, 1].
+    limiter:
+        Which resource bound first: 'smem', 'regs', 'threads' or 'blocks'.
+    """
+
+    blocks_per_sm: int
+    warps_per_sm: int
+    occupancy: float
+    limiter: str
+
+    @property
+    def feasible(self) -> bool:
+        return self.blocks_per_sm >= 1
+
+
+def compute_occupancy(device: DeviceSpec, threads_per_block: int,
+                      smem_bytes: int, regs_per_thread: int) -> Occupancy:
+    """Blocks-per-SM under the shared-memory / register / thread limits."""
+    if threads_per_block <= 0:
+        raise ValueError("threads_per_block must be positive")
+
+    limits: dict[str, int] = {}
+    limits["threads"] = device.max_threads_per_sm // threads_per_block
+    limits["blocks"] = device.max_blocks_per_sm
+    if smem_bytes > 0:
+        limits["smem"] = device.smem_per_sm // smem_bytes
+    regs_per_block = regs_per_thread * threads_per_block
+    if regs_per_block > 0:
+        limits["regs"] = device.regs_per_sm // regs_per_block
+
+    limiter = min(limits, key=lambda k: limits[k])
+    blocks_per_sm = limits[limiter]
+    warps_per_block = threads_per_block // device.warp_size
+    warps_per_sm = blocks_per_sm * warps_per_block
+    max_warps = device.max_threads_per_sm // device.warp_size
+    return Occupancy(
+        blocks_per_sm=blocks_per_sm,
+        warps_per_sm=warps_per_sm,
+        occupancy=min(1.0, warps_per_sm / max_warps),
+        limiter=limiter,
+    )

@@ -1,0 +1,108 @@
+"""Asynchronous global→shared copy pipeline (``cp.async`` model).
+
+Ampere's ``cp.async`` instructions move data from global memory straight
+into shared memory, *bypassing the register file*.  This is the
+architectural change at the heart of the paper: pre-Ampere ABFT schemes
+computed checksums "for free" while data passed through registers, and that
+free ride disappears on SM80.  The functional pipeline here reproduces the
+commit-group / wait-group semantics of the pseudocode in Fig. 4:
+
+    for stage in range(k_stage - 1):       # prologue: prefetch
+        pipe.async_copy(...); pipe.commit_group()
+    pipe.wait_group(k_stage - 2)           # at least one stage ready
+    for k in main_loop:
+        pipe.async_copy(...)               # prefetch next stage
+        ... MMA on current stage ...
+        pipe.commit_group()
+        pipe.wait_group(k_stage - 2)
+
+Copies land in the destination buffers only when their group completes,
+so a kernel that reads a stage before waiting observes stale data — tests
+assert this failure mode to show the model is not just a pass-through.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpusim.counters import PerfCounters
+from repro.gpusim.errors import PipelineError
+
+__all__ = ["AsyncCopyPipeline", "PendingCopy"]
+
+
+@dataclass
+class PendingCopy:
+    """A single in-flight cp.async transfer."""
+
+    dest: np.ndarray      # view into a shared-memory stage buffer
+    src: np.ndarray       # the already-materialised global tile (copy)
+
+    def complete(self) -> None:
+        self.dest[...] = self.src
+
+
+class AsyncCopyPipeline:
+    """Commit-group FIFO for asynchronous copies of one threadblock."""
+
+    def __init__(self, counters: PerfCounters | None = None, *, enabled: bool = True):
+        self.counters = counters if counters is not None else PerfCounters()
+        self.enabled = enabled
+        self._staged: list[PendingCopy] = []
+        self._groups: deque[list[PendingCopy]] = deque()
+
+    @property
+    def groups_in_flight(self) -> int:
+        return len(self._groups)
+
+    def async_copy(self, dest: np.ndarray, src_tile: np.ndarray) -> None:
+        """Issue one cp.async transfer into the current (uncommitted) group.
+
+        ``src_tile`` is the global-memory tile (the caller obtains it via
+        ``GlobalMemory.async_copy`` which does the byte accounting).  When
+        the pipeline is disabled (pre-Ampere device) the copy completes
+        immediately — that is the synchronous, register-mediated path.
+        """
+        if dest.shape != src_tile.shape:
+            raise PipelineError(
+                f"cp.async shape mismatch: dest {dest.shape} vs src {src_tile.shape}"
+            )
+        pc = PendingCopy(dest=dest, src=np.array(src_tile, copy=True))
+        if not self.enabled:
+            pc.complete()
+            return
+        self._staged.append(pc)
+
+    def commit_group(self) -> None:
+        """Seal the staged copies into one commit group (may be empty)."""
+        if not self.enabled:
+            return
+        self.counters.commit_groups += 1
+        self._groups.append(self._staged)
+        self._staged = []
+
+    def wait_group(self, max_in_flight: int) -> None:
+        """Block until at most ``max_in_flight`` groups remain in flight.
+
+        Completes the *oldest* groups first, exactly like
+        ``cp.async.wait_group N``.
+        """
+        if not self.enabled:
+            return
+        if max_in_flight < 0:
+            raise PipelineError("wait_group argument must be >= 0")
+        self.counters.wait_groups += 1
+        while len(self._groups) > max_in_flight:
+            group = self._groups.popleft()
+            for copy in group:
+                copy.complete()
+
+    def drain(self) -> None:
+        """Complete everything (kernel epilogue)."""
+        if self._staged:
+            # uncommitted copies would be lost on a real GPU; surface misuse
+            raise PipelineError("pipeline drained with uncommitted copies staged")
+        self.wait_group(0)

@@ -1,0 +1,77 @@
+"""SIMT (CUDA-core) functional compute units.
+
+The pre-Ampere GEMM path, the naive/V1–V3 K-means kernels, the warp-level
+checksum accumulations (Fig. 6 lines 15–18) and the DMR-protected centroid
+update all execute on plain CUDA cores.  :class:`SimtUnit` performs those
+operations with NumPy while counting FMA-equivalents, so the timing model
+and the ABFT-overhead tests can reason about SIMT work separately from
+tensor-core work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.counters import PerfCounters
+
+__all__ = ["SimtUnit"]
+
+
+class SimtUnit:
+    """Counted elementwise / reduction operations on CUDA cores."""
+
+    def __init__(self, dtype, counters: PerfCounters | None = None):
+        self.dtype = np.dtype(dtype)
+        self.counters = counters if counters is not None else PerfCounters()
+
+    # -- GEMM-ish --------------------------------------------------------
+    def fma_gemm(self, a: np.ndarray, b: np.ndarray, acc: np.ndarray) -> None:
+        """``acc += a @ b`` on CUDA cores (full precision, no TF32)."""
+        m, k = a.shape
+        _, n = b.shape
+        acc += (a.astype(self.dtype) @ b.astype(self.dtype)).astype(acc.dtype, copy=False)
+        self.counters.simt_fma += m * n * k
+        self.counters.flops += 2 * m * n * k
+
+    # -- checksum accumulations (Fig. 6 lines 15-18) ----------------------
+    def weighted_rowsum(self, tile: np.ndarray, weights: np.ndarray, *,
+                        abft: bool = False) -> np.ndarray:
+        """``weights @ tile`` — e.g. e1ᵀA or e2ᵀA over a warp fragment.
+
+        ``tile``: (m, k); ``weights``: (m,).  Returns a (k,) vector.
+        Counted as m*k FMAs; flagged as ABFT work when requested.
+        """
+        out = weights.astype(self.dtype) @ tile.astype(self.dtype)
+        ops = tile.shape[0] * tile.shape[1]
+        self.counters.simt_fma += ops
+        if abft:
+            self.counters.abft_simt_ops += ops
+        return out
+
+    def weighted_colsum(self, tile: np.ndarray, weights: np.ndarray, *,
+                        abft: bool = False) -> np.ndarray:
+        """``tile @ weights`` — e.g. B·e1 or B·e2 over a warp fragment."""
+        out = tile.astype(self.dtype) @ weights.astype(self.dtype)
+        ops = tile.shape[0] * tile.shape[1]
+        self.counters.simt_fma += ops
+        if abft:
+            self.counters.abft_simt_ops += ops
+        return out
+
+    # -- elementwise ------------------------------------------------------
+    def axpy(self, alpha, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Counted ``alpha * x + y``."""
+        self.counters.simt_fma += x.size
+        self.counters.flops += 2 * x.size
+        return (alpha * x + y).astype(self.dtype, copy=False)
+
+    def square_rowsum(self, tile: np.ndarray) -> np.ndarray:
+        """Row-wise sum of squares (the ``Samples²`` kernel of Fig. 2)."""
+        self.counters.simt_fma += tile.size
+        self.counters.flops += 2 * tile.size
+        return np.sum(tile.astype(self.dtype) ** 2, axis=1)
+
+    def row_argmin(self, tile: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Row-wise (min, argmin) — the fused epilogue reduction."""
+        self.counters.flops += tile.size
+        return tile.min(axis=1), tile.argmin(axis=1)

@@ -1,0 +1,65 @@
+"""Structured event trace for the functional simulator.
+
+Tests use the trace to assert *dataflow* properties the counters alone
+cannot express — e.g. that the async pipeline committed exactly
+``k_iters + stages - 1`` groups, that the checksum test fired at the
+``k % 256`` boundary, or that a correction event targeted the same block
+the injector corrupted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["TraceEvent", "Trace", "NullTrace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One simulator event."""
+
+    kind: str                 # e.g. 'mma', 'checksum_test', 'fault', 'correct'
+    block_id: int
+    step: int
+    payload: dict = field(default_factory=dict)
+
+
+class Trace:
+    """Append-only event log with simple query helpers."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def emit(self, kind: str, block_id: int = -1, step: int = -1, **payload: Any) -> None:
+        self.events.append(TraceEvent(kind, block_id, step, dict(payload)))
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class NullTrace:
+    """No-op trace (default: tracing off keeps functional runs fast)."""
+
+    events: list = []
+
+    def emit(self, kind: str, block_id: int = -1, step: int = -1, **payload: Any) -> None:
+        pass
+
+    def of_kind(self, kind: str) -> list:
+        return []
+
+    def count(self, kind: str) -> int:
+        return 0
+
+    def __len__(self) -> int:
+        return 0

@@ -1,0 +1,33 @@
+"""Shared utilities: bit manipulation, array helpers, logging."""
+
+from repro.utils.arrays import (
+    as_float,
+    ceil_div,
+    check_2d,
+    is_power_of_two,
+    pad_to_multiple,
+)
+from repro.utils.bits import (
+    bits_to_float,
+    flip_bit,
+    flip_bit_array,
+    float_to_bits,
+    num_bits,
+    random_bit_index,
+)
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "as_float",
+    "ceil_div",
+    "check_2d",
+    "is_power_of_two",
+    "pad_to_multiple",
+    "bits_to_float",
+    "flip_bit",
+    "flip_bit_array",
+    "float_to_bits",
+    "num_bits",
+    "random_bit_index",
+    "get_logger",
+]

@@ -1,0 +1,52 @@
+"""Small array utilities shared across the package."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ceil_div", "pad_to_multiple", "as_float", "is_power_of_two", "check_2d"]
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling integer division; ``b`` must be positive."""
+    if b <= 0:
+        raise ValueError(f"divisor must be positive, got {b}")
+    return -(-a // b)
+
+
+def is_power_of_two(x: int) -> bool:
+    """True iff ``x`` is a positive power of two."""
+    return x > 0 and (x & (x - 1)) == 0
+
+
+def pad_to_multiple(a: np.ndarray, multiple_rows: int, multiple_cols: int,
+                    fill=0.0) -> np.ndarray:
+    """Zero-pad a 2-D array so each dimension is a multiple of the tile size.
+
+    GPU GEMM kernels operate on full tiles; out-of-range elements are
+    logically zero.  Returns a new array (never a view) so kernels can
+    mutate tiles freely.
+    """
+    if a.ndim != 2:
+        raise ValueError(f"expected 2-D array, got {a.ndim}-D")
+    rows = ceil_div(a.shape[0], multiple_rows) * multiple_rows
+    cols = ceil_div(a.shape[1], multiple_cols) * multiple_cols
+    out = np.full((rows, cols), fill, dtype=a.dtype)
+    out[: a.shape[0], : a.shape[1]] = a
+    return out
+
+
+def as_float(a, dtype) -> np.ndarray:
+    """Return ``a`` as a C-contiguous 2-D float array of ``dtype``."""
+    arr = np.ascontiguousarray(np.asarray(a, dtype=dtype))
+    return arr
+
+
+def check_2d(a: np.ndarray, name: str) -> np.ndarray:
+    """Validate that ``a`` is a non-empty 2-D array."""
+    a = np.asarray(a)
+    if a.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got shape {a.shape}")
+    if a.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    return a

@@ -1,0 +1,79 @@
+"""Bit-level manipulation of IEEE-754 floats.
+
+The paper's fault model (Sec. II-A) corrupts a value by flipping a single
+bit of its 32-bit float or 64-bit double representation.  These helpers
+implement that flip exactly, plus inspection utilities used by tests and by
+the fault injector in :mod:`repro.gpusim.faults`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "flip_bit",
+    "flip_bit_array",
+    "float_to_bits",
+    "bits_to_float",
+    "num_bits",
+    "random_bit_index",
+]
+
+_INT_FOR = {np.dtype(np.float32): np.uint32, np.dtype(np.float64): np.uint64}
+
+
+def num_bits(dtype) -> int:
+    """Number of bits in the binary representation of ``dtype``."""
+    return np.dtype(dtype).itemsize * 8
+
+
+def float_to_bits(value) -> int:
+    """Return the raw IEEE-754 bit pattern of a float scalar as an int."""
+    arr = np.asarray(value)
+    try:
+        int_t = _INT_FOR[arr.dtype]
+    except KeyError:
+        raise TypeError(f"unsupported dtype {arr.dtype!r}; expected float32/float64")
+    return int(arr.view(int_t))
+
+
+def bits_to_float(bits: int, dtype):
+    """Inverse of :func:`float_to_bits`."""
+    dtype = np.dtype(dtype)
+    try:
+        int_t = _INT_FOR[dtype]
+    except KeyError:
+        raise TypeError(f"unsupported dtype {dtype!r}; expected float32/float64")
+    return np.array(bits, dtype=int_t).view(dtype)[()]
+
+
+def flip_bit(value, bit: int):
+    """Flip bit ``bit`` (0 = least significant) of a float scalar.
+
+    Returns a scalar of the same dtype.  Flipping the same bit twice is the
+    identity (an invariant exercised by the property tests).
+    """
+    arr = np.asarray(value)
+    nb = num_bits(arr.dtype)
+    if not 0 <= bit < nb:
+        raise ValueError(f"bit index {bit} out of range for {nb}-bit float")
+    raw = float_to_bits(arr)
+    return bits_to_float(raw ^ (1 << bit), arr.dtype)
+
+
+def flip_bit_array(arr: np.ndarray, flat_index: int, bit: int) -> None:
+    """Flip ``bit`` of element ``flat_index`` of ``arr`` in place."""
+    flat = arr.reshape(-1)
+    flat[flat_index] = flip_bit(flat[flat_index], bit)
+
+
+def random_bit_index(rng: np.random.Generator, dtype) -> int:
+    """Draw a uniformly random bit position for ``dtype``.
+
+    The exponent's top bits produce astronomically large corruptions while
+    low mantissa bits produce tiny ones; the paper flips uniformly over all
+    bits, so we do too.  NaN-producing flips are allowed — the checksum test
+    flags them since ``NaN > delta`` comparisons are handled explicitly by
+    the detector.
+    """
+    return int(rng.integers(0, num_bits(dtype)))

@@ -1,0 +1,21 @@
+"""Package-wide logging helpers.
+
+We keep a single namespaced logger (``repro``) so applications can attach a
+handler once.  Library code never configures the root logger.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger"]
+
+
+def get_logger(name: str = "repro") -> logging.Logger:
+    """Return a child of the ``repro`` logger.
+
+    ``name`` may be a bare suffix (``"gpusim"``) or a full dotted path.
+    """
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)

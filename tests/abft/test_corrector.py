@@ -1,0 +1,138 @@
+"""Tests for online error location and correction."""
+
+import numpy as np
+import pytest
+
+from repro.abft.corrector import CorrectionKind, Corrector
+from repro.abft.detector import Detector
+from repro.abft.encoding import acc_checksum_triple
+from repro.abft.thresholds import ThresholdPolicy
+from repro.gpusim.errors import UncorrectableError
+from repro.utils.bits import flip_bit
+
+
+def _corrector(dtype, tf32=False):
+    return Corrector(Detector(ThresholdPolicy(dtype, tf32=tf32)))
+
+
+def _clean_state(rng, dtype, shape=(16, 16)):
+    acc = (rng.standard_normal(shape) * 3).astype(dtype)
+    return acc, acc_checksum_triple(acc)
+
+
+class TestClean:
+    def test_no_fault_is_clean(self, rng, dtype):
+        acc, d = _clean_state(rng, dtype)
+        result, d2 = _corrector(dtype).check_and_correct(d, acc)
+        assert result.kind is CorrectionKind.CLEAN
+        assert d2 == d
+
+
+class TestLocateAndCorrect:
+    @pytest.mark.parametrize("pos", [(0, 0), (3, 11), (15, 15), (7, 0)])
+    def test_exact_location(self, rng, dtype, pos):
+        acc, d = _clean_state(rng, dtype)
+        original = acc.copy()
+        acc[pos] += acc.dtype.type(1000.0)
+        result, _ = _corrector(dtype).check_and_correct(d, acc)
+        assert result.kind is CorrectionKind.CORRECTED
+        assert (result.row, result.col) == pos
+        # adding/removing 1000 loses the element's low mantissa bits
+        np.testing.assert_allclose(acc, original, rtol=1e-4, atol=2e-3)
+
+    def test_bit_flip_high_exponent(self, rng, dtype):
+        acc, d = _clean_state(rng, dtype)
+        original = acc.copy()
+        high_bit = 30 if dtype == np.float32 else 62
+        acc[5, 5] = flip_bit(acc[5, 5], high_bit)
+        result, _ = _corrector(dtype).check_and_correct(d, acc)
+        assert result.kind is CorrectionKind.CORRECTED
+        np.testing.assert_allclose(acc, original, rtol=1e-4)
+
+    def test_sign_flip(self, rng, dtype):
+        acc, d = _clean_state(rng, dtype)
+        original = acc.copy()
+        # make the target large enough to clear the detection threshold
+        acc[2, 3] = acc.dtype.type(500.0)
+        d = acc_checksum_triple(acc)
+        original = acc.copy()
+        sign = 31 if dtype == np.float32 else 63
+        acc[2, 3] = flip_bit(acc[2, 3], sign)
+        result, _ = _corrector(dtype).check_and_correct(d, acc)
+        assert result.kind is CorrectionKind.CORRECTED
+        np.testing.assert_allclose(acc, original, rtol=1e-5)
+
+    def test_returned_checksums_are_consistent(self, rng, dtype):
+        acc, d = _clean_state(rng, dtype)
+        acc[1, 2] += acc.dtype.type(777.0)
+        _, fresh = _corrector(dtype).check_and_correct(d, acc)
+        np.testing.assert_allclose(
+            fresh, acc_checksum_triple(acc, dtype=np.float64), rtol=1e-9)
+
+
+class TestNonFinite:
+    @pytest.mark.parametrize("bad", [np.inf, -np.inf, np.nan])
+    def test_nonfinite_recovered_from_checksum(self, rng, dtype, bad):
+        acc, d = _clean_state(rng, dtype)
+        original = acc.copy()
+        acc[4, 9] = bad
+        result, _ = _corrector(dtype).check_and_correct(d, acc)
+        assert result.kind is CorrectionKind.CORRECTED
+        assert (result.row, result.col) == (4, 9)
+        assert np.isfinite(acc).all()
+        np.testing.assert_allclose(acc, original, atol=1e-3)
+
+    def test_two_nonfinite_uncorrectable(self, rng, dtype):
+        acc, d = _clean_state(rng, dtype)
+        acc[0, 0] = np.inf
+        acc[1, 1] = np.nan
+        with pytest.raises(UncorrectableError):
+            _corrector(dtype).check_and_correct(d, acc)
+
+    def test_nonfinite_checksum_requests_recompute(self, rng, dtype):
+        acc, d = _clean_state(rng, dtype)
+        acc[0, 0] = np.nan
+        result, _ = _corrector(dtype).check_and_correct(
+            (np.nan, d[1], d[2]), acc)
+        assert result.kind is CorrectionKind.RECOMPUTE
+
+
+class TestChecksumRegisterFaults:
+    def test_d2_corruption_resyncs(self, rng, dtype):
+        acc, d = _clean_state(rng, dtype)
+        original = acc.copy()
+        corrupted = (d[0], d[1] + 1e8, d[2])
+        result, fresh = _corrector(dtype).check_and_correct(corrupted, acc)
+        assert result.kind is CorrectionKind.CHECKSUM_RESYNC
+        np.testing.assert_array_equal(acc, original)  # acc untouched
+        np.testing.assert_allclose(fresh, acc_checksum_triple(acc), rtol=1e-9)
+
+    def test_d1_corruption_resyncs(self, rng, dtype):
+        acc, d = _clean_state(rng, dtype)
+        corrupted = (d[0] + 1e9, d[1], d[2])
+        result, fresh = _corrector(dtype).check_and_correct(corrupted, acc)
+        assert result.kind is CorrectionKind.CHECKSUM_RESYNC
+
+
+class TestUnlocatable:
+    def test_marginal_error_never_miscorrects(self, rng):
+        """Errors inside the TF32 decode noise band on large tiles either
+        decode-and-verify, fall back to RECOMPUTE, or get (harmlessly)
+        diagnosed as a checksum-register hit — but never corrupt other
+        elements of the tile."""
+        dtype = np.dtype(np.float32)
+        corr = _corrector(dtype, tf32=True)
+        policy = corr.detector.policy
+        acc = (rng.standard_normal((32, 32)) * 3).astype(dtype)
+        d = acc_checksum_triple(acc)
+        original = acc.copy()
+        from repro.abft.detector import measure_residuals
+
+        scale = measure_residuals(d, acc).scale
+        eps = policy.delta(scale) * 1.5  # detectable, hard to locate
+        acc[9, 9] += dtype.type(eps)
+        result, _ = corr.check_and_correct(d, acc)
+        assert result.kind is not CorrectionKind.CLEAN
+        # whatever the diagnosis, the tile stays within the (noise-level)
+        # corruption magnitude of the original
+        np.testing.assert_allclose(acc, original, atol=2 * eps)

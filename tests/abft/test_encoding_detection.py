@@ -1,0 +1,134 @@
+"""Tests for checksum encodings, thresholds and the detector."""
+
+import numpy as np
+import pytest
+
+from repro.abft.detector import Detector, measure_residuals
+from repro.abft.encoding import acc_checksum_triple, checksum_triple, e1, e2
+from repro.abft.thresholds import ThresholdPolicy, detection_threshold, unit_roundoff
+
+
+class TestVectors:
+    def test_e1(self):
+        np.testing.assert_array_equal(e1(4), [1, 1, 1, 1])
+
+    def test_e2(self):
+        np.testing.assert_array_equal(e2(4), [1, 2, 3, 4])
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            e1(0)
+        with pytest.raises(ValueError):
+            e2(-1)
+
+
+class TestChecksumAlgebra:
+    def test_factored_equals_direct(self, rng):
+        """(e1ᵀA)(Be1) == e1ᵀ(ABᵀ)e1 exactly in float64."""
+        a = rng.standard_normal((16, 8))
+        b = rng.standard_normal((12, 8))
+        d1, d2, d3 = checksum_triple(a, b)
+        c = a @ b.T
+        assert d1 == pytest.approx(float(e1(16) @ c @ e1(12)), rel=1e-12)
+        assert d2 == pytest.approx(float(e1(16) @ c @ e2(12)), rel=1e-12)
+        assert d3 == pytest.approx(float(e2(16) @ c @ e1(12)), rel=1e-12)
+
+    def test_acc_triple_matches(self, rng):
+        acc = rng.standard_normal((8, 8))
+        c1, c2, c3 = acc_checksum_triple(acc)
+        assert c1 == pytest.approx(acc.sum(), rel=1e-12)
+        assert c2 == pytest.approx(float(acc.sum(axis=0) @ e2(8)), rel=1e-12)
+        assert c3 == pytest.approx(float(e2(8) @ acc.sum(axis=1)), rel=1e-12)
+
+    def test_additivity_over_k_steps(self, rng):
+        """The online property: checksums accumulate across K steps."""
+        total = np.zeros(3)
+        acc = np.zeros((8, 8))
+        for _ in range(5):
+            a = rng.standard_normal((8, 4))
+            b = rng.standard_normal((8, 4))
+            total += checksum_triple(a, b)
+            acc += a @ b.T
+        c = acc_checksum_triple(acc)
+        np.testing.assert_allclose(total, c, rtol=1e-10)
+
+
+class TestThresholds:
+    def test_unit_roundoff(self):
+        assert unit_roundoff(np.float32) == 2.0 ** -23
+        assert unit_roundoff(np.float32, tf32=True) == 2.0 ** -10
+        assert unit_roundoff(np.float64) == 2.0 ** -52
+
+    def test_threshold_scales(self):
+        assert detection_threshold(np.float32, 100.0) \
+            == 100 * detection_threshold(np.float32, 1.0)
+
+    def test_exceeds_handles_nan_inf(self):
+        p = ThresholdPolicy(np.float32)
+        assert p.exceeds(float("nan"), 1.0)
+        assert p.exceeds(float("inf"), 1.0)
+        assert not p.exceeds(0.0, 1.0)
+
+    def test_weight_loosens(self):
+        p = ThresholdPolicy(np.float32, tf32=True)
+        r = p.delta(100.0) * 2
+        assert p.exceeds(r, 100.0)
+        assert not p.exceeds(r, 100.0, weight=32)
+
+    def test_locatable_needs_more_clearance(self):
+        p = ThresholdPolicy(np.float32, tf32=True)
+        r = p.delta(100.0) * 1.5   # detectable
+        assert p.exceeds(r, 100.0)
+        assert not p.locatable(r, 100.0, tile_dim=32)
+
+
+class TestDetector:
+    def _policy(self, dtype, tf32=False):
+        return ThresholdPolicy(dtype, tf32=tf32)
+
+    def test_clean_accumulation_no_false_alarm(self, rng, dtype):
+        """Fault-free residuals stay under δ at realistic depths/scales."""
+        tf32 = dtype == np.float32
+        det = Detector(self._policy(dtype, tf32))
+        from repro.gpusim.mma import round_tf32
+
+        for scale in (0.1, 1.0, 100.0):
+            acc = np.zeros((32, 32), dtype)
+            d = np.zeros(3)
+            for _ in range(16):
+                a = (rng.standard_normal((32, 16)) * scale).astype(dtype)
+                b = (rng.standard_normal((32, 16)) * scale).astype(dtype)
+                if tf32:
+                    acc += round_tf32(a) @ round_tf32(b).T
+                else:
+                    acc += (a @ b.T).astype(dtype)
+                d += checksum_triple(a, b)
+            res = measure_residuals(tuple(d), acc)
+            assert not det.is_faulty(res)
+
+    def test_detects_large_corruption(self, rng, dtype):
+        det = Detector(self._policy(dtype, dtype == np.float32))
+        acc = rng.standard_normal((16, 16)).astype(dtype)
+        d = acc_checksum_triple(acc)
+        acc[3, 5] += acc.dtype.type(50.0)
+        res = measure_residuals(d, acc)
+        assert det.is_faulty(res)
+        assert det.acc_is_faulty(res)
+
+    def test_checksum_register_fault_pattern(self, rng):
+        """d2 corrupted, acc clean: r1 small, r2 large."""
+        det = Detector(self._policy(np.float64))
+        acc = rng.standard_normal((16, 16))
+        d1, d2, d3 = acc_checksum_triple(acc)
+        res = measure_residuals((d1, d2 + 1e6, d3), acc)
+        assert det.is_faulty(res)
+        assert not det.acc_is_faulty(res)
+
+    def test_scale_robust_to_outlier(self, rng):
+        """A huge corrupted element must not raise δ past its own residual."""
+        acc = rng.standard_normal((16, 16)).astype(np.float32)
+        d = acc_checksum_triple(acc)
+        acc[0, 0] = np.float32(3e38)  # near float32 max, finite
+        res = measure_residuals(d, acc)
+        det = Detector(self._policy(np.float32, tf32=True))
+        assert det.is_faulty(res)

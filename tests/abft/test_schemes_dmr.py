@@ -1,0 +1,167 @@
+"""Tests for the scheme registry, DMR, and the Wu/Kosaian baseline kernels."""
+
+import numpy as np
+import pytest
+
+from repro.abft.dmr import dmr_protected
+from repro.abft.kosaian import KosaianDetectGemm
+from repro.abft.schemes import FTKMEANS, KOSAIAN, NONE, SCHEMES, WU, get_scheme
+from repro.abft.wu import WuFtGemm
+from repro.gemm.epilogue import BroadcastArgminEpilogue, StoreEpilogue
+from repro.gemm.reference import reference_assignment, reference_distance_matrix
+from repro.gemm.shapes import GemmShape
+from repro.gemm.verify import assert_allclose_gemm, labels_agree_fraction
+from repro.gpusim.counters import PerfCounters
+from repro.gpusim.device import A100_PCIE_40GB
+from repro.gpusim.errors import UncorrectableError
+from repro.gpusim.faults import FaultInjector
+
+
+class TestSchemeRegistry:
+    def test_capability_matrix_fig5d(self):
+        """The paper's Fig. 5(d) comparison table."""
+        assert WU.level == "threadblock" and WU.corrects
+        assert not WU.uses_tensor_checksums          # tensor core ✗
+        assert KOSAIAN.level == "warp" and KOSAIAN.detects
+        assert not KOSAIAN.corrects                  # correction ✗
+        assert FTKMEANS.level == "warp"
+        assert FTKMEANS.detects and FTKMEANS.corrects
+        assert FTKMEANS.uses_tensor_checksums
+
+    def test_async_compatibility(self):
+        """Wu's register reuse breaks under cp.async; FT K-means doesn't."""
+        assert not WU.async_compatible
+        assert FTKMEANS.async_compatible
+
+    def test_checksum_mma_counts(self):
+        assert FTKMEANS.checksum_mmas_per_warp_step == 3
+        assert KOSAIAN.checksum_mmas_per_warp_step == 1
+
+    def test_lookup(self):
+        assert get_scheme("ftkmeans") is FTKMEANS
+        assert get_scheme(NONE) is NONE
+        with pytest.raises(KeyError):
+            get_scheme("unknown")
+        assert set(SCHEMES) == {"none", "ftkmeans", "wu", "kosaian",
+                                "tensor_only"}
+
+
+class TestDmr:
+    def test_clean_pass(self):
+        out = dmr_protected(lambda: np.arange(5.0))
+        np.testing.assert_array_equal(out, np.arange(5.0))
+
+    def test_detects_and_recovers(self):
+        c = PerfCounters()
+
+        def corrupt(arr):
+            arr[2] = 999.0
+
+        out = dmr_protected(lambda: np.arange(5.0), counters=c,
+                            corrupt_first=corrupt)
+        np.testing.assert_array_equal(out, np.arange(5.0))
+        assert c.dmr_mismatches == 1
+        assert c.errors_detected == 1
+        assert c.dmr_checks == 2  # first attempt + retry
+
+    def test_persistent_error_raises(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            return np.array([calls["n"] % 2], dtype=float)
+
+        with pytest.raises(UncorrectableError):
+            dmr_protected(flaky, max_retries=2)
+
+    def test_nan_equal_comparison(self):
+        out = dmr_protected(lambda: np.array([np.nan, 1.0]))
+        assert np.isnan(out[0])
+
+
+def _setup(x, y, counters, with_distances=False):
+    from repro.core.assignment import setup_gmem
+
+    gmem = setup_gmem(x, y, counters)
+    if with_distances:
+        gmem.alloc("distances", (x.shape[0], y.shape[0]), x.dtype)
+    return gmem
+
+
+class TestWuKernel:
+    def test_corrects_injected_faults(self, rng, dtype, small_tile):
+        x = rng.standard_normal((128, 48)).astype(dtype)
+        y = rng.standard_normal((16, 48)).astype(dtype)
+        dref = reference_distance_matrix(x, y)
+        for seed in range(6):
+            inj = FaultInjector(seed, p_block=1.0, dtype=dtype)
+            c = PerfCounters()
+            gmem = _setup(x, y, c, with_distances=True)
+            kern = WuFtGemm(A100_PCIE_40GB, small_tile, dtype,
+                            epilogue=StoreEpilogue(), counters=c, injector=inj)
+            kern.run(gmem, GemmShape(128, 16, 48))
+            ref, _ = reference_assignment(x, y)
+            got = np.argmin(gmem["distances"], axis=1)
+            assert labels_agree_fraction(got, ref) == 1.0
+            assert c.errors_injected > 0
+
+    def test_register_reuse_hook_called(self, operands, dtype, small_tile):
+        x, y = operands
+        c = PerfCounters()
+        gmem = _setup(x, y, c, with_distances=True)
+        kern = WuFtGemm(A100_PCIE_40GB, small_tile, dtype,
+                        epilogue=StoreEpilogue(), counters=c)
+        kern.run(gmem, GemmShape(x.shape[0], y.shape[0], x.shape[1]))
+        assert c.abft_simt_ops > 0       # checksums folded during staging
+        assert c.abft_mma_ops == 0       # no tensor-core checksums (Fig. 5d)
+
+    def test_block_level_barriers(self, operands, dtype, small_tile):
+        """Wu's verification costs extra block-wide barriers."""
+        x, y = operands
+        shape = GemmShape(x.shape[0], y.shape[0], x.shape[1])
+        c_plain = PerfCounters()
+        from repro.gemm.simt_gemm import SimtGemm
+
+        SimtGemm(A100_PCIE_40GB, small_tile, dtype, counters=c_plain,
+                 epilogue=StoreEpilogue()).run(
+            _setup(x, y, c_plain, True), shape)
+        c_wu = PerfCounters()
+        WuFtGemm(A100_PCIE_40GB, small_tile, dtype, counters=c_wu,
+                 epilogue=StoreEpilogue()).run(_setup(x, y, c_wu, True), shape)
+        assert c_wu.barriers > c_plain.barriers
+
+
+class TestKosaianKernel:
+    def test_detects_and_recomputes(self, rng, dtype, small_tile):
+        x = rng.standard_normal((128, 48)).astype(dtype)
+        y = rng.standard_normal((16, 48)).astype(dtype)
+        detected_any = False
+        for seed in range(6):
+            inj = FaultInjector(seed + 100, p_block=1.0, dtype=dtype)
+            c = PerfCounters()
+            gmem = _setup(x, y, c)
+            kern = KosaianDetectGemm(A100_PCIE_40GB, small_tile, dtype,
+                                     epilogue=BroadcastArgminEpilogue(),
+                                     counters=c, injector=inj)
+            kern.run(gmem, GemmShape(128, 16, 48))
+            ref, _ = reference_assignment(x, y, tf32=(dtype == np.float32))
+            got = gmem["assign"][:, 1].astype(np.int64)
+            assert labels_agree_fraction(got, ref) == 1.0
+            if c.errors_detected:
+                detected_any = True
+                assert kern.recomputed_blocks  # recovery is recomputation
+                assert c.errors_corrected == 0  # never corrects in place
+        assert detected_any
+
+    def test_one_checksum_mma_per_warp_step(self, operands, small_tile):
+        x, y = operands
+        c = PerfCounters()
+        gmem = _setup(x, y, c)
+        kern = KosaianDetectGemm(A100_PCIE_40GB, small_tile, np.float32,
+                                 counters=c)
+        kern.run(gmem, GemmShape(x.shape[0], y.shape[0], x.shape[1]))
+        from repro.utils.arrays import ceil_div
+
+        blocks = ceil_div(x.shape[0], 64) * ceil_div(y.shape[0], 32)
+        steps = blocks * ceil_div(x.shape[1], 16) * small_tile.warps_per_block
+        assert c.abft_mma_ops == steps

@@ -1,0 +1,43 @@
+"""Tests for the figure runner and recorded series structure."""
+
+import numpy as np
+import pytest
+
+from repro.bench import figures
+from repro.bench.tables import format_figure
+
+
+class TestFigureStructure:
+    def test_fig7_has_all_series(self):
+        res = figures.fig7_stepwise()
+        assert set(res.series) == {"naive", "v1", "v2", "v3", "ftkmeans",
+                                   "cuml"}
+        for pts in res.series.values():
+            assert len(pts) == 6  # K in 32..192 step 32
+
+    def test_fig8_panel_series(self):
+        res = figures.fig8_fig9_distance_vs_features(np.float32)
+        names = set(res.series)
+        for panel in ("K=8", "K=128"):
+            for curve in ("cuml", "param1", "param2", "ftkmeans"):
+                assert f"{panel}/{curve}" in names
+
+    def test_fig12_grid_rows(self):
+        res = figures.fig12_speedup_grid(np.float32)
+        assert len(res.series) == 8          # N rows
+        assert all(len(p) == 7 for p in res.series.values())  # K columns
+
+    def test_fig17_includes_wu(self):
+        res = figures.fig17_fig18_error_injection(np.float32)
+        assert any(name.endswith("wu+inj") for name in res.series)
+
+    def test_format_figure_renders_everything(self):
+        res = figures.fig7_stepwise()
+        text = format_figure(res, max_rows=3)
+        assert "fig7" in text and "cuml" in text and "summary" in text
+
+    def test_injection_probability_parameter(self):
+        lo = figures.fig17_fig18_error_injection(np.float32, p_inject=0.1)
+        hi = figures.fig17_fig18_error_injection(np.float32, p_inject=1.0)
+        assert lo.summary["injection_overhead_pct_avg"] \
+            < hi.summary["injection_overhead_pct_avg"]

@@ -1,0 +1,174 @@
+"""Tests for the code-generation pipeline: space, templates, compile,
+selection and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.codegen.bench import rank_candidates, score_candidate
+from repro.codegen.compile import compile_kernel, demo_check, feasible_candidates
+from repro.codegen.cuml_params import CUML_PARAM_ID, cuml_tile
+from repro.codegen.database import (
+    load_selection,
+    save_selection,
+    tile_from_dict,
+    tile_to_dict,
+)
+from repro.codegen.selector import KernelSelector
+from repro.codegen.space import SpaceBounds, enumerate_space, enumerate_warp_tiles
+from repro.codegen.template import kernel_name, render_kernel_source
+from repro.gemm.tiling import TileConfig
+from repro.gpusim.device import A100_PCIE_40GB, TESLA_T4
+from repro.gpusim.timing import TimingModel
+
+
+class TestSpace:
+    def test_candidate_counts_near_paper(self):
+        """Paper: 157 FP32 / 145 FP64 kernel definitions."""
+        fp32 = enumerate_space(np.float32)
+        fp64 = enumerate_space(np.float64)
+        assert 120 <= len(fp32) <= 200
+        assert 110 <= len(fp64) <= 180
+
+    def test_all_candidates_valid(self):
+        for cfg in enumerate_space(np.float32):
+            assert cfg.mma_tiles_per_warp in (8, 16)   # rule 3
+            assert cfg.warp.k == cfg.tb.k              # rule 2
+
+    def test_param_ids_sequential(self):
+        space = enumerate_space(np.float64)
+        assert [c.param_id for c in space] == list(range(len(space)))
+
+    def test_warp_tiles_respect_ratio(self):
+        for w_m, w_n in enumerate_warp_tiles(np.float32):
+            assert (w_m // 16) * (w_n // 8) in (8, 16)
+
+    def test_bounds_shrink_space(self):
+        small = enumerate_space(np.float32, SpaceBounds(tb_m_max=64,
+                                                        tb_n_max=64))
+        assert 0 < len(small) < len(enumerate_space(np.float32))
+
+
+class TestTemplate:
+    def test_renders_valid_python(self):
+        tile = TileConfig.make((64, 64, 16), (32, 32, 16), np.float32,
+                               param_id=7)
+        src = render_kernel_source(tile, np.float32)
+        compile(src, "<test>", "exec")  # must parse
+        assert "PARAM_ID = 7" in src
+        assert "Tile3(64, 64, 16)" in src
+
+    def test_kernel_name_unique_per_config(self):
+        a = TileConfig.make((64, 64, 16), (32, 32, 16), np.float32, param_id=1)
+        b = TileConfig.make((64, 32, 16), (32, 32, 16), np.float32, param_id=2)
+        assert kernel_name(a, np.float32) != kernel_name(b, np.float32)
+
+    def test_compiled_module_builds_kernel(self):
+        tile = TileConfig.make((64, 32, 16), (32, 32, 16), np.float32)
+        module = compile_kernel(tile, np.float32)
+        kern = module.make_kernel(A100_PCIE_40GB)
+        assert kern.tile.tb.m == 64
+        assert module.DTYPE == np.float32
+
+
+class TestDemoCheck:
+    def test_feasible_kernel_passes(self):
+        tile = TileConfig.make((64, 32, 16), (32, 32, 16), np.float32)
+        assert demo_check(tile, np.float32, A100_PCIE_40GB)
+
+    def test_oversized_kernel_rejected(self):
+        tile = TileConfig.make((256, 256, 32), (64, 32, 32), np.float32,
+                               stages=4)
+        assert not demo_check(tile, np.float32, A100_PCIE_40GB)
+
+    def test_feasible_candidates_filters(self):
+        space = enumerate_space(np.float32)
+        t4_queue = feasible_candidates(space, np.float32, TESLA_T4)
+        a100_queue = feasible_candidates(space, np.float32, A100_PCIE_40GB)
+        assert len(t4_queue) < len(a100_queue) <= len(space)
+
+    def test_demo_run_on_sample(self):
+        """End-to-end demo compile+run for a handful of candidates."""
+        space = enumerate_space(np.float32)[:4]
+        queue = feasible_candidates(space, np.float32, A100_PCIE_40GB,
+                                    run_demo=True)
+        assert queue  # at least some survive the functional demo
+
+
+class TestCumlParams:
+    def test_table1_values(self):
+        t32 = cuml_tile(np.float32)
+        assert tuple(t32.tb) == (32, 256, 16)
+        assert tuple(t32.warp) == (32, 64, 16)
+        t64 = cuml_tile(np.float64)
+        assert tuple(t64.tb) == (64, 64, 16)
+        assert tuple(t64.warp) == (32, 32, 16)
+        assert t32.param_id == CUML_PARAM_ID
+
+    def test_t4_uses_shallow_pipeline(self):
+        assert cuml_tile(np.float32, "t4").stages == 2
+        assert cuml_tile(np.float32, "a100").stages == 4
+
+
+class TestSelector:
+    @pytest.fixture(scope="class")
+    def sel(self):
+        return KernelSelector.for_device("a100", np.float32)
+
+    def test_best_tile_feasible(self, sel):
+        tile = sel.best_tile(131072, 64, 64)
+        assert tile.feasible_on(A100_PCIE_40GB, np.float32)
+
+    def test_cache_stability(self, sel):
+        a = sel.best_tile(131072, 32, 32)
+        b = sel.best_tile(131072, 32, 32)
+        assert a is b
+
+    def test_selection_beats_cuml(self, sel):
+        """The selector's winner never loses to the fixed parameters."""
+        model = TimingModel(A100_PCIE_40GB)
+        for (nc, nf) in [(8, 64), (64, 16), (128, 128), (320, 40)]:
+            best = sel.best_score(131072, nc, nf)
+            cu = score_candidate(model, cuml_tile(np.float32), 131072, nc,
+                                 nf, np.float32)
+            assert best.gflops >= cu.gflops * 0.999
+
+    def test_few_distinct_winners(self, sel):
+        """Paper: only a handful of parameter groups ever win."""
+        for nc in (64, 192, 320, 448):
+            for nf in (16, 48, 96):
+                sel.best_tile(131072, nc, nf)
+        assert len(sel.selected_param_ids()) <= 15
+
+    def test_rank_candidates_sorted(self, sel):
+        scores = rank_candidates(A100_PCIE_40GB, sel.candidates[:30], 131072,
+                                 64, 64, np.float32)
+        gf = [s.gflops for s in scores]
+        assert gf == sorted(gf, reverse=True)
+
+    def test_save_load_roundtrip(self, sel, tmp_path):
+        sel.best_tile(131072, 64, 64)
+        path = tmp_path / "selection.json"
+        sel.save(path)
+        loaded = KernelSelector.load(path)
+        assert loaded.dtype == np.float32
+        t = loaded.best_tile(131072, 64, 64)
+        assert tuple(t.tb) == tuple(sel.best_tile(131072, 64, 64).tb)
+
+
+class TestDatabase:
+    def test_tile_dict_roundtrip(self):
+        tile = TileConfig.make((128, 64, 16), (64, 32, 16), np.float32,
+                               stages=4, param_id=42)
+        back = tile_from_dict(tile_to_dict(tile))
+        assert back == tile
+
+    def test_save_load_file(self, tmp_path):
+        tile = TileConfig.make((64, 64, 16), (32, 32, 16), np.float64,
+                               param_id=3)
+        path = tmp_path / "sel.json"
+        save_selection(path, device_name="dev", dtype=np.float64,
+                       entries={"1,2,3": 3}, tiles={3: tile})
+        dev, dt, entries, tiles = load_selection(path)
+        assert dev == "dev" and dt == "float64"
+        assert entries == {"1,2,3": 3}
+        assert tiles[3] == tile

@@ -1,0 +1,63 @@
+"""Shared fixtures for the FT K-Means reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gemm.tiling import TileConfig
+from repro.gpusim.counters import PerfCounters
+from repro.gpusim.device import A100_PCIE_40GB, TESLA_T4
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(params=["a100", "t4"])
+def device(request):
+    return {"a100": A100_PCIE_40GB, "t4": TESLA_T4}[request.param]
+
+
+@pytest.fixture
+def a100():
+    return A100_PCIE_40GB
+
+
+@pytest.fixture
+def t4():
+    return TESLA_T4
+
+
+@pytest.fixture(params=[np.float32, np.float64], ids=["fp32", "fp64"])
+def dtype(request):
+    return np.dtype(request.param)
+
+
+@pytest.fixture
+def small_tile(dtype):
+    """A small valid tile usable for quick functional runs."""
+    return TileConfig.make((64, 32, 16), (32, 32, 16), dtype)
+
+
+@pytest.fixture
+def counters():
+    return PerfCounters()
+
+
+@pytest.fixture
+def operands(rng, dtype):
+    """Small (samples, centroids) pair for kernel-level tests."""
+    x = rng.standard_normal((192, 40)).astype(dtype)
+    y = rng.standard_normal((24, 40)).astype(dtype)
+    return x, y
+
+
+@pytest.fixture
+def blobs(rng):
+    """Separable Gaussian blobs for end-to-end clustering tests."""
+    from repro.data.synthetic import gaussian_blobs
+
+    x, centers, labels = gaussian_blobs(600, 16, 5, np.float32, seed=7)
+    return x, centers, labels

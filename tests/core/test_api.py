@@ -1,0 +1,172 @@
+"""Tests for the FTKMeans public estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import FTKMeans
+from repro.baselines.sklearn_like import lloyd_reference
+
+
+class TestFitBasics:
+    def test_fit_sets_attributes(self, blobs):
+        x, _, _ = blobs
+        km = FTKMeans(n_clusters=5, seed=0).fit(x)
+        assert km.cluster_centers_.shape == (5, 16)
+        assert km.labels_.shape == (600,)
+        assert km.inertia_ > 0
+        assert km.n_iter_ >= 1
+        assert km.sim_time_s_ > 0
+        assert km.assignment_time_s_ > 0
+        assert len(km.timing_log_) > 0
+
+    def test_recovers_blob_structure(self, blobs):
+        x, centers, true_labels = blobs
+        km = FTKMeans(n_clusters=5, seed=0, init="k-means++").fit(x)
+        # each true cluster maps to exactly one predicted cluster
+        for c in range(5):
+            pred = km.labels_[true_labels == c]
+            assert np.mean(pred == np.bincount(pred).argmax()) > 0.95
+
+    def test_matches_reference_lloyd_inertia(self, blobs):
+        x, _, _ = blobs
+        init = FTKMeans(n_clusters=5, seed=2).fit(x)
+        ref = lloyd_reference(x, 5, seed=2)
+        # same seed, same init: same quality up to TF32 noise
+        assert init.inertia_ == pytest.approx(ref.inertia_, rel=0.02)
+
+    def test_explicit_init_centroids(self, blobs):
+        x, centers, _ = blobs
+        km = FTKMeans(n_clusters=5, init_centroids=centers, max_iter=10).fit(x)
+        assert km.n_iter_ <= 5  # already near-converged
+
+    def test_dtype_respected(self, blobs):
+        x, _, _ = blobs
+        km = FTKMeans(n_clusters=5, dtype="float64", seed=0).fit(x)
+        assert km.cluster_centers_.dtype == np.float64
+
+    def test_too_many_clusters(self):
+        with pytest.raises(ValueError):
+            FTKMeans(n_clusters=100).fit(np.ones((10, 2)))
+
+    def test_single_cluster(self, rng):
+        x = rng.standard_normal((50, 4)).astype(np.float32)
+        km = FTKMeans(n_clusters=1, seed=0).fit(x)
+        np.testing.assert_allclose(km.cluster_centers_[0], x.mean(axis=0),
+                                   atol=1e-3)
+
+
+class TestPredictScore:
+    def test_predict_matches_fit_labels(self, blobs):
+        x, _, _ = blobs
+        km = FTKMeans(n_clusters=5, seed=0).fit(x)
+        np.testing.assert_array_equal(km.predict(x), km.labels_)
+
+    def test_predict_new_points_near_centroids(self, blobs):
+        x, _, _ = blobs
+        km = FTKMeans(n_clusters=5, seed=0).fit(x)
+        pred = km.predict(km.cluster_centers_)
+        np.testing.assert_array_equal(np.sort(pred), np.arange(5))
+
+    def test_predict_wrong_features(self, blobs):
+        x, _, _ = blobs
+        km = FTKMeans(n_clusters=5, seed=0).fit(x)
+        with pytest.raises(ValueError, match="features"):
+            km.predict(np.ones((4, 3)))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            FTKMeans().predict(np.ones((4, 4)))
+
+    def test_fit_predict(self, blobs):
+        x, _, _ = blobs
+        labels = FTKMeans(n_clusters=5, seed=0).fit_predict(x)
+        assert labels.shape == (600,)
+
+    def test_score_is_negative_inertia(self, blobs):
+        x, _, _ = blobs
+        km = FTKMeans(n_clusters=5, seed=0).fit(x)
+        assert km.score(x) == pytest.approx(-km.inertia_, rel=1e-5)
+
+
+class TestSimulatedPerformance:
+    def test_gflops_reported(self, blobs):
+        x, _, _ = blobs
+        km = FTKMeans(n_clusters=5, seed=0).fit(x)
+        assert km.distance_gflops_() > 0
+
+    def test_tensorop_faster_than_naive_at_scale(self):
+        """The simulated clock reproduces the step-wise ladder at paper
+        scale (at toy sizes launch latency legitimately dominates)."""
+        from repro.core.naive import NaiveAssignment
+        from repro.core.tensorop import TensorOpAssignment
+        from repro.gpusim.device import A100_PCIE_40GB
+
+        naive = NaiveAssignment(A100_PCIE_40GB, np.float32)
+        tensor = TensorOpAssignment(A100_PCIE_40GB, np.float32)
+        t_naive = sum(t.time_s for _, t in naive.estimate(131072, 64, 64))
+        t_tensor = sum(t.time_s for _, t in tensor.estimate(131072, 64, 64))
+        assert t_tensor < t_naive / 5
+
+
+class TestFaultToleranceEndToEnd:
+    def test_ft_with_injection_matches_clean_run(self, blobs):
+        """The headline correctness claim: clustering under SEU injection
+        is identical to the fault-free run."""
+        x, _, _ = blobs
+        clean = FTKMeans(n_clusters=5, variant="ft", seed=0,
+                         mode="functional").fit(x)
+        for trial in range(3):
+            noisy = FTKMeans(n_clusters=5, variant="ft", seed=0,
+                             mode="functional", p_inject=0.7).fit(x)
+            assert noisy.counters_.errors_injected > 0
+            assert np.array_equal(noisy.labels_, clean.labels_), trial
+            assert noisy.inertia_ == pytest.approx(clean.inertia_, rel=1e-3)
+
+    def test_unprotected_injection_can_corrupt(self, rng):
+        """Without ABFT, heavy injection visibly corrupts assignments.
+
+        Tested at the single-assignment level: full Lloyd runs can wash a
+        transient fault out in later (clean) iterations, which would make
+        the test flaky rather than meaningful.
+        """
+        from repro.core.tensorop import TensorOpAssignment
+        from repro.gemm.reference import reference_assignment
+        from repro.gpusim.device import A100_PCIE_40GB
+        from repro.gpusim.faults import FaultInjector
+
+        x = rng.standard_normal((256, 32)).astype(np.float32)
+        y = rng.standard_normal((32, 32)).astype(np.float32)
+        ref, _ = reference_assignment(x, y, tf32=True)
+        corrupted = 0
+        for seed in range(12):
+            inj = FaultInjector(seed, p_block=1.0, dtype=np.float32)
+            kern = TensorOpAssignment(A100_PCIE_40GB, np.float32,
+                                      mode="functional", injector=inj)
+            res = kern.assign(x, y)
+            if not np.array_equal(res.labels, ref):
+                corrupted += 1
+        assert corrupted > 0
+
+    def test_ft_fast_mode_injection(self, blobs):
+        x, _, _ = blobs
+        km = FTKMeans(n_clusters=5, variant="ft", seed=0, mode="fast",
+                      p_inject=0.5).fit(x)
+        clean = FTKMeans(n_clusters=5, variant="ft", seed=0,
+                         mode="fast").fit(x)
+        assert np.array_equal(km.labels_, clean.labels_)
+
+    def test_wu_scheme_end_to_end(self, blobs):
+        x, _, _ = blobs
+        km = FTKMeans(n_clusters=5, variant="ft", abft="wu", seed=0,
+                      mode="functional", p_inject=0.5).fit(x)
+        clean = FTKMeans(n_clusters=5, variant="v3", seed=0,
+                         mode="functional").fit(x)
+        assert np.array_equal(km.labels_, clean.labels_)
+
+    def test_ft_overhead_in_simulated_time(self, blobs):
+        """FT adds simulated time, bounded by a modest factor."""
+        x, _, _ = blobs
+        base = FTKMeans(n_clusters=5, variant="tensorop", seed=0).fit(x)
+        ft = FTKMeans(n_clusters=5, variant="ft", seed=0).fit(x)
+        ratio = ft.assignment_time_s_ / base.assignment_time_s_
+        assert 1.0 <= ratio < 1.6

@@ -1,0 +1,169 @@
+"""Tests for config, initializers, validation, convergence and update."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import KMeansConfig
+from repro.core.convergence import ConvergenceMonitor
+from repro.core.initializers import init_kmeans_plusplus, init_random, initialize
+from repro.core.update import UpdateStage
+from repro.core.validation import validate_centroids, validate_data
+from repro.gpusim.counters import PerfCounters
+from repro.gpusim.device import A100_PCIE_40GB
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = KMeansConfig()
+        assert cfg.variant == "tensorop"
+        assert cfg.dtype == np.float32
+        assert cfg.device.name.startswith("NVIDIA A100")
+        assert cfg.abft.name == "none"
+
+    def test_ft_variant_implies_scheme(self):
+        cfg = KMeansConfig(variant="ft")
+        assert cfg.abft.name == "ftkmeans"
+
+    def test_explicit_scheme(self):
+        cfg = KMeansConfig(variant="ft", abft="wu")
+        assert cfg.abft.name == "wu"
+
+    @pytest.mark.parametrize("bad", [
+        dict(n_clusters=0), dict(variant="v9"), dict(mode="gpu"),
+        dict(dtype=np.int32), dict(p_inject=2.0), dict(max_iter=0),
+        dict(tol=-1.0), dict(init="foo"),
+    ])
+    def test_rejects_bad_values(self, bad):
+        with pytest.raises(ValueError):
+            KMeansConfig(**bad)
+
+
+class TestInitializers:
+    def test_random_picks_distinct_rows(self, rng):
+        x = np.arange(40.0).reshape(10, 4)
+        y = init_random(x, 5, rng)
+        assert y.shape == (5, 4)
+        assert len({tuple(row) for row in y}) == 5
+
+    def test_kmeanspp_spreads_centroids(self, rng):
+        # two far-apart blobs: k-means++ must pick one centroid in each
+        x = np.vstack([np.zeros((50, 2)), np.full((50, 2), 100.0)])
+        hits = 0
+        for seed in range(10):
+            y = init_kmeans_plusplus(x, 2, np.random.default_rng(seed))
+            if {y[0, 0] < 50, y[1, 0] < 50} == {True, False}:
+                hits += 1
+        assert hits == 10
+
+    def test_kmeanspp_duplicate_points(self, rng):
+        x = np.ones((20, 3))
+        y = init_kmeans_plusplus(x, 3, rng)
+        assert y.shape == (3, 3)
+
+    def test_too_many_clusters(self, rng):
+        with pytest.raises(ValueError):
+            init_random(np.ones((3, 2)), 4, rng)
+
+    def test_dispatch(self, rng):
+        x = rng.standard_normal((30, 4)).astype(np.float32)
+        assert initialize(x, 3, "random", rng).shape == (3, 4)
+        assert initialize(x, 3, "k-means++", rng).shape == (3, 4)
+        with pytest.raises(ValueError):
+            initialize(x, 3, "magic", rng)
+
+
+class TestValidation:
+    def test_validate_data_casts(self):
+        x = validate_data([[1, 2], [3, 4]], np.float32)
+        assert x.dtype == np.float32 and x.flags["C_CONTIGUOUS"]
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            validate_data(np.array([[np.nan, 1.0]]), np.float32)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            validate_data(np.ones(4), np.float32)
+
+    def test_centroid_shape_check(self):
+        with pytest.raises(ValueError, match="shape"):
+            validate_centroids(np.ones((3, 3)), 4, 3, np.float32)
+
+
+class TestConvergence:
+    def test_stops_on_small_improvement(self):
+        mon = ConvergenceMonitor(tol=1e-3)
+        assert not mon.update(100.0, 1.0)
+        assert not mon.update(50.0, 1.0)
+        assert mon.update(49.99, 1.0)   # 0.02% < 0.1%
+
+    def test_stops_on_zero_shift(self):
+        mon = ConvergenceMonitor(tol=0.0)
+        assert mon.update(10.0, 0.0)
+
+    def test_rejects_nonfinite(self):
+        mon = ConvergenceMonitor(tol=1e-4)
+        with pytest.raises(ValueError):
+            mon.update(float("nan"), 1.0)
+
+    def test_history_recorded(self):
+        mon = ConvergenceMonitor(tol=0.0)
+        mon.update(3.0, 1.0)
+        mon.update(2.0, 1.0)
+        assert mon.history == [3.0, 2.0]
+        assert mon.n_iterations == 2
+
+
+class TestUpdateStage:
+    def test_means_match_reference(self, rng, dtype):
+        x = rng.standard_normal((100, 6)).astype(dtype)
+        labels = rng.integers(0, 4, 100)
+        old = rng.standard_normal((4, 6)).astype(dtype)
+        stage = UpdateStage(A100_PCIE_40GB, dtype, dmr=False)
+        res = stage.update(x, labels, np.zeros(100), old, PerfCounters())
+        for c in range(4):
+            np.testing.assert_allclose(
+                res.centroids[c], x[labels == c].mean(axis=0),
+                rtol=1e-5 if dtype == np.float32 else 1e-12)
+        np.testing.assert_array_equal(res.counts,
+                                      np.bincount(labels, minlength=4))
+
+    def test_empty_cluster_reseeded(self, rng, dtype):
+        x = rng.standard_normal((50, 4)).astype(dtype)
+        labels = np.zeros(50, dtype=np.int64)  # everything in cluster 0
+        best = rng.random(50)
+        old = rng.standard_normal((3, 4)).astype(dtype)
+        stage = UpdateStage(A100_PCIE_40GB, dtype, dmr=False)
+        res = stage.update(x, labels, best, old, PerfCounters())
+        worst = np.argsort(best)[::-1][:2]
+        # clusters 1, 2 re-seeded from the worst-fit samples
+        got = {tuple(np.round(res.centroids[c], 5)) for c in (1, 2)}
+        want = {tuple(np.round(x[i].astype(dtype), 5)) for i in worst}
+        assert got == want
+
+    def test_dmr_detects_injected_seu(self, rng, dtype):
+        x = rng.standard_normal((60, 4)).astype(dtype)
+        labels = rng.integers(0, 3, 60)
+        old = np.zeros((3, 4), dtype)
+        c = PerfCounters()
+
+        def corrupt(arr):
+            arr.reshape(-1)[7] += 1e6
+
+        stage = UpdateStage(A100_PCIE_40GB, dtype, dmr=True,
+                            corrupt_hook=corrupt)
+        res = stage.update(x, labels, np.zeros(60), old, c)
+        assert c.dmr_mismatches == 1
+        assert c.errors_detected == 1
+        # the recomputed result is clean
+        for k in range(3):
+            np.testing.assert_allclose(res.centroids[k],
+                                       x[labels == k].mean(axis=0), rtol=1e-4)
+
+    def test_shift_measured(self, rng):
+        x = rng.standard_normal((40, 3)).astype(np.float32)
+        labels = rng.integers(0, 2, 40)
+        old = np.zeros((2, 3), np.float32)
+        stage = UpdateStage(A100_PCIE_40GB, np.float32, dmr=False)
+        res = stage.update(x, labels, np.zeros(40), old, PerfCounters())
+        assert res.shift > 0

@@ -1,0 +1,109 @@
+"""Cross-variant equivalence: every kernel mapping (naive, V1-V3,
+tensorop, FT) must produce the same clustering; fast mode must match
+functional mode."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import FTKMeans
+from repro.core.variants import VARIANTS, build_assignment
+from repro.core.config import KMeansConfig
+from repro.gemm.reference import reference_assignment
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(5)
+    x = rng.standard_normal((300, 24)).astype(np.float32)
+    y = rng.standard_normal((10, 24)).astype(np.float32)
+    return x, y
+
+
+class TestAssignmentEquivalence:
+    @pytest.mark.parametrize("variant", ["naive", "v1", "v2", "v3"])
+    def test_fullprec_variants_match_reference(self, data, variant):
+        x, y = data
+        cfg = KMeansConfig(n_clusters=10, variant=variant, mode="functional")
+        kern = build_assignment(cfg, x.shape[0], x.shape[1],
+                                np.random.default_rng(0))
+        res = kern.assign(x, y)
+        ref, _ = reference_assignment(x, y)
+        assert np.array_equal(res.labels, ref)
+
+    @pytest.mark.parametrize("variant", ["tensorop", "ft"])
+    def test_tf32_variants_match_tf32_reference(self, data, variant):
+        x, y = data
+        cfg = KMeansConfig(n_clusters=10, variant=variant, mode="functional")
+        kern = build_assignment(cfg, x.shape[0], x.shape[1],
+                                np.random.default_rng(0))
+        res = kern.assign(x, y)
+        ref, _ = reference_assignment(x, y, tf32=True)
+        assert np.array_equal(res.labels, ref)
+
+    @pytest.mark.parametrize("variant", ["v1", "v2", "v3", "tensorop", "ft"])
+    def test_fast_equals_functional(self, data, variant):
+        x, y = data
+        results = {}
+        for mode in ("fast", "functional"):
+            cfg = KMeansConfig(n_clusters=10, variant=variant, mode=mode)
+            kern = build_assignment(cfg, x.shape[0], x.shape[1],
+                                    np.random.default_rng(0))
+            results[mode] = kern.assign(x, y).labels
+        assert np.array_equal(results["fast"], results["functional"])
+
+    def test_min_distances_nonnegative_and_consistent(self, data):
+        x, y = data
+        cfg = KMeansConfig(n_clusters=10, variant="v3", mode="functional")
+        kern = build_assignment(cfg, x.shape[0], x.shape[1],
+                                np.random.default_rng(0))
+        res = kern.assign(x, y)
+        _, ref_best = reference_assignment(x, y)
+        np.testing.assert_allclose(res.min_sqdist, ref_best, rtol=1e-4,
+                                   atol=1e-4)
+
+    def test_timings_attached(self, data):
+        x, y = data
+        cfg = KMeansConfig(n_clusters=10, variant="tensorop")
+        kern = build_assignment(cfg, x.shape[0], x.shape[1],
+                                np.random.default_rng(0))
+        res = kern.assign(x, y)
+        assert res.sim_time_s > 0
+        assert any("distance" in name for name, _ in res.timings)
+
+
+class TestVariantRegistry:
+    def test_all_names_registered(self):
+        assert set(VARIANTS) == {"naive", "v1", "v2", "v3", "tensorop", "ft"}
+
+    def test_tile_auto_uses_selector(self):
+        cfg = KMeansConfig(n_clusters=8, variant="tensorop", tile="auto")
+        kern = build_assignment(cfg, 4096, 32, np.random.default_rng(0))
+        assert kern.tile is not None
+
+    def test_bad_tile_value(self):
+        cfg = KMeansConfig(n_clusters=8, variant="tensorop")
+        cfg.tile = "best"
+        with pytest.raises(ValueError):
+            build_assignment(cfg, 128, 16, np.random.default_rng(0))
+
+
+class TestEndToEndVariants:
+    def test_all_variants_same_clustering_on_blobs(self, blobs):
+        """Well-separated blobs: every variant lands the same partition."""
+        x, _, _ = blobs
+        base = None
+        for variant in ("naive", "v1", "v2", "v3", "tensorop", "ft"):
+            km = FTKMeans(n_clusters=5, variant=variant, seed=3,
+                          max_iter=30).fit(x)
+            if base is None:
+                base = km.labels_
+            else:
+                # identical partitions (same seed, deterministic path)
+                assert np.array_equal(km.labels_, base), variant
+
+    def test_inertia_monotone_over_iterations(self, blobs):
+        x, _, _ = blobs
+        km = FTKMeans(n_clusters=5, variant="v3", seed=0, max_iter=30,
+                      tol=0.0).fit(x)
+        h = np.array(km.inertia_history_)
+        assert np.all(np.diff(h) <= 1e-3 * h[:-1])  # non-increasing

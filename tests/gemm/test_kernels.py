@@ -1,0 +1,244 @@
+"""Functional-kernel tests: tensor-core and SIMT GEMM against references."""
+
+import numpy as np
+import pytest
+
+from repro.gemm.epilogue import (
+    BroadcastArgminEpilogue,
+    PartialArgminEpilogue,
+    StoreEpilogue,
+)
+from repro.gemm.reference import (
+    reference_assignment,
+    reference_distance_matrix,
+    reference_gemm,
+)
+from repro.gemm.shapes import GemmShape, distance_flops
+from repro.gemm.simt_gemm import SimtGemm
+from repro.gemm.tensorop_gemm import TensorOpGemm
+from repro.gemm.tiling import TileConfig
+from repro.gemm.verify import (
+    assert_allclose_gemm,
+    gemm_tolerance,
+    labels_agree_fraction,
+)
+from repro.gpusim.counters import PerfCounters
+from repro.gpusim.device import A100_PCIE_40GB, TESLA_T4
+from repro.gpusim.trace import Trace
+from repro.utils.arrays import ceil_div
+
+
+def _gmem(x, y, counters=None):
+    from repro.core.assignment import setup_gmem
+
+    return setup_gmem(x, y, counters if counters is not None else PerfCounters())
+
+
+class TestShapes:
+    def test_flops(self):
+        assert GemmShape(10, 4, 8).flops == 2 * 10 * 4 * 8
+        assert distance_flops(131072, 128, 128) == 2.0 * 131072 * 128 * 128
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            GemmShape(0, 1, 1)
+
+    def test_check_operands(self, operands):
+        x, y = operands
+        shape = GemmShape.from_kmeans(x.shape[0], y.shape[0], x.shape[1])
+        shape.check_operands(x, y)
+        with pytest.raises(ValueError):
+            shape.check_operands(x.T, y)
+
+
+class TestTensorOpGemm:
+    def test_matches_reference_assignment(self, operands, dtype, small_tile):
+        x, y = operands
+        gmem = _gmem(x, y)
+        kern = TensorOpGemm(A100_PCIE_40GB, small_tile, dtype)
+        kern.run(gmem, GemmShape(x.shape[0], y.shape[0], x.shape[1]))
+        ref, _ = reference_assignment(x, y, tf32=(dtype == np.float32))
+        got = gmem["assign"][:, 1].astype(np.int64)
+        assert labels_agree_fraction(got, ref) == 1.0
+
+    def test_non_tile_aligned_shapes(self, rng, dtype, small_tile):
+        """Predication: M, N, K not multiples of the tile extents."""
+        x = rng.standard_normal((131, 37)).astype(dtype)
+        y = rng.standard_normal((11, 37)).astype(dtype)
+        gmem = _gmem(x, y)
+        kern = TensorOpGemm(A100_PCIE_40GB, small_tile, dtype)
+        kern.run(gmem, GemmShape(131, 11, 37))
+        ref, _ = reference_assignment(x, y, tf32=(dtype == np.float32))
+        got = gmem["assign"][:, 1].astype(np.int64)
+        assert labels_agree_fraction(got, ref) == 1.0
+
+    def test_async_traffic_on_ampere(self, operands, small_tile, dtype):
+        x, y = operands
+        c = PerfCounters()
+        gmem = _gmem(x, y, c)
+        kern = TensorOpGemm(A100_PCIE_40GB, small_tile, dtype, counters=c)
+        kern.run(gmem, GemmShape(x.shape[0], y.shape[0], x.shape[1]))
+        assert c.async_copies > 0
+        assert c.commit_groups > 0 and c.wait_groups > 0
+
+    def test_t4_uses_synchronous_copies(self, operands, dtype):
+        """No cp.async before SM80: pipeline runs in synchronous mode."""
+        x, y = operands
+        tile = TileConfig.make((64, 32, 16), (32, 32, 16), dtype, stages=2)
+        c = PerfCounters()
+        gmem = _gmem(x, y, c)
+        kern = TensorOpGemm(TESLA_T4, tile, dtype, counters=c)
+        kern.run(gmem, GemmShape(x.shape[0], y.shape[0], x.shape[1]))
+        assert c.commit_groups == 0  # pipeline disabled
+        ref, _ = reference_assignment(x, y, tf32=(dtype == np.float32))
+        assert labels_agree_fraction(gmem["assign"][:, 1].astype(int), ref) == 1.0
+
+    def test_mma_instruction_count(self, operands):
+        """The main loop issues exactly the tile-decomposition count."""
+        x, y = operands
+        m, k = x.shape
+        n = y.shape[0]
+        tile = TileConfig.make((64, 32, 16), (32, 32, 16), np.float32)
+        c = PerfCounters()
+        kern = TensorOpGemm(A100_PCIE_40GB, tile, np.float32, counters=c)
+        kern.run(_gmem(x, y, c), GemmShape(m, n, k))
+        blocks = ceil_div(m, 64) * ceil_div(n, 32)
+        k_iters = ceil_div(k, 16)
+        warps = tile.warps_per_block
+        per_warp_step = kern.mma_unit.shape.instructions_for(32, 32, 16)
+        assert c.mma_ops == blocks * k_iters * warps * per_warp_step
+
+    def test_fault_trace_emitted(self, operands, small_tile):
+        from repro.gpusim.faults import FaultInjector
+
+        x, y = operands
+        trace = Trace()
+        inj = FaultInjector(0, p_block=1.0, dtype=np.float32)
+        kern = TensorOpGemm(A100_PCIE_40GB, small_tile, np.float32,
+                            injector=inj, trace=trace)
+        kern.run(_gmem(x, y), GemmShape(x.shape[0], y.shape[0], x.shape[1]))
+        assert trace.count("fault") == len(inj.injected) > 0
+
+
+class TestSimtGemm:
+    def test_store_epilogue_distances(self, operands, dtype, small_tile):
+        x, y = operands
+        m, n = x.shape[0], y.shape[0]
+        gmem = _gmem(x, y)
+        gmem.alloc("distances", (m, n), dtype)
+        kern = SimtGemm(A100_PCIE_40GB, small_tile, dtype,
+                        epilogue=StoreEpilogue())
+        kern.run(gmem, GemmShape(m, n, x.shape[1]))
+        dref = reference_distance_matrix(x, y)
+        assert_allclose_gemm(gmem["distances"], dref, dtype, x.shape[1])
+
+    def test_no_async_traffic(self, operands, small_tile, dtype):
+        """The SIMT kernel stages through registers: plain loads only."""
+        x, y = operands
+        c = PerfCounters()
+        gmem = _gmem(x, y, c)
+        gmem.alloc("distances", (x.shape[0], y.shape[0]), dtype)
+        kern = SimtGemm(A100_PCIE_40GB, small_tile, dtype, counters=c)
+        kern.run(gmem, GemmShape(x.shape[0], y.shape[0], x.shape[1]))
+        assert c.async_copies == 0
+        assert c.global_loads > 0
+
+    def test_partial_argmin_epilogue(self, operands, dtype, small_tile):
+        x, y = operands
+        m, n, k = x.shape[0], y.shape[0], x.shape[1]
+        grid_n = ceil_div(n, small_tile.tb.n)
+        gmem = _gmem(x, y)
+        gmem.alloc("partial_min", (m, grid_n), dtype)
+        gmem.alloc("partial_arg", (m, grid_n), np.int64)
+        kern = SimtGemm(A100_PCIE_40GB, small_tile, dtype,
+                        epilogue=PartialArgminEpilogue())
+        kern.run(gmem, GemmShape(m, n, k))
+        col = np.argmin(gmem["partial_min"], axis=1)
+        labels = gmem["partial_arg"][np.arange(m), col]
+        ref, _ = reference_assignment(x, y)
+        assert labels_agree_fraction(labels, ref) == 1.0
+
+    def test_broadcast_epilogue(self, operands, dtype, small_tile):
+        x, y = operands
+        c = PerfCounters()
+        gmem = _gmem(x, y, c)
+        kern = SimtGemm(A100_PCIE_40GB, small_tile, dtype,
+                        epilogue=BroadcastArgminEpilogue(), counters=c)
+        kern.run(gmem, GemmShape(x.shape[0], y.shape[0], x.shape[1]))
+        ref, _ = reference_assignment(x, y)
+        got = gmem["assign"][:, 1].astype(np.int64)
+        assert labels_agree_fraction(got, ref) == 1.0
+        assert c.atomics > 0  # the per-row locks
+
+
+class TestVerifyHelpers:
+    def test_tolerance_ordering(self):
+        assert gemm_tolerance(np.float32, 64, tf32=True) \
+            > gemm_tolerance(np.float32, 64) \
+            > gemm_tolerance(np.float64, 64)
+
+    def test_assert_allclose_gemm_raises(self):
+        a = np.ones((2, 2))
+        b = np.ones((2, 2)) * 2
+        with pytest.raises(AssertionError, match="GEMM mismatch"):
+            assert_allclose_gemm(a, b, np.float64, 4)
+
+    def test_labels_agree_shape_check(self):
+        with pytest.raises(ValueError):
+            labels_agree_fraction(np.zeros(3), np.zeros(4))
+
+
+class TestReference:
+    def test_distance_identity(self, rng):
+        """The GEMM decomposition equals the direct pairwise distance."""
+        x = rng.standard_normal((50, 12))
+        y = rng.standard_normal((7, 12))
+        d = reference_distance_matrix(x, y)
+        direct = ((x[:, None, :] - y[None]) ** 2).sum(-1)
+        np.testing.assert_allclose(d, direct, atol=1e-10)
+
+    def test_tf32_changes_result(self, rng):
+        x = rng.standard_normal((20, 16)).astype(np.float32)
+        y = rng.standard_normal((5, 16)).astype(np.float32)
+        exact = reference_gemm(x, y, tf32=False)
+        rounded = reference_gemm(x, y, tf32=True)
+        assert not np.array_equal(exact, rounded)
+        # absolute error bounded by the TF32 ulp times the dot depth
+        scale = float(np.abs(exact).max())
+        assert float(np.abs(exact - rounded).max()) < 16 * 2.0 ** -11 * scale
+
+
+class TestShortMainLoop:
+    """Regression: k_iters < stages-1 must still complete the prologue
+    copies (a 1-iteration loop once read stale zeros from shared memory)."""
+
+    @pytest.mark.parametrize("k_features", [1, 3, 8, 16, 17])
+    def test_tiny_feature_counts(self, rng, k_features):
+        x = rng.standard_normal((96, k_features)).astype(np.float32)
+        y = rng.standard_normal((8, k_features)).astype(np.float32)
+        tile = TileConfig.make((64, 32, 16), (32, 32, 16), np.float32,
+                               stages=4)
+        from repro.core.assignment import setup_gmem
+
+        gmem = setup_gmem(x, y, PerfCounters())
+        kern = TensorOpGemm(A100_PCIE_40GB, tile, np.float32)
+        kern.run(gmem, GemmShape(96, 8, k_features))
+        ref, _ = reference_assignment(x, y, tf32=True)
+        got = gmem["assign"][:, 1].astype(np.int64)
+        assert labels_agree_fraction(got, ref) == 1.0, k_features
+
+    def test_ft_kernel_tiny_features(self, rng):
+        from repro.core.ft_kmeans import FtTensorOpGemm
+        from repro.core.assignment import setup_gmem
+        from repro.gpusim.faults import FaultInjector
+
+        x = rng.random((256, 3)).astype(np.float32)
+        y = rng.random((8, 3)).astype(np.float32)
+        tile = TileConfig.make((128, 64, 16), (64, 32, 16), np.float32)
+        inj = FaultInjector(1, p_block=1.0, dtype=np.float32)
+        gmem = setup_gmem(x, y, PerfCounters())
+        kern = FtTensorOpGemm(A100_PCIE_40GB, tile, np.float32, injector=inj)
+        kern.run(gmem, GemmShape(256, 8, 3))
+        ref, _ = reference_assignment(x, y, tf32=True)
+        got = gmem["assign"][:, 1].astype(np.int64)
+        assert labels_agree_fraction(got, ref) == 1.0

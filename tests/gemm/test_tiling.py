@@ -1,0 +1,107 @@
+"""Tests for tile configurations and the paper's parameter rules."""
+
+import numpy as np
+import pytest
+
+from repro.gemm.tiling import THREAD_TILE, Tile3, TileConfig, validate_rules
+from repro.gpusim.device import A100_PCIE_40GB, TESLA_T4
+from repro.gpusim.errors import ResourceLimitExceeded
+
+
+class TestThreadTiles:
+    def test_paper_rule_4(self):
+        """Thread tiles are fixed: (16,8,4) FP32, (8,8,4) FP64."""
+        assert tuple(THREAD_TILE[np.dtype(np.float32)]) == (16, 8, 4)
+        assert tuple(THREAD_TILE[np.dtype(np.float64)]) == (8, 8, 4)
+
+
+class TestValidateRules:
+    def test_table1_parameters_are_valid(self):
+        """Every parameter group in the paper's Table I passes the rules."""
+        table1 = [
+            ((256, 32, 16), (64, 32, 16), np.float32),   # param 88
+            ((128, 64, 16), (32, 64, 16), np.float32),   # param 69
+            ((64, 128, 16), (64, 32, 16), np.float32),   # param 83
+            ((32, 256, 16), (32, 64, 16), np.float32),   # cuML fp32
+            ((128, 32, 16), (32, 32, 16), np.float64),   # param 21
+            ((64, 64, 16), (32, 32, 16), np.float64),    # param 19 / cuML
+        ]
+        for tb, warp, dt in table1:
+            cfg = TileConfig.make(tb, warp, dt)
+            assert cfg.warps_per_block >= 1
+
+    def test_power_of_two_rule(self):
+        v = validate_rules(Tile3(96, 32, 16), Tile3(32, 32, 16),
+                           Tile3(16, 8, 4))
+        assert any("power of two" in msg for msg in v)
+
+    def test_warp_k_equals_tb_k(self):
+        v = validate_rules(Tile3(64, 64, 16), Tile3(32, 32, 8),
+                           Tile3(16, 8, 4))
+        assert any("Warp.K" in msg for msg in v)
+
+    def test_area_ratio_rule(self):
+        # (64/16)*(64/8) = 32 not in {8, 16}
+        v = validate_rules(Tile3(64, 64, 16), Tile3(64, 64, 16),
+                           Tile3(16, 8, 4))
+        assert any("ratio" in msg for msg in v)
+
+    def test_divisibility(self):
+        v = validate_rules(Tile3(64, 64, 16), Tile3(128, 32, 16),
+                           Tile3(16, 8, 4))
+        assert v  # tb not divisible by warp
+
+
+class TestTileConfig:
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError, match="invalid tile"):
+            TileConfig.make((96, 64, 16), (32, 32, 16), np.float32)
+
+    def test_stage_minimum(self):
+        with pytest.raises(ValueError, match="stages"):
+            TileConfig.make((64, 64, 16), (32, 32, 16), np.float32, stages=1)
+
+    def test_derived_quantities(self):
+        cfg = TileConfig.make((128, 64, 16), (64, 32, 16), np.float32)
+        assert cfg.warps_per_block == 4
+        assert cfg.threads_per_block == 128
+        assert cfg.mma_tiles_per_warp == 16   # (64/16)*(32/8)
+        assert cfg.m_w == 4 and cfg.n_w == 4
+
+    def test_smem_bytes(self):
+        cfg = TileConfig.make((32, 256, 16), (32, 64, 16), np.float32, stages=4)
+        assert cfg.smem_bytes(np.float32) == 4 * (32 + 256) * 16 * 4
+
+    def test_regs_scale_with_warp_tile(self):
+        small = TileConfig.make((64, 32, 16), (32, 32, 16), np.float32)
+        big = TileConfig.make((128, 64, 16), (64, 32, 16), np.float32)
+        assert big.regs_per_thread(np.float32) >= small.regs_per_thread(np.float32)
+
+    def test_fp64_regs_double(self):
+        cfg32 = TileConfig.make((64, 64, 16), (32, 64, 16), np.float32)
+        cfg64 = TileConfig.make((64, 64, 16), (32, 32, 16), np.float64)
+        # 64-bit accumulators need two registers per element
+        assert cfg64.regs_per_thread(np.float64) > cfg32.regs_per_thread(np.float32) / 2
+
+
+class TestFeasibility:
+    def test_feasible_on_a100(self):
+        cfg = TileConfig.make((32, 256, 16), (32, 64, 16), np.float32, stages=4)
+        assert cfg.feasible_on(A100_PCIE_40GB, np.float32)
+
+    def test_cuml_fp32_4stage_infeasible_on_t4(self):
+        """cuML's Ampere pipeline does not fit T4's 64 KB shared memory."""
+        cfg = TileConfig.make((32, 256, 16), (32, 64, 16), np.float32, stages=4)
+        assert not cfg.feasible_on(TESLA_T4, np.float32)
+        cfg2 = TileConfig.make((32, 256, 16), (32, 64, 16), np.float32, stages=2)
+        assert cfg2.feasible_on(TESLA_T4, np.float32)
+
+    def test_assert_feasible_raises(self):
+        cfg = TileConfig.make((256, 256, 32), (64, 32, 32), np.float32,
+                              stages=4)
+        with pytest.raises(ResourceLimitExceeded):
+            cfg.assert_feasible(A100_PCIE_40GB, np.float32)
+
+    def test_label_format(self):
+        cfg = TileConfig.make((64, 128, 16), (64, 32, 16), np.float32)
+        assert cfg.label() == "TB(64,128,16) W(64,32,16) T(16,8,4)"

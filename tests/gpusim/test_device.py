@@ -1,0 +1,72 @@
+"""Tests for device specifications."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.device import A100_PCIE_40GB, TESLA_T4, DeviceSpec, get_device
+
+
+class TestPresets:
+    def test_a100_paper_peaks(self):
+        # the paper quotes the CUDA-core peaks
+        assert A100_PCIE_40GB.simt_tflops_fp32 == 19.5
+        assert A100_PCIE_40GB.simt_tflops_fp64 == 9.7
+        assert A100_PCIE_40GB.mem_bw_gbps == 1555.0
+
+    def test_t4_paper_peaks(self):
+        assert TESLA_T4.simt_tflops_fp32 == 8.1
+        assert TESLA_T4.simt_tflops_fp64 == 0.253
+        assert TESLA_T4.mem_bw_gbps == 320.0
+
+    def test_async_copy_is_ampere_only(self):
+        assert A100_PCIE_40GB.has_async_copy
+        assert not TESLA_T4.has_async_copy
+
+    def test_t4_has_no_fp64_tensor_path(self):
+        assert A100_PCIE_40GB.has_fp64_tensor()
+        assert not TESLA_T4.has_fp64_tensor()
+
+    def test_tensor_peak_exceeds_simt_peak_fp32(self):
+        for dev in (A100_PCIE_40GB, TESLA_T4):
+            assert dev.tensor_tflops_fp32 > dev.simt_tflops_fp32
+
+
+class TestPeakFlops:
+    def test_tensor_vs_simt(self):
+        assert A100_PCIE_40GB.peak_flops(np.float32, tensor_core=True) == 156.0e12
+        assert A100_PCIE_40GB.peak_flops(np.float32, tensor_core=False) == 19.5e12
+
+    def test_fp64(self):
+        assert A100_PCIE_40GB.peak_flops(np.float64) == 19.5e12
+
+    def test_rejects_other_dtypes(self):
+        with pytest.raises(ValueError):
+            A100_PCIE_40GB.peak_flops(np.int32)
+
+    def test_mem_bw_units(self):
+        assert A100_PCIE_40GB.mem_bw() == 1555.0e9
+
+
+class TestGetDevice:
+    def test_short_names(self):
+        assert get_device("a100") is A100_PCIE_40GB
+        assert get_device("t4") is TESLA_T4
+        assert get_device("A100") is A100_PCIE_40GB
+
+    def test_full_name(self):
+        assert get_device(A100_PCIE_40GB.name) is A100_PCIE_40GB
+
+    def test_passthrough(self):
+        assert get_device(TESLA_T4) is TESLA_T4
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            get_device("h100")
+
+
+class TestWith:
+    def test_with_returns_modified_copy(self):
+        mod = A100_PCIE_40GB.with_(mem_bw_gbps=2000.0)
+        assert mod.mem_bw_gbps == 2000.0
+        assert A100_PCIE_40GB.mem_bw_gbps == 1555.0
+        assert mod.num_sms == A100_PCIE_40GB.num_sms

@@ -1,0 +1,89 @@
+"""Tests for the SEU fault injector."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.faults import FaultInjector, FaultPlan, NullInjector
+
+
+class TestFaultPlan:
+    def test_locate_within_tile(self):
+        plan = FaultPlan(step=0, row_frac=0.99, col_frac=0.0, bit=3)
+        r, c = plan.locate(64, 32)
+        assert r == 63 and c == 0
+
+    def test_locate_never_out_of_range(self):
+        plan = FaultPlan(step=0, row_frac=0.999999, col_frac=0.999999, bit=0)
+        r, c = plan.locate(7, 5)
+        assert 0 <= r < 7 and 0 <= c < 5
+
+
+class TestFaultInjector:
+    def test_p_zero_never_fires(self):
+        inj = FaultInjector(0, p_block=0.0, dtype=np.float32)
+        assert not inj.enabled
+        assert inj.plan_for_block(0, 10) is None
+
+    def test_p_one_always_fires(self):
+        inj = FaultInjector(0, p_block=1.0, dtype=np.float32)
+        plans = [inj.plan_for_block(i, 8) for i in range(20)]
+        assert all(p is not None for p in plans)
+        assert all(0 <= p.step < 8 for p in plans)
+        assert all(0 <= p.bit < 32 for p in plans)
+
+    def test_fp64_bit_range(self):
+        inj = FaultInjector(0, p_block=1.0, dtype=np.float64)
+        bits = [inj.plan_for_block(i, 4).bit for i in range(200)]
+        assert max(bits) >= 32  # high word gets hit too
+        assert all(0 <= b < 64 for b in bits)
+
+    def test_probability_roughly_respected(self):
+        inj = FaultInjector(42, p_block=0.25, dtype=np.float32)
+        fired = sum(inj.plan_for_block(i, 8) is not None for i in range(4000))
+        assert 800 < fired < 1200
+
+    def test_max_faults_cap(self):
+        inj = FaultInjector(0, p_block=1.0, dtype=np.float32, max_faults=3)
+        plans = [inj.plan_for_block(i, 8) for i in range(10)]
+        assert sum(p is not None for p in plans) == 3
+
+    def test_reproducible_given_seed(self):
+        a = FaultInjector(7, p_block=0.5, dtype=np.float32)
+        b = FaultInjector(7, p_block=0.5, dtype=np.float32)
+        pa = [a.plan_for_block(i, 8) for i in range(50)]
+        pb = [b.plan_for_block(i, 8) for i in range(50)]
+        assert pa == pb
+
+    def test_apply_flips_element(self):
+        inj = FaultInjector(0, p_block=1.0, dtype=np.float32)
+        plan = inj.plan_for_block(0, 8)
+        acc = np.ones((16, 16), np.float32)
+        r, c = inj.apply(plan, acc)
+        assert acc[r, c] != 1.0
+        assert np.sum(acc != 1.0) == 1
+        assert inj.counters.errors_injected == 1
+
+    def test_zero_steps(self):
+        inj = FaultInjector(0, p_block=1.0, dtype=np.float32)
+        assert inj.plan_for_block(0, 0) is None
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            FaultInjector(0, p_block=1.5, dtype=np.float32)
+
+    def test_injection_log(self):
+        inj = FaultInjector(0, p_block=1.0, dtype=np.float32)
+        inj.plan_for_block(3, 8)
+        inj.plan_for_block(9, 8)
+        assert [bid for bid, _ in inj.injected] == [3, 9]
+
+
+class TestNullInjector:
+    def test_never_fires(self):
+        n = NullInjector()
+        assert not n.enabled
+        assert n.plan_for_block(0, 100) is None
+
+    def test_apply_raises(self):
+        with pytest.raises(RuntimeError):
+            NullInjector().apply(None, np.zeros((2, 2)))

@@ -1,0 +1,120 @@
+"""Tests for simulated memory spaces and traffic accounting."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.counters import PerfCounters
+from repro.gpusim.errors import MemoryFault, ResourceLimitExceeded
+from repro.gpusim.memory import GlobalMemory, RegisterFile, SharedMemory
+
+
+class TestGlobalMemory:
+    def test_alloc_and_load(self):
+        g = GlobalMemory()
+        g.alloc("a", (8, 8), np.float32)
+        tile = g.load("a", slice(0, 4), slice(0, 4))
+        assert tile.shape == (4, 4)
+        assert g.counters.global_loads == 4 * 4 * 4
+
+    def test_load_returns_copy(self):
+        g = GlobalMemory()
+        arr = g.alloc("a", (4, 4), np.float32)
+        tile = g.load("a", slice(0, 2), slice(0, 2))
+        tile[:] = 99
+        assert arr[0, 0] == 0
+
+    def test_store_counts_bytes(self):
+        g = GlobalMemory()
+        g.alloc("a", (8, 8), np.float64)
+        g.store("a", slice(0, 2), slice(0, 2), np.ones((2, 2)))
+        assert g.counters.global_stores == 2 * 2 * 8
+
+    def test_async_copy_counted_separately(self):
+        g = GlobalMemory()
+        g.alloc("a", (8, 8), np.float32)
+        g.async_copy("a", slice(0, 8), slice(0, 8))
+        assert g.counters.async_copies == 8 * 8 * 4
+        assert g.counters.global_loads == 0
+
+    def test_bind_existing(self):
+        g = GlobalMemory()
+        arr = np.arange(6.0).reshape(2, 3)
+        g.bind("x", arr)
+        assert g["x"] is arr
+        assert "x" in g
+
+    def test_missing_name(self):
+        g = GlobalMemory()
+        with pytest.raises(MemoryFault):
+            g["nope"]
+
+    def test_atomic_add(self):
+        g = GlobalMemory()
+        g.alloc("acc", (4,), np.float64)
+        g.atomic_add("acc", 1, 2.5)
+        g.atomic_add("acc", 1, 2.5)
+        assert g["acc"][1] == 5.0
+        assert g.counters.atomics == 2
+
+    def test_atomic_min_packed(self):
+        g = GlobalMemory()
+        arr = g.alloc("assign", (3, 2), np.float64)
+        arr[:, 0] = np.inf
+        assert g.atomic_min_packed("assign", 0, 5.0, 7)
+        assert not g.atomic_min_packed("assign", 0, 9.0, 8)  # loses
+        assert g.atomic_min_packed("assign", 0, 1.0, 9)      # wins
+        assert arr[0, 0] == 1.0 and arr[0, 1] == 9
+        assert g.counters.atomics == 3
+
+
+class TestSharedMemory:
+    def test_capacity_enforced(self):
+        s = SharedMemory(1024)
+        s.alloc("a", (16, 8), np.float64)  # exactly 1024 B
+        with pytest.raises(ResourceLimitExceeded):
+            s.alloc("b", (1,), np.float32)
+
+    def test_used_bytes(self):
+        s = SharedMemory(4096)
+        s.alloc("a", (16, 16), np.float32)
+        assert s.used_bytes == 1024
+
+    def test_read_write_counted(self):
+        s = SharedMemory(4096, counters=PerfCounters())
+        s.alloc("a", (4, 4), np.float32)
+        s.write("a", slice(None), np.ones((4, 4), np.float32))
+        tile = s.read("a", slice(None))
+        assert tile.sum() == 16
+        assert s.counters.shared_stores == 64
+        assert s.counters.shared_loads == 64
+
+    def test_read_returns_copy(self):
+        s = SharedMemory(4096)
+        s.alloc("a", (2, 2), np.float32)
+        t = s.read("a", slice(None))
+        t[:] = 5
+        assert s["a"].sum() == 0
+
+
+class TestRegisterFile:
+    def test_declare_within_limit(self):
+        r = RegisterFile(255)
+        r.declare(100)
+        r.declare(100)
+        assert r.declared == 200
+
+    def test_over_limit(self):
+        r = RegisterFile(255)
+        with pytest.raises(ResourceLimitExceeded):
+            r.declare(300)
+
+    def test_negative(self):
+        r = RegisterFile(255)
+        with pytest.raises(ValueError):
+            r.declare(-1)
+
+    def test_reset(self):
+        r = RegisterFile(255)
+        r.declare(50)
+        r.reset()
+        assert r.declared == 0

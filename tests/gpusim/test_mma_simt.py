@@ -1,0 +1,156 @@
+"""Tests for the tensor-core MMA and SIMT functional units."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.counters import PerfCounters
+from repro.gpusim.mma import (
+    MMA_FP32_TF32,
+    MMA_FP64,
+    MmaUnit,
+    mma_shape_for,
+    round_tf32,
+)
+from repro.gpusim.simt import SimtUnit
+
+
+class TestMmaShapes:
+    def test_paper_instruction_shapes(self):
+        assert (MMA_FP64.m, MMA_FP64.n, MMA_FP64.k) == (8, 8, 4)
+        assert (MMA_FP32_TF32.m, MMA_FP32_TF32.n, MMA_FP32_TF32.k) == (16, 8, 8)
+
+    def test_shape_for_dtype(self):
+        assert mma_shape_for(np.float32) is MMA_FP32_TF32
+        assert mma_shape_for(np.float64) is MMA_FP64
+        with pytest.raises(ValueError):
+            mma_shape_for(np.int32)
+
+    def test_instruction_count(self):
+        # a 64x32 warp tile over a 16-deep fragment on TF32 m16n8k8
+        assert MMA_FP32_TF32.instructions_for(64, 32, 16) == 4 * 4 * 2
+        # fp64 m8n8k4: 32x32x16 warp tile
+        assert MMA_FP64.instructions_for(32, 32, 16) == 4 * 4 * 4
+
+
+class TestRoundTf32:
+    def test_idempotent(self, rng):
+        x = rng.standard_normal(100).astype(np.float32)
+        once = round_tf32(x)
+        np.testing.assert_array_equal(round_tf32(once), once)
+
+    def test_relative_error_bound(self, rng):
+        x = rng.standard_normal(1000).astype(np.float32) * 100
+        err = np.abs(round_tf32(x) - x) / np.abs(x)
+        assert err.max() <= 2.0 ** -11  # RNE half-ulp of 10-bit mantissa
+
+    def test_round_to_nearest_not_truncation(self):
+        """Truncation would bias toward zero; RNE must round some values up."""
+        x = np.float32(1.0) + np.float32(2.0 ** -11) + np.float32(2.0 ** -13)
+        assert float(round_tf32(x)) >= float(x)
+
+    def test_unbiased_on_random_data(self, rng):
+        x = (rng.standard_normal(200_000) * 10).astype(np.float32)
+        bias = float(np.mean(round_tf32(x).astype(np.float64) - x))
+        assert abs(bias) < 1e-4  # truncation would give ~-2e-3 * mean|x|
+
+    def test_non_finite_passthrough(self):
+        x = np.array([np.inf, -np.inf, np.nan, 1.0], dtype=np.float32)
+        out = round_tf32(x)
+        assert np.isposinf(out[0]) and np.isneginf(out[1]) and np.isnan(out[2])
+
+    def test_exact_values_unchanged(self):
+        # values representable in 10 mantissa bits
+        x = np.array([1.0, 0.5, 1024.0, 1.5], dtype=np.float32)
+        np.testing.assert_array_equal(round_tf32(x), x)
+
+
+class TestMmaUnit:
+    def test_accumulates_correctly_fp64(self, rng):
+        unit = MmaUnit(np.float64)
+        a = rng.standard_normal((8, 16))
+        b = rng.standard_normal((16, 8))
+        acc = np.zeros((8, 8))
+        unit.mma(a, b, acc)
+        np.testing.assert_allclose(acc, a @ b, rtol=1e-12)
+
+    def test_tf32_rounding_applied(self, rng):
+        c = PerfCounters()
+        unit = MmaUnit(np.float32, c, use_tf32=True)
+        a = rng.standard_normal((16, 8)).astype(np.float32)
+        b = rng.standard_normal((8, 8)).astype(np.float32)
+        acc = np.zeros((16, 8), np.float32)
+        unit.mma(a, b, acc)
+        expected = round_tf32(a) @ round_tf32(b)
+        np.testing.assert_array_equal(acc, expected)
+
+    def test_tf32_disabled(self, rng):
+        unit = MmaUnit(np.float32, use_tf32=False)
+        a = rng.standard_normal((16, 8)).astype(np.float32)
+        b = rng.standard_normal((8, 8)).astype(np.float32)
+        acc = np.zeros((16, 8), np.float32)
+        unit.mma(a, b, acc)
+        np.testing.assert_array_equal(acc, a @ b)
+
+    def test_instruction_and_flop_accounting(self, rng):
+        c = PerfCounters()
+        unit = MmaUnit(np.float64, c)
+        a = rng.standard_normal((32, 16))
+        b = rng.standard_normal((16, 32))
+        acc = np.zeros((32, 32))
+        unit.mma(a, b, acc)
+        assert c.mma_ops == MMA_FP64.instructions_for(32, 32, 16)
+        assert c.flops == 2 * 32 * 32 * 16
+        assert c.abft_mma_ops == 0
+
+    def test_abft_flag_counts_separately(self, rng):
+        c = PerfCounters()
+        unit = MmaUnit(np.float64, c)
+        a = np.ones((8, 4))
+        b = np.ones((4, 8))
+        unit.mma(a, b, np.zeros((8, 8)), abft=True)
+        assert c.abft_mma_ops == c.mma_ops > 0
+
+    def test_shape_mismatch(self):
+        unit = MmaUnit(np.float32)
+        with pytest.raises(ValueError):
+            unit.mma(np.ones((4, 4)), np.ones((5, 4)), np.zeros((4, 4)))
+
+
+class TestSimtUnit:
+    def test_fma_gemm(self, rng):
+        unit = SimtUnit(np.float64)
+        a = rng.standard_normal((8, 12))
+        b = rng.standard_normal((12, 6))
+        acc = np.zeros((8, 6))
+        unit.fma_gemm(a, b, acc)
+        np.testing.assert_allclose(acc, a @ b, rtol=1e-12)
+        assert unit.counters.simt_fma == 8 * 6 * 12
+
+    def test_weighted_sums(self, rng):
+        c = PerfCounters()
+        unit = SimtUnit(np.float64, c)
+        tile = rng.standard_normal((6, 10))
+        w = np.arange(1.0, 7.0)
+        out = unit.weighted_rowsum(tile, w, abft=True)
+        np.testing.assert_allclose(out, w @ tile, rtol=1e-12)
+        assert c.abft_simt_ops == 60
+        out2 = unit.weighted_colsum(tile, np.ones(10))
+        np.testing.assert_allclose(out2, tile.sum(axis=1), rtol=1e-12)
+
+    def test_square_rowsum(self, rng):
+        unit = SimtUnit(np.float64)
+        tile = rng.standard_normal((5, 7))
+        np.testing.assert_allclose(unit.square_rowsum(tile),
+                                   (tile ** 2).sum(axis=1), rtol=1e-12)
+
+    def test_row_argmin(self):
+        unit = SimtUnit(np.float32)
+        tile = np.array([[3.0, 1.0, 2.0], [0.5, 4.0, 0.4]], np.float32)
+        mins, args = unit.row_argmin(tile)
+        np.testing.assert_array_equal(args, [1, 2])
+        np.testing.assert_allclose(mins, np.array([1.0, 0.4], np.float32))
+
+    def test_axpy(self):
+        unit = SimtUnit(np.float32)
+        out = unit.axpy(2.0, np.ones(4, np.float32), np.ones(4, np.float32))
+        np.testing.assert_array_equal(out, np.full(4, 3.0, np.float32))

@@ -1,0 +1,109 @@
+"""Tests for occupancy calculation and the grid/block/warp hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.counters import PerfCounters
+from repro.gpusim.device import A100_PCIE_40GB, TESLA_T4
+from repro.gpusim.errors import LaunchError, ResourceLimitExceeded
+from repro.gpusim.hierarchy import Grid, LaunchConfig
+from repro.gpusim.occupancy import compute_occupancy
+
+
+class TestOccupancy:
+    def test_thread_limited(self):
+        occ = compute_occupancy(A100_PCIE_40GB, 1024, 0, 32)
+        assert occ.blocks_per_sm == 2
+        assert occ.limiter == "threads"
+        assert occ.occupancy == 1.0
+
+    def test_smem_limited(self):
+        # cuML FP32: 4 stages x (32+256) x 16 x 4B = 73728 B
+        occ = compute_occupancy(A100_PCIE_40GB, 128, 73728, 64)
+        assert occ.limiter == "smem"
+        assert occ.blocks_per_sm == A100_PCIE_40GB.smem_per_sm // 73728
+
+    def test_register_limited(self):
+        occ = compute_occupancy(A100_PCIE_40GB, 1024, 0, 255)
+        assert occ.limiter == "regs"
+
+    def test_infeasible(self):
+        occ = compute_occupancy(TESLA_T4, 128, TESLA_T4.smem_per_sm + 1, 32)
+        assert not occ.feasible
+
+    def test_monotone_in_smem(self):
+        prev = None
+        for smem in (8 * 1024, 16 * 1024, 32 * 1024, 64 * 1024):
+            occ = compute_occupancy(A100_PCIE_40GB, 128, smem, 32)
+            if prev is not None:
+                assert occ.blocks_per_sm <= prev
+            prev = occ.blocks_per_sm
+
+    def test_invalid_threads(self):
+        with pytest.raises(ValueError):
+            compute_occupancy(A100_PCIE_40GB, 0, 0, 32)
+
+
+class TestLaunchConfig:
+    def test_valid(self):
+        cfg = LaunchConfig(4, 2, 256, 1024, 64)
+        cfg.validate(A100_PCIE_40GB)
+        assert cfg.num_blocks == 8
+        assert cfg.warps_per_block == 8
+
+    def test_bad_grid(self):
+        with pytest.raises(LaunchError):
+            LaunchConfig(0, 1, 128).validate(A100_PCIE_40GB)
+
+    def test_non_warp_multiple(self):
+        with pytest.raises(LaunchError):
+            LaunchConfig(1, 1, 100).validate(A100_PCIE_40GB)
+
+    def test_too_many_threads(self):
+        with pytest.raises(ResourceLimitExceeded):
+            LaunchConfig(1, 1, 2048).validate(A100_PCIE_40GB)
+
+    def test_smem_over_block_limit(self):
+        with pytest.raises(ResourceLimitExceeded):
+            LaunchConfig(1, 1, 128, smem_bytes=TESLA_T4.smem_per_block + 1
+                         ).validate(TESLA_T4)
+
+
+class TestGrid:
+    def test_block_iteration_order(self):
+        grid = Grid(A100_PCIE_40GB, LaunchConfig(2, 3, 64))
+        ids = [b.block_id for b in grid.blocks()]
+        assert ids == list(range(6))
+        coords = [(b.block_m, b.block_n) for b in grid.blocks()]
+        assert coords[0] == (0, 0) and coords[-1] == (1, 2)
+
+    def test_for_tiles(self):
+        grid = Grid.for_tiles(A100_PCIE_40GB, 100, 50, 32, 32, 128)
+        assert grid.config.grid_m == 4
+        assert grid.config.grid_n == 2
+
+    def test_launch_counted(self):
+        c = PerfCounters()
+        Grid(A100_PCIE_40GB, LaunchConfig(1, 1, 64), counters=c)
+        assert c.kernels_launched == 1
+
+    def test_warp_raster(self):
+        grid = Grid(A100_PCIE_40GB, LaunchConfig(1, 1, 128))
+        block = next(grid.blocks())
+        warps = block.warps(2, 2)
+        assert len(warps) == 4
+        assert [(w.warp_m, w.warp_n) for w in warps] == [
+            (0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_warp_raster_mismatch(self):
+        grid = Grid(A100_PCIE_40GB, LaunchConfig(1, 1, 128))
+        block = next(grid.blocks())
+        with pytest.raises(LaunchError):
+            block.warps(3, 2)
+
+    def test_syncthreads_counted(self):
+        grid = Grid(A100_PCIE_40GB, LaunchConfig(1, 1, 64))
+        block = next(grid.blocks())
+        block.syncthreads()
+        block.syncthreads()
+        assert grid.counters.barriers == 2

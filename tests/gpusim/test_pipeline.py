@@ -1,0 +1,111 @@
+"""Tests for the cp.async pipeline model — including the stale-data
+failure mode that proves copies really are deferred."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.counters import PerfCounters
+from repro.gpusim.errors import PipelineError
+from repro.gpusim.pipeline import AsyncCopyPipeline
+
+
+def _bufs(n=3, shape=(4,)):
+    return [np.zeros(shape, np.float32) for _ in range(n)]
+
+
+class TestCommitWaitSemantics:
+    def test_copy_not_visible_before_wait(self):
+        pipe = AsyncCopyPipeline()
+        dest = np.zeros(4, np.float32)
+        pipe.async_copy(dest, np.ones(4, np.float32))
+        pipe.commit_group()
+        # still in flight: dest must be stale
+        assert dest.sum() == 0
+        pipe.wait_group(0)
+        assert dest.sum() == 4
+
+    def test_wait_completes_oldest_first(self):
+        pipe = AsyncCopyPipeline()
+        d = _bufs(3)
+        for i in range(3):
+            pipe.async_copy(d[i], np.full(4, i + 1, np.float32))
+            pipe.commit_group()
+        pipe.wait_group(2)  # completes exactly the oldest group
+        assert d[0].sum() == 4 and d[1].sum() == 0 and d[2].sum() == 0
+        pipe.wait_group(0)
+        assert d[1].sum() == 8 and d[2].sum() == 12
+
+    def test_groups_in_flight(self):
+        pipe = AsyncCopyPipeline()
+        d = _bufs(2)
+        for i in range(2):
+            pipe.async_copy(d[i], np.ones(4, np.float32))
+            pipe.commit_group()
+        assert pipe.groups_in_flight == 2
+        pipe.wait_group(1)
+        assert pipe.groups_in_flight == 1
+
+    def test_multi_copy_group(self):
+        pipe = AsyncCopyPipeline()
+        a, b = _bufs(2)
+        pipe.async_copy(a, np.ones(4, np.float32))
+        pipe.async_copy(b, np.full(4, 2, np.float32))
+        pipe.commit_group()
+        pipe.wait_group(0)
+        assert a.sum() == 4 and b.sum() == 8
+
+    def test_source_snapshot_at_issue(self):
+        """cp.async reads the source when issued, not when completed."""
+        pipe = AsyncCopyPipeline()
+        src = np.ones(4, np.float32)
+        dest = np.zeros(4, np.float32)
+        pipe.async_copy(dest, src)
+        src[:] = 99  # mutate after issue
+        pipe.commit_group()
+        pipe.wait_group(0)
+        assert dest.sum() == 4
+
+
+class TestErrors:
+    def test_shape_mismatch(self):
+        pipe = AsyncCopyPipeline()
+        with pytest.raises(PipelineError):
+            pipe.async_copy(np.zeros(4, np.float32), np.zeros(5, np.float32))
+
+    def test_negative_wait(self):
+        pipe = AsyncCopyPipeline()
+        with pytest.raises(PipelineError):
+            pipe.wait_group(-1)
+
+    def test_drain_with_uncommitted(self):
+        pipe = AsyncCopyPipeline()
+        pipe.async_copy(np.zeros(2, np.float32), np.ones(2, np.float32))
+        with pytest.raises(PipelineError):
+            pipe.drain()
+
+
+class TestDisabledPipeline:
+    def test_synchronous_when_disabled(self):
+        """Pre-Ampere: copies complete immediately (register path)."""
+        pipe = AsyncCopyPipeline(enabled=False)
+        dest = np.zeros(4, np.float32)
+        pipe.async_copy(dest, np.ones(4, np.float32))
+        assert dest.sum() == 4  # no commit/wait needed
+
+    def test_no_group_accounting_when_disabled(self):
+        c = PerfCounters()
+        pipe = AsyncCopyPipeline(c, enabled=False)
+        pipe.commit_group()
+        pipe.wait_group(0)
+        assert c.commit_groups == 0 and c.wait_groups == 0
+
+
+class TestCounters:
+    def test_commit_and_wait_counted(self):
+        c = PerfCounters()
+        pipe = AsyncCopyPipeline(c)
+        pipe.async_copy(np.zeros(2, np.float32), np.ones(2, np.float32))
+        pipe.commit_group()
+        pipe.wait_group(0)
+        assert c.commit_groups == 1
+        assert c.wait_groups == 1

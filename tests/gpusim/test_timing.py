@@ -1,0 +1,227 @@
+"""Tests for the analytic timing model — the qualitative orderings the
+paper's evaluation rests on."""
+
+import numpy as np
+import pytest
+
+from repro.codegen.cuml_params import cuml_tile
+from repro.gpusim.clock import SimClock
+from repro.gpusim.device import A100_PCIE_40GB, TESLA_T4
+from repro.gpusim.timing import Calibration, TimingModel
+
+M = 131072
+
+
+@pytest.fixture(scope="module")
+def model():
+    return TimingModel(A100_PCIE_40GB)
+
+
+def _ft_tile_args(dtype):
+    """A good mid-size tile (what the selector typically picks)."""
+    if np.dtype(dtype) == np.float32:
+        return dict(tb_m=128, tb_n=128, tb_k=16, w_m=64, w_n=32, stages=3)
+    return dict(tb_m=64, tb_n=64, tb_k=16, w_m=32, w_n=32, stages=3)
+
+
+def _cuml_args(dtype):
+    t = cuml_tile(dtype)
+    return dict(tb_m=t.tb.m, tb_n=t.tb.n, tb_k=t.tb.k, w_m=t.warp.m,
+                w_n=t.warp.n, stages=t.stages)
+
+
+class TestBasicSanity:
+    def test_positive_time_and_breakdown(self, model, dtype):
+        t = model.distance_tensorop(M, 64, 64, dtype, **_ft_tile_args(dtype))
+        assert t.time_s > 0
+        assert t.t_compute > 0 and t.t_memory > 0
+        assert t.gflops > 0
+
+    def test_gflops_uses_useful_flops(self, model):
+        t = model.distance_tensorop(M, 64, 64, np.float32,
+                                    **_ft_tile_args(np.float32))
+        assert t.useful_flops == 2.0 * M * 64 * 64
+
+    def test_infeasible_tile_raises(self, model):
+        with pytest.raises(ValueError):
+            # stages x tiles exceed even A100's shared memory
+            model.distance_tensorop(M, 64, 64, np.float64, tb_m=256, tb_n=256,
+                                    tb_k=32, w_m=64, w_n=64, stages=8)
+
+
+class TestPaperOrderings:
+    def test_stepwise_ladder_fp32(self, model):
+        """Fig. 7: naive < v1 < v2 < v3 < tensor-core."""
+        naive = model.distance_naive(M, 128, 128, np.float32).gflops
+        prev = naive
+        for variant in ("v1", "v2", "v3"):
+            g = model.distance_simt(M, 128, 128, np.float32, 64, 64, 16,
+                                    32, 32, variant=variant).gflops
+            assert g > prev, variant
+            prev = g
+        ft = model.distance_tensorop(M, 128, 128, np.float32,
+                                     **_ft_tile_args(np.float32)).gflops
+        assert ft > prev
+
+    def test_cuml_padding_waste_small_clusters(self, model):
+        """cuML's TB_N=256 against K=8 clusters wastes ~31/32 of the MMAs."""
+        cu8 = model.distance_tensorop(M, 8, 128, np.float32,
+                                      **_cuml_args(np.float32))
+        cu128 = model.distance_tensorop(M, 128, 128, np.float32,
+                                        **_cuml_args(np.float32))
+        # useful GFLOPS collapse as padding grows
+        assert cu8.gflops < cu128.gflops / 4
+
+    def test_tuned_beats_cuml_fp32(self, model):
+        ft = model.distance_tensorop(M, 128, 128, np.float32,
+                                     **_ft_tile_args(np.float32))
+        cu = model.distance_tensorop(M, 128, 128, np.float32,
+                                     **_cuml_args(np.float32))
+        assert 1.5 < ft.gflops / cu.gflops < 3.5  # paper: 1.83x
+
+    def test_fp64_headroom_is_small(self, model):
+        """Paper Fig. 9/12: FP64 tuned ≈ cuML (avg 1.04x)."""
+        ft = model.distance_tensorop(M, 128, 128, np.float64,
+                                     **_ft_tile_args(np.float64))
+        cu = model.distance_tensorop(M, 128, 128, np.float64,
+                                     **_cuml_args(np.float64))
+        assert ft.gflops / cu.gflops < 1.4
+
+    def test_absolute_scale_fp32(self, model):
+        """FT K-means ~17.7 TFLOPS, cuML ~9.7 at (K=128, N=128)."""
+        ft = model.distance_tensorop(M, 128, 128, np.float32,
+                                     **_ft_tile_args(np.float32))
+        cu = model.distance_tensorop(M, 128, 128, np.float32,
+                                     **_cuml_args(np.float32))
+        assert 14000 < ft.gflops < 23000
+        assert 7000 < cu.gflops < 12000
+
+
+class TestAbftOverheads:
+    def test_fp32_overhead_small(self, model):
+        """Paper Fig. 15: ~1-2% on FP32 (absorbed into idle TF32 slots)."""
+        args = _ft_tile_args(np.float32)
+        base = model.distance_tensorop(M, 128, 128, np.float32, **args)
+        ft = model.distance_tensorop(M, 128, 128, np.float32, abft="ftkmeans",
+                                     **args)
+        overhead = ft.time_s / base.time_s - 1
+        assert 0 <= overhead < 0.06
+
+    def test_fp64_overhead_substantial(self, model):
+        """Paper Fig. 16: ~20% at K=128 (DMMA pipe near roofline)."""
+        args = _ft_tile_args(np.float64)
+        base = model.distance_tensorop(M, 128, 128, np.float64, **args)
+        ft = model.distance_tensorop(M, 128, 128, np.float64, abft="ftkmeans",
+                                     **args)
+        overhead = ft.time_s / base.time_s - 1
+        assert 0.10 < overhead < 0.30
+
+    def test_tensor_only_worse_than_fused(self, model, dtype):
+        """Sec. IV-B ablation: all-tensor checksums cost ~50%."""
+        args = _ft_tile_args(dtype)
+        fused = model.distance_tensorop(M, 128, 128, dtype, abft="ftkmeans",
+                                        **args)
+        tonly = model.distance_tensorop(M, 128, 128, dtype, abft="tensor_only",
+                                        **args)
+        assert tonly.time_s > fused.time_s
+
+    def test_wu_pays_for_sync_path(self, model, dtype):
+        """Paper Fig. 17: Wu's scheme ~30% over the async baseline."""
+        args = _ft_tile_args(dtype)
+        base = model.distance_tensorop(M, 128, 128, dtype, **args)
+        wu = model.distance_tensorop(M, 128, 128, dtype, abft="wu", **args)
+        assert 1.15 < wu.time_s / base.time_s < 2.2
+
+    def test_correction_cost_scales_with_injection(self, model):
+        args = _ft_tile_args(np.float32)
+        t0 = model.distance_tensorop(M, 128, 128, np.float32, abft="ftkmeans",
+                                     p_block_inject=0.0, **args)
+        t1 = model.distance_tensorop(M, 128, 128, np.float32, abft="ftkmeans",
+                                     p_block_inject=1.0, **args)
+        assert t1.t_correction > 0
+        assert t1.time_s > t0.time_s
+        # paper: ~2.36% on FP32
+        assert (t1.time_s / t0.time_s - 1) < 0.08
+
+    def test_kosaian_recompute_costlier_than_online(self, model):
+        args = _ft_tile_args(np.float32)
+        ft = model.distance_tensorop(M, 128, 128, np.float32, abft="ftkmeans",
+                                     p_block_inject=0.5, **args)
+        ko = model.distance_tensorop(M, 128, 128, np.float32, abft="kosaian",
+                                     p_block_inject=0.5, **args)
+        assert ko.t_correction > ft.t_correction
+
+
+class TestDeviceEffects:
+    def test_t4_slower_than_a100(self):
+        args = _ft_tile_args(np.float32)
+        args["stages"] = 2  # T4's 64 KB shared memory
+        a = TimingModel(A100_PCIE_40GB).distance_tensorop(
+            M, 128, 128, np.float32, **args)
+        t = TimingModel(TESLA_T4).distance_tensorop(
+            M, 128, 128, np.float32, **args)
+        assert t.time_s > a.time_s
+
+    def test_t4_fp64_is_catastrophic(self):
+        """No FP64 tensor path on Turing: 0.253 TFLOPS peak."""
+        t = TimingModel(TESLA_T4).distance_tensorop(
+            M, 64, 64, np.float64, tb_m=64, tb_n=64, tb_k=16, w_m=32,
+            w_n=32, stages=2)
+        assert t.gflops < 300
+
+    def test_wu_hurts_more_without_async(self):
+        """Paper Fig. 21: threadblock sync costs ~60% more on T4."""
+        args = dict(tb_m=64, tb_n=64, tb_k=16, w_m=32, w_n=32, stages=2)
+        for dev, lo in ((A100_PCIE_40GB, 1.1), (TESLA_T4, 1.3)):
+            m = TimingModel(dev)
+            base = m.distance_tensorop(M, 128, 128, np.float32, **args)
+            wu = m.distance_tensorop(M, 128, 128, np.float32, abft="wu", **args)
+            assert wu.time_s / base.time_s > lo
+
+
+class TestAuxKernels:
+    def test_norms_kernel_memory_bound(self, model):
+        t = model.norms_kernel(M, 128, np.float32)
+        assert t.limiter == "memory"
+
+    def test_update_dmr_under_one_percent(self, model, dtype):
+        """Sec. I: DMR on the update stage costs < 1%."""
+        base = model.update_kernel(M, 64, 64, dtype, dmr=False)
+        dmr = model.update_kernel(M, 64, 64, dtype, dmr=True)
+        assert (dmr.time_s / base.time_s - 1) < 0.01
+
+    def test_serial_update_much_slower(self, model):
+        """The naive variant's one-kernel-per-centroid update."""
+        fused = model.update_kernel(M, 64, 64, np.float32)
+        serial = model.update_kernel(M, 64, 64, np.float32, serial_kernels=True)
+        assert serial.time_s > 10 * fused.time_s
+
+
+class TestSimClock:
+    def test_accumulates(self, model):
+        clock = SimClock()
+        t = model.norms_kernel(M, 64, np.float32)
+        clock.charge("norms", t)
+        clock.charge("other", 1e-6)
+        assert clock.elapsed_s == pytest.approx(t.time_s + 1e-6)
+        assert clock.total("norms") == pytest.approx(t.time_s)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().charge("x", -1.0)
+
+    def test_reset(self):
+        clock = SimClock()
+        clock.charge("x", 1.0)
+        clock.reset()
+        assert clock.elapsed_s == 0.0 and clock.log == []
+
+
+class TestCalibrationOverride:
+    def test_custom_calibration_changes_results(self):
+        slow = TimingModel(A100_PCIE_40GB,
+                           Calibration(eff_tensor_fp32=0.05))
+        fast = TimingModel(A100_PCIE_40GB)
+        args = _ft_tile_args(np.float32)
+        assert (slow.distance_tensorop(M, 128, 128, np.float32, **args).gflops
+                < fast.distance_tensorop(M, 128, 128, np.float32, **args).gflops)

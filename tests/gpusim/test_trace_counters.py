@@ -1,0 +1,73 @@
+"""Tests for the event trace, counter roll-up and simulator exceptions."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.counters import PerfCounters
+from repro.gpusim.errors import (
+    GpuSimError,
+    LaunchError,
+    PipelineError,
+    ResourceLimitExceeded,
+    UncorrectableError,
+)
+from repro.gpusim.trace import NullTrace, Trace
+
+
+class TestTrace:
+    def test_emit_and_query(self):
+        tr = Trace()
+        tr.emit("fault", 3, 1, bit=7)
+        tr.emit("correct", 3, 2, row=1, col=2)
+        tr.emit("fault", 4, 0, bit=9)
+        assert len(tr) == 3
+        assert tr.count("fault") == 2
+        faults = tr.of_kind("fault")
+        assert faults[0].payload["bit"] == 7
+        assert [e.block_id for e in tr] == [3, 3, 4]
+
+    def test_null_trace_is_silent(self):
+        nt = NullTrace()
+        nt.emit("anything", 1, 2, x=3)
+        assert len(nt) == 0
+        assert nt.count("anything") == 0
+        assert nt.of_kind("anything") == []
+
+
+class TestCounters:
+    def test_merge_accumulates_every_field(self):
+        a = PerfCounters(flops=10, mma_ops=2, errors_detected=1)
+        b = PerfCounters(flops=5, mma_ops=3, barriers=7)
+        a.merge(b)
+        assert a.flops == 15 and a.mma_ops == 5
+        assert a.errors_detected == 1 and a.barriers == 7
+
+    def test_reset(self):
+        c = PerfCounters(flops=9, atomics=4)
+        c.reset()
+        assert c.flops == 0 and c.atomics == 0
+
+    def test_abft_fraction(self):
+        c = PerfCounters(mma_ops=32, abft_mma_ops=3)
+        assert c.abft_mma_fraction == pytest.approx(3 / 32)
+        assert PerfCounters().abft_mma_fraction == 0.0
+
+    def test_total_global_bytes(self):
+        c = PerfCounters(global_loads=10, global_stores=5, async_copies=7)
+        assert c.total_global_bytes == 22
+
+    def test_snapshot_is_plain_dict(self):
+        snap = PerfCounters(flops=3).snapshot()
+        assert snap["flops"] == 3
+        assert isinstance(snap, dict)
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_gpusimerror(self):
+        for exc in (LaunchError, ResourceLimitExceeded, PipelineError,
+                    UncorrectableError):
+            assert issubclass(exc, GpuSimError)
+
+    def test_resource_limit_is_launch_error(self):
+        """The feasibility filter catches launch errors generically."""
+        assert issubclass(ResourceLimitExceeded, LaunchError)

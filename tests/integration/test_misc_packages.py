@@ -1,0 +1,177 @@
+"""Tests for baselines, data generators and the bench harness plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cuml_like import CuMLKMeans, cuml_assignment
+from repro.baselines.sklearn_like import lloyd_reference
+from repro.baselines.wu_ft_kmeans import WuFTKMeans
+from repro.bench.metrics import geomean, gflops, overhead_pct, speedup
+from repro.bench.tables import format_figure
+from repro.bench.workloads import (
+    FIG7_SWEEP,
+    M_PAPER,
+    fig8_sweeps,
+    fig10_sweeps,
+    fig12_grid,
+)
+from repro.data.quantization import (
+    quantize_pixels,
+    reconstruction_psnr,
+    synthetic_image,
+)
+from repro.data.synthetic import (
+    anisotropic_blobs,
+    benchmark_operands,
+    gaussian_blobs,
+    uniform_matrix,
+)
+
+
+class TestBaselines:
+    def test_cuml_same_clustering_as_ft(self, blobs):
+        """cuML differs in speed, not results."""
+        from repro.core.api import FTKMeans
+
+        x, _, _ = blobs
+        ours = FTKMeans(n_clusters=5, seed=1).fit(x)
+        cuml = CuMLKMeans(n_clusters=5, seed=1).fit(x)
+        assert np.array_equal(ours.labels_, cuml.labels_)
+
+    def test_cuml_slower_at_paper_scale(self):
+        from repro.codegen.selector import KernelSelector
+        from repro.gpusim.device import A100_PCIE_40GB
+
+        cu = cuml_assignment(A100_PCIE_40GB, np.float32)
+        t_cu = sum(t.time_s for _, t in cu.estimate(M_PAPER, 32, 64))
+        sel = KernelSelector.for_device("a100", np.float32)
+        tile = sel.best_tile(M_PAPER, 32, 64)
+        from repro.core.tensorop import TensorOpAssignment
+
+        ours = TensorOpAssignment(A100_PCIE_40GB, np.float32, tile=tile)
+        t_ours = sum(t.time_s for _, t in ours.estimate(M_PAPER, 32, 64))
+        assert t_ours < t_cu
+
+    def test_lloyd_reference_converges(self, blobs):
+        x, _, _ = blobs
+        res = lloyd_reference(x, 5, seed=0)
+        assert res.n_iter_ < 50
+        h = res.inertia_history_
+        assert h[-1] <= h[0]
+
+    def test_wu_ft_kmeans_runs(self, blobs):
+        x, _, _ = blobs
+        km = WuFTKMeans(n_clusters=5, seed=1, mode="functional",
+                        p_inject=0.5).fit(x)
+        clean = lloyd_reference(x, 5, seed=1)
+        assert km.inertia_ == pytest.approx(clean.inertia_, rel=0.02)
+
+
+class TestMetrics:
+    def test_gflops(self):
+        assert gflops(1000, 10, 10, 1.0) == pytest.approx(2e-4)
+        with pytest.raises(ValueError):
+            gflops(1, 1, 1, 0.0)
+
+    def test_overhead_pct(self):
+        assert overhead_pct(100.0, 90.0) == pytest.approx(11.111, rel=1e-3)
+        assert overhead_pct(100.0, 100.0) == 0.0
+
+    def test_speedup(self):
+        assert speedup(20.0, 10.0) == 2.0
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, -1.0])
+
+
+class TestWorkloads:
+    def test_fig7_shapes(self):
+        shapes = list(FIG7_SWEEP.shapes())
+        assert all(m == M_PAPER and nf == 128 for m, _, nf in shapes)
+        assert [nc for _, nc, _ in shapes] == list(range(32, 193, 32))
+
+    def test_fig8_panels(self):
+        sweeps = fig8_sweeps()
+        assert [s.name for s in sweeps] == ["K=8", "K=128"]
+        for s in sweeps:
+            assert all(nc in (8, 128) for _, nc, _ in s.shapes())
+
+    def test_fig10_panels(self):
+        assert [s.name for s in fig10_sweeps()] == ["N=8", "N=128"]
+
+    def test_fig12_grid_size(self):
+        grid = fig12_grid()
+        assert len(grid) == 7 * 8
+        assert all(m == M_PAPER for m, _, _ in grid)
+
+
+class TestTables:
+    def test_format_figure(self):
+        from repro.bench.figures import FigureResult
+
+        res = FigureResult("figX", "demo", "x")
+        res.add("a", 1, 10.0)
+        res.add("a", 2, 20.0)
+        res.summary = {"note": "hi"}
+        text = format_figure(res)
+        assert "figX" in text and "note" in text and "10.0" in text
+
+
+class TestSyntheticData:
+    def test_gaussian_blobs_structure(self):
+        x, centers, labels = gaussian_blobs(100, 8, 4, seed=0)
+        assert x.shape == (100, 8)
+        assert centers.shape == (4, 8)
+        assert labels.shape == (100,) and labels.max() == 3
+        # samples sit near their centers
+        d = np.linalg.norm(x - centers[labels], axis=1)
+        assert np.percentile(d, 95) < 4.0
+
+    def test_uniform_matrix_bounds(self):
+        m = uniform_matrix(50, 10, seed=0, low=-2, high=3)
+        assert m.min() >= -2 and m.max() <= 3
+
+    def test_benchmark_operands_shapes(self):
+        x, y = benchmark_operands(100, 8, 16, np.float64, seed=1)
+        assert x.shape == (100, 16) and y.shape == (8, 16)
+        assert x.dtype == np.float64
+
+    def test_anisotropic_blobs(self):
+        x, labels = anisotropic_blobs(120, 6, 3, seed=0)
+        assert x.shape == (120, 6)
+        assert set(np.unique(labels)) <= {0, 1, 2}
+
+    def test_reproducible(self):
+        a, _, _ = gaussian_blobs(50, 4, 2, seed=9)
+        b, _, _ = gaussian_blobs(50, 4, 2, seed=9)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestQuantizationWorkload:
+    def test_synthetic_image_range(self):
+        img = synthetic_image(32, 48, seed=0)
+        assert img.shape == (32, 48, 3)
+        assert img.min() >= 0 and img.max() <= 1
+
+    def test_quantize_pixels(self):
+        img = synthetic_image(16, 16, seed=0)
+        px = quantize_pixels(img)
+        assert px.shape == (256, 3)
+        with pytest.raises(ValueError):
+            quantize_pixels(px)
+
+    def test_kmeans_palette_improves_psnr(self):
+        """More palette entries → better reconstruction."""
+        from repro.core.api import FTKMeans
+
+        img = synthetic_image(32, 32, seed=3, n_modes=5)
+        px = quantize_pixels(img)
+        psnr = {}
+        for k in (2, 8):
+            km = FTKMeans(n_clusters=k, seed=0).fit(px)
+            psnr[k] = reconstruction_psnr(img, km.labels_, km.cluster_centers_)
+        assert psnr[8] > psnr[2] > 5.0

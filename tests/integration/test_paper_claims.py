@@ -1,0 +1,131 @@
+"""Integration tests asserting the paper's headline claims hold in the
+reproduction (shape, not absolute numbers)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import figures
+from repro.gpusim.counters import PerfCounters
+
+
+@pytest.fixture(scope="module")
+def fig12_fp32():
+    return figures.fig12_speedup_grid(np.float32)
+
+
+@pytest.fixture(scope="module")
+def fig12_fp64():
+    return figures.fig12_speedup_grid(np.float64)
+
+
+class TestFig7Claims:
+    def test_stepwise_ladder(self):
+        res = figures.fig7_stepwise()
+        s = res.summary
+        assert s["v1_over_naive"] > 3          # paper: ~10x (GEMM rewrite)
+        assert 1.0 < s["v2_over_v1"] < 1.6     # paper: 1.13-1.27x
+        assert 1.0 < s["v3_over_v2"] < 1.4     # paper: 1.04-1.17x
+        assert s["ft_over_v3"] > 1.4           # paper: 1.45x+ (tensor cores)
+        assert 1.4 < s["ft_over_cuml"] < 3.0   # paper: 1.83x
+
+    def test_absolute_gflops_scale(self):
+        res = figures.fig7_stepwise()
+        means = res.summary["mean_gflops"]
+        # within ~2x of the paper's bars
+        paper = res.summary["paper"]
+        for name in ("naive", "v1", "v2", "v3", "ftkmeans", "cuml"):
+            assert paper[name] / 2.5 < means[name] < paper[name] * 2.5, name
+
+
+class TestFig12Claims:
+    def test_fp32_average_speedup(self, fig12_fp32):
+        """Paper: avg 2.49x, max 4.55x."""
+        s = fig12_fp32.summary
+        assert 1.8 < s["avg_speedup"] < 3.2
+        assert s["max_speedup"] > 3.0
+        assert s["min_speedup"] >= 1.0
+
+    def test_fp64_marginal_speedup(self, fig12_fp64):
+        """Paper: avg 1.04x, max 1.39x — FP64 has little headroom."""
+        s = fig12_fp64.summary
+        assert 1.0 <= s["avg_speedup"] < 1.45
+        assert s["max_speedup"] < 2.2
+
+    def test_fp32_gains_shrink_with_features(self, fig12_fp32):
+        """Paper: speedup diminishes beyond N=64."""
+        small_n = np.mean([y for name, pts in fig12_fp32.series.items()
+                           if name in ("N=8", "N=24") for _, y in pts])
+        large_n = np.mean([y for name, pts in fig12_fp32.series.items()
+                           if name in ("N=104", "N=120") for _, y in pts])
+        assert small_n > large_n
+
+    def test_fp32_beats_fp64_headroom(self, fig12_fp32, fig12_fp64):
+        assert fig12_fp32.summary["avg_speedup"] \
+            > fig12_fp64.summary["avg_speedup"] + 0.5
+
+
+class TestSelectionClaims:
+    def test_few_parameters_win(self):
+        """Paper: 7 FP32 / 4 FP64 groups of ~150 candidates are ever
+        chosen."""
+        for dt in (np.float32, np.float64):
+            res = figures.fig13_table1_selected_parameters(dt)
+            assert res.summary["n_selected"] <= 20
+            assert res.summary["n_candidates"] >= 100
+
+    def test_selection_map_has_feature_regions(self):
+        """Paper Fig. 14: winners change along the feature dimension."""
+        res = figures.fig14_selection_map(np.float32)
+        rows = res.summary["winners_by_feature_row"]
+        distinct = {tuple(v) for v in rows.values()}
+        assert len(distinct) >= 2
+
+
+class TestOverheadClaims:
+    def test_fp32_ft_overhead_small(self):
+        """Paper Fig. 15: FP32 FT overhead ~ -0.24%..1.93%."""
+        res = figures.fig15_fig16_ft_overhead(np.float32)
+        assert res.summary["overhead_pct_avg"] < 5.0
+
+    def test_fp64_ft_overhead_larger(self):
+        """Paper Fig. 16: FP64 overhead ~13% avg, 20% at K=128."""
+        res = figures.fig15_fig16_ft_overhead(np.float64)
+        assert 5.0 < res.summary["overhead_pct_avg"] < 30.0
+        assert res.summary["overhead_pct_by_panel"]["K=128"] > 10.0
+
+    def test_overhead_far_below_theoretical(self):
+        """Paper Sec. IV-B: theoretical 3/(m_w*n_w) ≈ 19-37% vs ~11%
+        observed — the fusion hides most of it on FP32."""
+        res = figures.fig15_fig16_ft_overhead(np.float32)
+        assert res.summary["overhead_pct_avg"] < 18.75 / 2
+
+
+class TestInjectionClaims:
+    def test_fp32_injection_overhead(self):
+        """Paper Fig. 17: ~2.36% under injection."""
+        res = figures.fig17_fig18_error_injection(np.float32)
+        assert res.summary["injection_overhead_pct_avg"] < 6.0
+
+    def test_fp64_injection_overhead(self):
+        """Paper Fig. 18: ~9.21%."""
+        res = figures.fig17_fig18_error_injection(np.float64)
+        assert 4.0 < res.summary["injection_overhead_pct_avg"] < 15.0
+
+    def test_wu_overhead_substantial(self):
+        """Paper: Wu's scheme ~30% (no async copy)."""
+        res = figures.fig17_fig18_error_injection(np.float32)
+        assert res.summary["wu_overhead_pct_avg"] > 20.0
+
+
+class TestT4Claims:
+    def test_t4_speedups_larger_than_a100(self):
+        """Paper: 4.13x / 3.81x on T4 vs 2.35x / 2.39x on A100."""
+        t4 = figures.fig19_t4_vs_features()
+        a100 = figures.fig8_fig9_distance_vs_features(np.float32)
+        assert t4.summary["ft_vs_cuml_mean"] > 2.0
+        assert t4.summary["ft_vs_cuml_mean"] > a100.summary["ft_vs_cuml_mean"] * 0.7
+
+    def test_t4_ft_beats_wu(self):
+        """Paper: ~60% improvement over Wu's under injection on T4."""
+        res = figures.fig21_t4_injection()
+        assert res.summary["ft_vs_wu_mean"] > 1.25

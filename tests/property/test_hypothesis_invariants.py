@@ -1,0 +1,176 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.abft.corrector import CorrectionKind, Corrector
+from repro.abft.detector import Detector, measure_residuals
+from repro.abft.encoding import acc_checksum_triple, checksum_triple
+from repro.abft.thresholds import ThresholdPolicy
+from repro.gemm.reference import reference_update
+from repro.gpusim.mma import round_tf32
+from repro.utils.arrays import ceil_div, is_power_of_two, pad_to_multiple
+from repro.utils.bits import flip_bit, num_bits
+
+
+finite_f32 = st.floats(min_value=np.float32(-1e20), max_value=np.float32(1e20),
+                       width=32, allow_nan=False, allow_infinity=False)
+
+
+class TestBitFlipProperties:
+    @given(value=finite_f32, bit=st.integers(0, 31))
+    def test_involution(self, value, bit):
+        """flip(flip(x)) == x for every value and bit."""
+        v = np.float32(value)
+        assert flip_bit(flip_bit(v, bit), bit) == v or (
+            np.isnan(flip_bit(flip_bit(v, bit), bit)) and np.isnan(v))
+
+    @given(value=finite_f32, bit=st.integers(0, 31))
+    def test_flip_changes_representation(self, value, bit):
+        v = np.float32(value)
+        flipped = flip_bit(v, bit)
+        # bit patterns always differ even when values compare equal (±0)
+        assert v.tobytes() != flipped.tobytes()
+
+
+class TestTf32Properties:
+    @given(arrays(np.float32, st.integers(1, 64),
+                  elements=st.floats(-1e6, 1e6, width=32)))
+    def test_idempotent(self, x):
+        once = round_tf32(x)
+        np.testing.assert_array_equal(round_tf32(once), once)
+
+    @given(arrays(np.float32, st.integers(1, 64),
+                  elements=st.floats(-1e6, 1e6, width=32)))
+    def test_error_bound(self, x):
+        assume(np.all(np.abs(x) > 1e-30))
+        rel = np.abs(round_tf32(x).astype(np.float64) - x) / np.abs(x)
+        assert rel.max() <= 2.0 ** -11 + 1e-12
+
+
+class TestChecksumProperties:
+    @given(st.integers(2, 24), st.integers(2, 24), st.integers(1, 16),
+           st.integers(0, 2 ** 32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_factored_identity(self, m, n, k, seed):
+        """(e1ᵀA)(Be1) == e1ᵀ(ABᵀ)e1 over random shapes."""
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((n, k))
+        d = checksum_triple(a, b)
+        c = acc_checksum_triple(a @ b.T)
+        np.testing.assert_allclose(d, c, rtol=1e-9, atol=1e-9)
+
+    @given(st.integers(4, 20), st.integers(4, 20),
+           st.integers(0, 2 ** 32 - 1),
+           st.floats(10.0, 1e6))
+    @settings(max_examples=40, deadline=None)
+    def test_single_error_always_detected_and_fixed_fp64(self, m, n, seed,
+                                                         magnitude):
+        """Any sufficiently large single corruption is located exactly."""
+        rng = np.random.default_rng(seed)
+        acc = rng.standard_normal((m, n))
+        d = acc_checksum_triple(acc)
+        original = acc.copy()
+        i, j = int(rng.integers(m)), int(rng.integers(n))
+        acc[i, j] += magnitude
+        corr = Corrector(Detector(ThresholdPolicy(np.float64)))
+        result, _ = corr.check_and_correct(d, acc)
+        assert result.kind is CorrectionKind.CORRECTED
+        assert (result.row, result.col) == (i, j)
+        np.testing.assert_allclose(acc, original, rtol=1e-6, atol=1e-6)
+
+    @given(st.integers(4, 20), st.integers(4, 20), st.integers(0, 2 ** 32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_clean_tiles_never_flagged(self, m, n, seed):
+        rng = np.random.default_rng(seed)
+        acc = rng.standard_normal((m, n)).astype(np.float64)
+        d = acc_checksum_triple(acc)
+        det = Detector(ThresholdPolicy(np.float64))
+        assert not det.is_faulty(measure_residuals(d, acc))
+
+
+class TestArrayUtilProperties:
+    @given(st.integers(0, 10 ** 9), st.integers(1, 10 ** 6))
+    def test_ceil_div_bounds(self, a, b):
+        q = ceil_div(a, b)
+        assert q * b >= a
+        assert (q - 1) * b < a or q == 0
+
+    @given(st.integers(1, 2 ** 30))
+    def test_power_of_two_consistency(self, x):
+        assert is_power_of_two(x) == (bin(x).count("1") == 1)
+
+    @given(st.integers(1, 40), st.integers(1, 40),
+           st.integers(1, 16), st.integers(1, 16))
+    @settings(max_examples=40, deadline=None)
+    def test_pad_preserves_content(self, rows, cols, mr, mc):
+        a = np.arange(rows * cols, dtype=float).reshape(rows, cols)
+        out = pad_to_multiple(a, mr, mc)
+        assert out.shape[0] % mr == 0 and out.shape[1] % mc == 0
+        np.testing.assert_array_equal(out[:rows, :cols], a)
+        assert out.sum() == a.sum()
+
+
+class TestKMeansInvariants:
+    @given(st.integers(10, 80), st.integers(2, 6), st.integers(2, 8),
+           st.integers(0, 2 ** 32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_update_centroids_are_means(self, m, k, f, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((m, f))
+        labels = rng.integers(0, k, m)
+        centroids, counts = reference_update(x, labels, k)
+        assert counts.sum() == m
+        for c in range(k):
+            if counts[c]:
+                np.testing.assert_allclose(centroids[c],
+                                           x[labels == c].mean(axis=0),
+                                           rtol=1e-9, atol=1e-9)
+
+    @given(st.integers(20, 120), st.integers(2, 5),
+           st.integers(0, 2 ** 32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_lloyd_inertia_non_increasing(self, m, k, seed):
+        from repro.baselines.sklearn_like import lloyd_reference
+
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((m, 4))
+        res = lloyd_reference(x, k, seed=seed, tol=0.0, max_iter=15)
+        h = np.array(res.inertia_history_)
+        assert np.all(np.diff(h) <= 1e-9 * np.maximum(h[:-1], 1.0))
+
+    @given(st.integers(10, 60), st.integers(1, 5),
+           st.integers(0, 2 ** 32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_labels_in_range(self, m, k, seed):
+        from repro.core.api import FTKMeans
+
+        rng = np.random.default_rng(seed)
+        assume(m >= k)
+        x = rng.standard_normal((m, 6)).astype(np.float32)
+        km = FTKMeans(n_clusters=k, seed=seed, max_iter=5).fit(x)
+        assert km.labels_.min() >= 0
+        assert km.labels_.max() < k
+
+
+class TestTilingProperties:
+    @given(st.sampled_from([16, 32, 64, 128, 256]),
+           st.sampled_from([32, 64, 128]),
+           st.sampled_from([8, 16, 32]))
+    @settings(max_examples=40, deadline=None)
+    def test_valid_configs_have_consistent_resources(self, tb_m, w_m, tb_k):
+        from repro.gemm.tiling import Tile3, TileConfig, validate_rules, THREAD_TILE
+
+        thread = THREAD_TILE[np.dtype(np.float32)]
+        tb = Tile3(tb_m, 64, tb_k)
+        warp = Tile3(w_m, 32, tb_k)
+        if validate_rules(tb, warp, thread):
+            return  # invalid combination: nothing to check
+        cfg = TileConfig(tb, warp, thread)
+        assert cfg.threads_per_block == cfg.warps_per_block * 32
+        assert cfg.smem_bytes(np.float32) \
+            == cfg.stages * (tb_m + 64) * tb_k * 4

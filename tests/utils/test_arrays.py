@@ -1,0 +1,80 @@
+"""Tests for array utilities."""
+
+import numpy as np
+import pytest
+
+from repro.utils.arrays import (
+    as_float,
+    ceil_div,
+    check_2d,
+    is_power_of_two,
+    pad_to_multiple,
+)
+
+
+class TestCeilDiv:
+    @pytest.mark.parametrize("a,b,expected", [
+        (0, 4, 0), (1, 4, 1), (4, 4, 1), (5, 4, 2), (8, 4, 2), (9, 4, 3),
+        (131072, 128, 1024),
+    ])
+    def test_values(self, a, b, expected):
+        assert ceil_div(a, b) == expected
+
+    def test_zero_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+
+
+class TestIsPowerOfTwo:
+    def test_powers(self):
+        assert all(is_power_of_two(2 ** i) for i in range(20))
+
+    def test_non_powers(self):
+        assert not any(is_power_of_two(v) for v in (0, -2, 3, 6, 12, 100))
+
+
+class TestPadToMultiple:
+    def test_already_aligned(self):
+        a = np.arange(12.0).reshape(4, 3)
+        out = pad_to_multiple(a, 4, 3)
+        assert out.shape == (4, 3)
+        np.testing.assert_array_equal(out, a)
+
+    def test_pads_with_zeros(self):
+        a = np.ones((5, 3))
+        out = pad_to_multiple(a, 4, 4)
+        assert out.shape == (8, 4)
+        assert out[:5, :3].sum() == 15
+        assert out.sum() == 15
+
+    def test_returns_copy(self):
+        a = np.ones((4, 4))
+        out = pad_to_multiple(a, 4, 4)
+        out[0, 0] = 99
+        assert a[0, 0] == 1
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            pad_to_multiple(np.ones(3), 4, 4)
+
+
+class TestCheck2d:
+    def test_accepts_2d(self):
+        a = check_2d(np.ones((2, 3)), "X")
+        assert a.shape == (2, 3)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="must be 2-D"):
+            check_2d(np.ones(3), "X")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            check_2d(np.empty((0, 3)), "X")
+
+
+class TestAsFloat:
+    def test_contiguous(self):
+        a = np.asfortranarray(np.ones((4, 4)))
+        out = as_float(a, np.float32)
+        assert out.flags["C_CONTIGUOUS"]
+        assert out.dtype == np.float32

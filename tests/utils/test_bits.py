@@ -1,0 +1,95 @@
+"""Tests for bit-flip helpers (the SEU primitive)."""
+
+import numpy as np
+import pytest
+
+from repro.utils.bits import (
+    bits_to_float,
+    flip_bit,
+    flip_bit_array,
+    float_to_bits,
+    num_bits,
+    random_bit_index,
+)
+
+
+class TestNumBits:
+    def test_float32(self):
+        assert num_bits(np.float32) == 32
+
+    def test_float64(self):
+        assert num_bits(np.float64) == 64
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("value", [0.0, 1.0, -1.5, 3.14159, 1e30, -1e-30])
+    def test_fp32_roundtrip(self, value):
+        v = np.float32(value)
+        assert bits_to_float(float_to_bits(v), np.float32) == v
+
+    @pytest.mark.parametrize("value", [0.0, 1.0, -2.25, 1e300, 5e-324])
+    def test_fp64_roundtrip(self, value):
+        v = np.float64(value)
+        assert bits_to_float(float_to_bits(v), np.float64) == v
+
+    def test_rejects_non_float(self):
+        with pytest.raises(TypeError):
+            float_to_bits(np.int32(3))
+
+
+class TestFlipBit:
+    def test_sign_bit_fp32(self):
+        assert flip_bit(np.float32(1.0), 31) == np.float32(-1.0)
+
+    def test_sign_bit_fp64(self):
+        assert flip_bit(np.float64(2.5), 63) == np.float64(-2.5)
+
+    def test_flip_changes_value(self):
+        v = np.float32(1.0)
+        for bit in range(32):
+            assert flip_bit(v, bit) != v
+
+    def test_double_flip_is_identity(self):
+        v = np.float32(123.456)
+        for bit in (0, 10, 22, 23, 30, 31):
+            assert flip_bit(flip_bit(v, bit), bit) == v
+
+    def test_out_of_range_bit(self):
+        with pytest.raises(ValueError):
+            flip_bit(np.float32(1.0), 32)
+        with pytest.raises(ValueError):
+            flip_bit(np.float32(1.0), -1)
+
+    def test_exponent_flip_magnitude(self):
+        # flipping the top exponent bit of 1.0 produces a huge value
+        v = flip_bit(np.float32(1.0), 30)
+        assert abs(float(v)) > 1e30
+
+    def test_mantissa_flip_is_small(self):
+        v = flip_bit(np.float32(1.0), 0)
+        assert abs(float(v) - 1.0) < 1e-6
+
+    def test_preserves_dtype(self):
+        assert flip_bit(np.float64(1.0), 5).dtype == np.float64
+
+
+class TestFlipBitArray:
+    def test_in_place(self):
+        arr = np.ones((4, 4), dtype=np.float32)
+        flip_bit_array(arr, 5, 31)
+        assert arr.reshape(-1)[5] == -1.0
+        assert np.sum(arr == 1.0) == 15
+
+
+class TestRandomBitIndex:
+    def test_in_range_fp32(self, rng):
+        for _ in range(100):
+            assert 0 <= random_bit_index(rng, np.float32) < 32
+
+    def test_in_range_fp64(self, rng):
+        for _ in range(100):
+            assert 0 <= random_bit_index(rng, np.float64) < 64
+
+    def test_covers_high_bits(self, rng):
+        draws = {random_bit_index(rng, np.float32) for _ in range(500)}
+        assert max(draws) >= 30  # exponent region gets sampled
