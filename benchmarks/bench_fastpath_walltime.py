@@ -1,0 +1,26 @@
+"""Wall-clock smoke benchmark of the blocked streaming fast path.
+
+Unlike the ``bench_figXX`` files (simulated clock), this measures real
+host time: the chunked :class:`FastPathEngine` against the seed one-shot
+``unchunked_assign`` over a multi-iteration Lloyd fit.  Finishes well
+under 60 s, so it is suitable for tier-1 gating.
+"""
+
+from repro.bench.fastpath import run_smoke, write_record
+
+
+def test_fastpath_walltime_smoke(benchmark):
+    res = benchmark.pedantic(run_smoke, rounds=1, iterations=1)
+    write_record(res)
+    print()
+    print(f"engine {res['engine']['wall_s']:.3f}s vs "
+          f"unchunked {res['unchunked']['wall_s']:.3f}s "
+          f"-> {res['speedup_vs_unchunked']:.2f}x")
+    # chunked + hoisted invariants must not lose to the seed path, and
+    # both paths must agree on the clustering
+    assert res["speedup_vs_unchunked"] > 0.9
+    # cascade-free agreement at shared centroids: chunked vs one-shot
+    # BLAS bits may tie-break the odd argmin apart, nothing more
+    assert res["label_mismatch_frac"] < 1e-3
+    # the memory contract: scratch never exceeded the configured budget
+    assert res["engine"]["peak_scratch_bytes"] <= res["config"]["chunk_bytes"]

@@ -45,6 +45,9 @@ __all__ = [
     "fig21_t4_injection",
     "parameter1",
     "parameter2",
+    "run_fastpath_bench",
+    "run_smoke",
+    "write_record",
     "geomean",
     "gflops",
     "overhead_pct",
@@ -61,3 +64,12 @@ __all__ = [
     "fig12_grid",
     "fig15_panels",
 ]
+
+
+def __getattr__(name):
+    # lazy so `python -m repro.bench.fastpath` doesn't double-import it
+    if name in ("run_fastpath_bench", "run_smoke", "write_record"):
+        from repro.bench import fastpath
+
+        return getattr(fastpath, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -2,9 +2,15 @@
 
 ``python -m repro.bench.runner`` regenerates all 15 figure/table
 reproductions and prints them in paper order.
+
+``python -m repro.bench.runner --smoke`` instead runs the wall-clock
+fast-path gating benchmark (< 60 s), appending to ``BENCH_fastpath.json``
+— suitable as a tier-1 perf canary.
 """
 
 from __future__ import annotations
+
+import argparse
 
 import numpy as np
 
@@ -37,7 +43,20 @@ def all_figures() -> list:
     ]
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the < 60 s wall-clock fast-path benchmark "
+                             "instead of the full figure harness")
+    parser.add_argument("--out", default=None,
+                        help="with --smoke: trajectory JSON to append to "
+                             "(defaults to ./BENCH_fastpath.json; '-' skips)")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        from repro.bench import fastpath
+
+        fastpath.main(["--smoke"] + (["--out", args.out] if args.out else []))
+        return
     for res in all_figures():
         print_figure(res, max_rows=8)
         print()

@@ -6,6 +6,13 @@ from repro.core.assignment import AssignmentKernelBase, AssignmentResult, fast_a
 from repro.core.broadcast import V3BroadcastAssignment
 from repro.core.config import MODES, VARIANT_NAMES, KMeansConfig
 from repro.core.convergence import ConvergenceMonitor
+from repro.core.engine import (
+    BlockMap,
+    EngineStats,
+    FastPathEngine,
+    FitCache,
+    unchunked_assign,
+)
 from repro.core.ft_kmeans import FtAssignment, FtBlockState, FtTensorOpGemm
 from repro.core.fused import V2FusedAssignment
 from repro.core.gemm_kmeans import V1GemmAssignment, default_simt_tile
@@ -26,6 +33,11 @@ __all__ = [
     "VARIANT_NAMES",
     "KMeansConfig",
     "ConvergenceMonitor",
+    "BlockMap",
+    "EngineStats",
+    "FastPathEngine",
+    "FitCache",
+    "unchunked_assign",
     "FtAssignment",
     "FtBlockState",
     "FtTensorOpGemm",

@@ -54,6 +54,7 @@ class FTKMeans:
                  dtype="float32", device="a100", mode: str = "fast",
                  tile=None, abft="none", p_inject: float = 0.0,
                  dmr_update: bool = True, use_tf32: bool = True,
+                 chunk_bytes: int | None = None, engine_workers: int = 1,
                  init: str = "k-means++", max_iter: int = 50,
                  tol: float = 1e-4, seed: int | None = None,
                  init_centroids=None):
@@ -61,6 +62,7 @@ class FTKMeans:
             n_clusters=n_clusters, variant=variant, dtype=np.dtype(dtype),
             device=device, mode=mode, tile=tile, abft=abft,
             p_inject=p_inject, dmr_update=dmr_update, use_tf32=use_tf32,
+            chunk_bytes=chunk_bytes, engine_workers=engine_workers,
             init=init, max_iter=max_iter, tol=tol, seed=seed)
         self._init_centroids = init_centroids
 
@@ -89,24 +91,34 @@ class FTKMeans:
         labels = np.zeros(m, dtype=np.int64)
 
         n_iter = 0
-        for n_iter in range(1, cfg.max_iter + 1):
-            res: AssignmentResult = assigner.assign(x, y)
-            labels = res.labels
-            counters.merge(res.counters)
-            for label, t in res.timings:
-                clock.charge(label, t)
+        try:
+            # hoist fit-invariants (sample norms, output buffers, chunk
+            # and injector block plans) once; every iteration reuses them
+            assigner.begin_fit(x, cfg.n_clusters)
+            for n_iter in range(1, cfg.max_iter + 1):
+                res: AssignmentResult = assigner.assign(x, y)
+                labels = res.labels
+                counters.merge(res.counters)
+                for label, t in res.timings:
+                    clock.charge(label, t)
 
-            upd = updater.update(x, labels, res.min_sqdist, y, counters)
-            for label, t in upd.timings:
-                clock.charge(label, t)
-            y = upd.centroids
+                upd = updater.update(x, labels, res.min_sqdist, y, counters)
+                for label, t in upd.timings:
+                    clock.charge(label, t)
+                y = upd.centroids
 
-            inertia = float(np.sum(res.min_sqdist.astype(np.float64)))
-            if monitor.update(inertia, upd.shift):
-                break
-
+                inertia = float(np.sum(res.min_sqdist.astype(np.float64)))
+                if monitor.update(inertia, upd.shift):
+                    break
+        finally:
+            # even on interrupt/error: a (partially) fitted model must
+            # not pin the training array, scratch or worker threads,
+            # and predict/score must recompute norms fresh
+            assigner.end_fit()
         self.cluster_centers_ = y
-        self.labels_ = labels
+        # the fast path hands out the engine's reusable buffer; detach it
+        # so later predict() passes cannot overwrite fitted state
+        self.labels_ = labels.copy()
         self.inertia_ = monitor.history[-1]
         self.inertia_history_ = list(monitor.history)
         self.n_iter_ = n_iter
@@ -119,14 +131,17 @@ class FTKMeans:
 
     # ------------------------------------------------------------------
     def predict(self, x) -> np.ndarray:
-        """Assign new samples to the fitted centroids."""
+        """Assign new samples to the fitted centroids.
+
+        One single-pass assignment through the configured variant (the
+        streaming engine in ``fast`` mode, memory-bounded regardless of
+        ``x``'s size); input is validated like ``fit``'s.
+        """
         self._check_fitted()
-        x = validate_data(x, self.config.dtype)
-        if x.shape[1] != self.cluster_centers_.shape[1]:
-            raise ValueError(
-                f"X has {x.shape[1]} features, model has "
-                f"{self.cluster_centers_.shape[1]}")
+        x = self._validate_like_fit(x)
         res = self._assigner.assign(x, self.cluster_centers_)
+        # the fit cache was released at the end of fit(), so this pass
+        # ran on a transient cache whose buffers are uniquely ours
         return res.labels
 
     def fit_predict(self, x) -> np.ndarray:
@@ -136,9 +151,19 @@ class FTKMeans:
     def score(self, x) -> float:
         """Negative inertia of ``x`` under the fitted centroids."""
         self._check_fitted()
-        x = validate_data(x, self.config.dtype)
+        x = self._validate_like_fit(x)
         res = self._assigner.assign(x, self.cluster_centers_)
         return -float(np.sum(res.min_sqdist.astype(np.float64)))
+
+    def _validate_like_fit(self, x) -> np.ndarray:
+        """Validate prediction input exactly like fit's, plus the
+        feature-count check against the fitted centroids."""
+        x = validate_data(x, self.config.dtype)
+        if x.shape[1] != self.cluster_centers_.shape[1]:
+            raise ValueError(
+                f"X has {x.shape[1]} features, model has "
+                f"{self.cluster_centers_.shape[1]}")
+        return x
 
     # ------------------------------------------------------------------
     def distance_gflops_(self) -> float:

@@ -3,7 +3,8 @@
 Defines the :class:`AssignmentResult` contract, the common base class,
 global-memory setup helpers, and the vectorised ``fast`` execution path
 that preserves the fault-injection / ABFT semantics of the functional
-kernels at NumPy speed (Sec. 5 of DESIGN.md).
+kernels at NumPy speed (Sec. 5 of DESIGN.md).  The fast path runs
+through the blocked streaming engine of :mod:`repro.core.engine`.
 """
 
 from __future__ import annotations
@@ -14,16 +15,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.abft.schemes import NONE, AbftScheme
-from repro.abft.thresholds import ThresholdPolicy
-from repro.gemm.reference import reference_gemm
-from repro.gemm.shapes import GemmShape
+from repro.core.engine import FastPathEngine
 from repro.gemm.tiling import TileConfig
 from repro.gpusim.counters import PerfCounters
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.memory import GlobalMemory
 from repro.gpusim.timing import KernelTiming, TimingModel
-from repro.utils.arrays import ceil_div
-from repro.utils.bits import flip_bit
 
 __all__ = ["AssignmentResult", "AssignmentKernelBase", "setup_gmem", "fast_assign"]
 
@@ -35,6 +32,12 @@ class AssignmentResult:
     ``timings`` holds the modelled durations of every kernel the variant
     launched (the simulated clock charges them); ``counters`` the
     functional-execution statistics.
+
+    Lifetime: in ``fast`` mode while a fit cache is active,
+    ``labels``/``min_sqdist`` alias the engine's reusable per-fit
+    buffers — the next assign() on the same samples overwrites them.
+    Consume (or copy) a result before requesting the next pass;
+    functional mode always returns owned arrays.
     """
 
     labels: np.ndarray
@@ -59,24 +62,61 @@ def setup_gmem(x: np.ndarray, y: np.ndarray, counters: PerfCounters) -> GlobalMe
     gmem.bind("centroids", y)
     gmem.bind("x_norms", np.sum(x * x, axis=1, dtype=x.dtype).reshape(-1, 1))
     gmem.bind("y_norms", np.sum(y * y, axis=1, dtype=y.dtype).reshape(-1, 1))
-    assign = np.full((x.shape[0], 2), np.inf)
+    # the (min, argmin) scratch lives in the kernel dtype: a float64
+    # buffer would double the epilogue traffic accounting on fp32 runs
+    assign = np.full((x.shape[0], 2), np.inf, dtype=x.dtype)
     assign[:, 1] = -1
     gmem.bind("assign", assign)
     return gmem
 
 
 class AssignmentKernelBase(ABC):
-    """Common interface of the step-wise assignment variants."""
+    """Common interface of the step-wise assignment variants.
+
+    ``chunk_bytes`` / ``workers`` parameterise the blocked streaming
+    engine every variant's ``fast`` mode runs through; the engine is
+    built lazily so subclasses can finish configuring themselves (tile,
+    scheme, TF32) before first use.
+    """
 
     name: str = "base"
 
     def __init__(self, device: DeviceSpec, dtype, *, mode: str = "fast",
-                 injector=None):
+                 injector=None, chunk_bytes: int | None = None,
+                 workers: int = 1):
         self.device = device
         self.dtype = np.dtype(dtype)
         self.mode = mode
         self.injector = injector
+        self.chunk_bytes = chunk_bytes
+        self.workers = workers
         self.model = TimingModel(device)
+        self._engine: FastPathEngine | None = None
+
+    # -- streaming engine ----------------------------------------------
+    def _engine_options(self) -> dict:
+        """Subclass hook: extra FastPathEngine kwargs (tf32, scheme, ...)."""
+        return {}
+
+    @property
+    def engine(self) -> FastPathEngine:
+        """The variant's blocked streaming fast-path engine (lazy)."""
+        if self._engine is None:
+            self._engine = FastPathEngine(
+                self.device, self.dtype, tile=getattr(self, "tile", None),
+                injector=self.injector, chunk_bytes=self.chunk_bytes,
+                workers=self.workers, **self._engine_options())
+        return self._engine
+
+    def begin_fit(self, x: np.ndarray, n_clusters: int | None = None) -> None:
+        """Hoist per-fit invariants (norms, buffers, chunk/block plans)."""
+        if self.mode == "fast":
+            self.engine.begin_fit(x, n_clusters)
+
+    def end_fit(self) -> None:
+        """Release the per-fit cache (see FastPathEngine.end_fit)."""
+        if self._engine is not None:
+            self._engine.end_fit()
 
     @abstractmethod
     def assign(self, x: np.ndarray, y: np.ndarray) -> AssignmentResult:
@@ -91,66 +131,26 @@ class AssignmentKernelBase(ABC):
 def fast_assign(x: np.ndarray, y: np.ndarray, *, dtype, tf32: bool,
                 counters: PerfCounters, tile: TileConfig | None = None,
                 injector=None, scheme: AbftScheme = NONE,
-                safety: float = 4.0) -> tuple[np.ndarray, np.ndarray]:
+                safety: float = 4.0, chunk_bytes: int | None = None,
+                workers: int = 1,
+                device: DeviceSpec | None = None) -> tuple[np.ndarray, np.ndarray]:
     """Vectorised assignment with fault/ABFT semantics.
 
-    Computes the GEMM accumulator in one shot, then replays the SEU plan
-    block-by-block: each planned flip lands on the corresponding element
-    of the accumulator; a detecting scheme measures the corruption against
-    the same threshold policy the functional kernel uses and (for
-    correcting schemes) undoes it.  Sub-threshold flips survive — exactly
-    the functional kernels' behaviour.
-    """
-    dt = np.dtype(dtype)
-    m, k = x.shape
-    n = y.shape[0]
-    acc = reference_gemm(x, y, tf32=tf32).astype(dt)
+    Thin functional wrapper over :class:`repro.core.engine.FastPathEngine`:
+    the accumulator is computed in memory-bounded sample chunks with the
+    row-argmin fused in, and the SEU plan is replayed block-by-block on
+    the same logical tile coordinates the functional kernels corrupt.
+    Detecting schemes measure each flip against the same threshold policy
+    the functional kernel uses and (for correcting schemes) undo it;
+    sub-threshold flips survive — exactly the functional behaviour.
 
-    if injector is not None and getattr(injector, "enabled", False) and tile is not None:
-        policy = ThresholdPolicy(dt, tf32=tf32, safety=safety)
-        tb = tile.tb
-        grid_m, grid_n = ceil_div(m, tb.m), ceil_div(n, tb.n)
-        k_iters = ceil_div(k, tb.k)
-        bid = 0
-        for bm in range(grid_m):
-            for bn in range(grid_n):
-                plan = injector.plan_for_block(bid, k_iters)
-                bid += 1
-                if plan is None:
-                    continue
-                counters.errors_injected += 1
-                r, c = plan.locate(tb.m, tb.n)
-                rows = min(tb.m, m - bm * tb.m)
-                cols = min(tb.n, n - bn * tb.n)
-                if r >= rows or c >= cols:
-                    # the flip landed in tile padding: numerically inert
-                    # (and trivially corrected by any detecting scheme)
-                    continue
-                i, j = bm * tb.m + r, bn * tb.n + c
-                old = acc[i, j]
-                new = flip_bit(old, plan.bit)
-                eps = float(new) - float(old)
-                if not scheme.detects:
-                    acc[i, j] = new
-                    continue
-                counters.checksum_tests += 1
-                # warp-tile checksum scale, matching measure_residuals()
-                wm0 = (r // tile.warp.m) * tile.warp.m
-                wn0 = (c // tile.warp.n) * tile.warp.n
-                wtile = acc[bm * tb.m + wm0: bm * tb.m + min(wm0 + tile.warp.m, rows),
-                            bn * tb.n + wn0: bn * tb.n + min(wn0 + tile.warp.n, cols)]
-                mx = float(np.max(np.abs(wtile.astype(np.float64)))) if wtile.size else 1.0
-                scale = max(1.0, min(mx, 1e290) * float(np.sqrt(max(1, wtile.size))))
-                residual = eps if np.isfinite(eps) else np.inf
-                if policy.exceeds(residual, scale):
-                    counters.errors_detected += 1
-                    if scheme.corrects:
-                        counters.errors_corrected += 1  # acc left clean
-                    # detection-only schemes recompute: also clean
-                else:
-                    acc[i, j] = new  # sub-threshold: escapes, as designed
-    xx = np.sum(x * x, axis=1, dtype=dt)
-    yy = np.sum(y * y, axis=1, dtype=dt)
-    d = xx[:, None] + yy[None, :] - 2.0 * acc
-    labels = np.argmin(d, axis=1).astype(np.int64)
-    return labels, d[np.arange(m), labels]
+    Callers that reuse the engine across Lloyd iterations should hold a
+    :class:`FastPathEngine` instead (per-fit invariants stay hoisted);
+    this wrapper builds a one-shot engine per call.
+    """
+    engine = FastPathEngine(device, dtype, tile=tile, tf32=tf32,
+                            injector=injector, scheme=scheme, safety=safety,
+                            chunk_bytes=chunk_bytes, workers=workers)
+    # the engine is local to this call, so its result buffers have no
+    # other referent and can be handed back directly
+    return engine.assign(x, y, counters)

@@ -51,6 +51,14 @@ class KMeansConfig:
         Protect the centroid-update stage with DMR (Sec. I / IV).
     use_tf32:
         TF32 rounding on the FP32 tensor-core path (paper default: on).
+    chunk_bytes:
+        Memory budget of the blocked streaming fast-path engine (scratch
+        per assignment pass).  None auto-derives the budget from the
+        device's L2 capacity.
+    engine_workers:
+        Worker threads the engine may dispatch independent sample-chunks
+        across (the per-chunk budget divides accordingly, so the total
+        scratch footprint stays under ``chunk_bytes``).
     init / max_iter / tol / seed:
         Standard Lloyd controls; ``tol`` is on relative inertia change.
     """
@@ -65,6 +73,8 @@ class KMeansConfig:
     p_inject: float = 0.0
     dmr_update: bool = True
     use_tf32: bool = True
+    chunk_bytes: int | None = None
+    engine_workers: int = 1
     init: str = "k-means++"
     max_iter: int = 50
     tol: float = 1e-4
@@ -89,6 +99,12 @@ class KMeansConfig:
             raise ValueError("error injection with variant='ft' needs a scheme")
         if not 0.0 <= self.p_inject <= 1.0:
             raise ValueError(f"p_inject must be in [0, 1], got {self.p_inject}")
+        if self.chunk_bytes is not None and self.chunk_bytes < 1:
+            raise ValueError(
+                f"chunk_bytes must be >= 1, got {self.chunk_bytes}")
+        if self.engine_workers < 1:
+            raise ValueError(
+                f"engine_workers must be >= 1, got {self.engine_workers}")
         if self.max_iter < 1:
             raise ValueError(f"max_iter must be >= 1, got {self.max_iter}")
         if self.tol < 0:

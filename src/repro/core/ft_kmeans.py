@@ -31,7 +31,7 @@ from repro.abft.kosaian import KosaianDetectGemm
 from repro.abft.schemes import FTKMEANS, AbftScheme, get_scheme
 from repro.abft.thresholds import ThresholdPolicy
 from repro.abft.wu import WuFtGemm
-from repro.core.assignment import AssignmentResult, fast_assign, setup_gmem
+from repro.core.assignment import AssignmentResult, setup_gmem
 from repro.core.gemm_kmeans import default_simt_tile
 from repro.core.tensorop import TensorOpAssignment
 from repro.gemm.epilogue import BroadcastArgminEpilogue, StoreEpilogue
@@ -188,9 +188,11 @@ class FtAssignment(TensorOpAssignment):
     def __init__(self, device, dtype, *, mode="fast", injector=None,
                  tile=None, use_tf32: bool = True,
                  scheme: str | AbftScheme = FTKMEANS, safety: float = 4.0,
-                 stages: int | None = None):
+                 stages: int | None = None, chunk_bytes: int | None = None,
+                 workers: int = 1):
         super().__init__(device, dtype, mode=mode, injector=injector,
-                         tile=tile, use_tf32=use_tf32, stages=stages)
+                         tile=tile, use_tf32=use_tf32, stages=stages,
+                         chunk_bytes=chunk_bytes, workers=workers)
         self.scheme = get_scheme(scheme)
         self.safety = safety
         if self.scheme.name == "wu":
@@ -198,6 +200,9 @@ class FtAssignment(TensorOpAssignment):
             # the SIMT tiling defaults unless caller overrides
             if tile is None:
                 self.tile = default_simt_tile(dtype)
+
+    def _engine_options(self) -> dict:
+        return dict(tf32=self.use_tf32, scheme=self.scheme, safety=self.safety)
 
     # ------------------------------------------------------------------
     def assign(self, x: np.ndarray, y: np.ndarray) -> AssignmentResult:
@@ -207,10 +212,7 @@ class FtAssignment(TensorOpAssignment):
         if self.mode == "functional":
             labels, best = self._assign_functional(x, y, counters)
         else:
-            labels, best = fast_assign(
-                x, y, dtype=self.dtype, tf32=self.use_tf32,
-                counters=counters, tile=self.tile, injector=self.injector,
-                scheme=self.scheme, safety=self.safety)
+            labels, best = self.engine.assign(x, y, counters)
         return AssignmentResult(labels, best, counters, self.estimate(m, n, k))
 
     def _assign_functional(self, x, y, counters):

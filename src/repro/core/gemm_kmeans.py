@@ -15,7 +15,6 @@ import numpy as np
 from repro.core.assignment import (
     AssignmentKernelBase,
     AssignmentResult,
-    fast_assign,
     setup_gmem,
 )
 from repro.gemm.epilogue import StoreEpilogue
@@ -39,8 +38,10 @@ class V1GemmAssignment(AssignmentKernelBase):
     variant_key = "v1"
 
     def __init__(self, device, dtype, *, mode="fast", injector=None,
-                 tile: TileConfig | None = None):
-        super().__init__(device, dtype, mode=mode, injector=injector)
+                 tile: TileConfig | None = None,
+                 chunk_bytes: int | None = None, workers: int = 1):
+        super().__init__(device, dtype, mode=mode, injector=injector,
+                         chunk_bytes=chunk_bytes, workers=workers)
         self.tile = tile if tile is not None else default_simt_tile(dtype)
 
     # ------------------------------------------------------------------
@@ -51,9 +52,7 @@ class V1GemmAssignment(AssignmentKernelBase):
         if self.mode == "functional":
             labels, best = self._assign_functional(x, y, counters)
         else:
-            labels, best = fast_assign(x, y, dtype=self.dtype, tf32=False,
-                                       counters=counters, tile=self.tile,
-                                       injector=self.injector)
+            labels, best = self.engine.assign(x, y, counters)
         return AssignmentResult(labels, best, counters,
                                 self.estimate(m, n, k))
 

@@ -21,7 +21,18 @@ _CHUNK = 4096
 
 
 class NaiveAssignment(AssignmentKernelBase):
-    """Per-thread centroid scan."""
+    """Per-thread centroid scan.
+
+    ``functional`` mode keeps the dimension-by-dimension scan (the
+    paper's V0 dataflow); ``fast`` mode streams through the blocked
+    engine like every other variant (naive has no tile geometry, so the
+    engine runs without fault replay — matching the seed behaviour of
+    never injecting into the naive kernel's fast path).  Note the
+    engine computes distances via the GEMM norm identity, which — like
+    every GEMM-based variant — can cancel catastrophically on data with
+    a large common offset; use ``functional`` mode for the exact
+    per-dimension ``(x - y)**2`` scan.
+    """
 
     name = "naive"
 
@@ -30,6 +41,16 @@ class NaiveAssignment(AssignmentKernelBase):
         counters.kernels_launched += 1
         m, k = x.shape
         n = y.shape[0]
+        if self.mode != "functional":
+            labels, best = self.engine.assign(x, y, counters)
+            # charge the same modelled work the per-thread scan performs
+            # (every thread streams all centroids), so counter-derived
+            # GFLOPS/traffic stay comparable across modes
+            counters.global_loads += m * y.nbytes + x.nbytes
+            counters.simt_fma += m * n * k
+            counters.flops += 3 * m * n * k
+            return AssignmentResult(labels, best, counters,
+                                    self.estimate(m, n, k))
         labels = np.empty(m, dtype=np.int64)
         best = np.empty(m, dtype=self.dtype)
         for lo in range(0, m, _CHUNK):

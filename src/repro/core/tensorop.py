@@ -13,7 +13,6 @@ import numpy as np
 from repro.core.assignment import (
     AssignmentKernelBase,
     AssignmentResult,
-    fast_assign,
     setup_gmem,
 )
 from repro.gemm.epilogue import BroadcastArgminEpilogue
@@ -43,14 +42,19 @@ class TensorOpAssignment(AssignmentKernelBase):
 
     def __init__(self, device, dtype, *, mode="fast", injector=None,
                  tile: TileConfig | None = None, use_tf32: bool = True,
-                 stages: int | None = None):
-        super().__init__(device, dtype, mode=mode, injector=injector)
+                 stages: int | None = None, chunk_bytes: int | None = None,
+                 workers: int = 1):
+        super().__init__(device, dtype, mode=mode, injector=injector,
+                         chunk_bytes=chunk_bytes, workers=workers)
         self.tile = tile if tile is not None else default_tensorop_tile(dtype)
         if stages is not None and stages != self.tile.stages:
             self.tile = TileConfig(self.tile.tb, self.tile.warp,
                                    self.tile.thread, stages=stages,
                                    param_id=self.tile.param_id)
         self.use_tf32 = use_tf32 and np.dtype(dtype) == np.float32
+
+    def _engine_options(self) -> dict:
+        return dict(tf32=self.use_tf32)
 
     def _make_kernel(self, counters: PerfCounters) -> TensorOpGemm:
         return TensorOpGemm(self.device, self.tile, self.dtype,
@@ -71,9 +75,7 @@ class TensorOpAssignment(AssignmentKernelBase):
             labels = assign[:, 1].astype(np.int64)
             best = assign[:, 0].astype(self.dtype)
         else:
-            labels, best = fast_assign(x, y, dtype=self.dtype,
-                                       tf32=self.use_tf32, counters=counters,
-                                       tile=self.tile, injector=self.injector)
+            labels, best = self.engine.assign(x, y, counters)
         return AssignmentResult(labels, best, counters,
                                 self.estimate(m, n, k))
 

@@ -110,6 +110,15 @@ class DeviceSpec:
         """True when a dedicated FP64 MMA path exists (A100 DMMA)."""
         return self.tensor_tflops_fp64 > self.simt_tflops_fp64
 
+    def fastpath_chunk_bytes(self) -> int:
+        """Auto memory budget for the blocked streaming fast path.
+
+        Half the L2 capacity: one chunk's distance accumulator stays
+        cache-resident through the fused inject/epilogue/argmin passes
+        while leaving room for the operand stream.
+        """
+        return max(1 << 20, self.l2_bytes // 2)
+
     def with_(self, **kw) -> "DeviceSpec":
         """Return a modified copy (for what-if experiments/ablations)."""
         return replace(self, **kw)

@@ -1,0 +1,444 @@
+"""Tests for the blocked streaming fast-path engine.
+
+The contract under test: chunking is an implementation detail — for any
+``chunk_bytes`` / ``workers`` configuration the engine produces
+bit-identical labels and inertia (including under fault injection with a
+fixed seed), its scratch memory stays under the configured budget, and
+the per-fit invariant cache is actually reused across iterations.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.api import FTKMeans
+from repro.core.assignment import fast_assign, setup_gmem
+from repro.core.config import KMeansConfig, VARIANT_NAMES
+from repro.core.engine import (
+    BlockMap,
+    FastPathEngine,
+    GEMM_UNIT_ROWS,
+    unchunked_assign,
+)
+from repro.core.tensorop import default_tensorop_tile
+from repro.core.variants import build_assignment
+from repro.gpusim.counters import PerfCounters
+from repro.gpusim.device import A100_PCIE_40GB
+from repro.gpusim.faults import FaultInjector
+
+#: forces several chunks at the test shapes below (unit = 256 rows)
+TINY_BUDGET = 256 * 10 * 4
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(7)
+    x = rng.standard_normal((700, 24)).astype(np.float32)
+    y = rng.standard_normal((10, 24)).astype(np.float32)
+    return x, y
+
+
+def _build(variant, mode, m, k, *, chunk_bytes=None, workers=1,
+           p_inject=0.0, seed=0):
+    cfg = KMeansConfig(n_clusters=10, variant=variant, mode=mode,
+                       p_inject=p_inject, chunk_bytes=chunk_bytes,
+                       engine_workers=workers)
+    return build_assignment(cfg, m, k, np.random.default_rng(seed))
+
+
+class TestChunkedEquivalence:
+    @pytest.mark.parametrize("variant", VARIANT_NAMES)
+    def test_chunked_bit_identical_to_unchunked(self, data, variant):
+        """Same tile => same inner-GEMM sequence => identical bits, no
+        matter how the accumulator is chunked."""
+        x, y = data
+        results = {}
+        for label, budget in (("chunked", TINY_BUDGET), ("whole", 1 << 30)):
+            kern = _build(variant, "fast", *x.shape, chunk_bytes=budget)
+            res = kern.assign(x, y)
+            results[label] = res
+            if label == "chunked":
+                assert kern.engine.stats.chunks_run > 1
+        assert np.array_equal(results["chunked"].labels,
+                              results["whole"].labels)
+        assert np.array_equal(results["chunked"].min_sqdist,
+                              results["whole"].min_sqdist)
+        inertia = [float(np.sum(r.min_sqdist.astype(np.float64)))
+                   for r in results.values()]
+        assert inertia[0] == inertia[1]
+
+    @pytest.mark.parametrize("variant", VARIANT_NAMES)
+    def test_chunked_matches_functional_labels(self, data, variant):
+        x, y = data
+        fast = _build(variant, "fast", *x.shape,
+                      chunk_bytes=TINY_BUDGET).assign(x, y)
+        func = _build(variant, "functional", *x.shape).assign(x, y)
+        assert np.array_equal(fast.labels, func.labels)
+
+    @pytest.mark.parametrize("variant", ["v1", "v2", "v3", "tensorop", "ft"])
+    def test_chunked_injection_bit_identical(self, data, variant):
+        """With a fixed injector seed the SEU replay lands on the same
+        logical tile coordinates whether or not the data was chunked."""
+        x, y = data
+        results = {}
+        for label, budget in (("chunked", TINY_BUDGET), ("whole", 1 << 30)):
+            kern = _build(variant, "fast", *x.shape, chunk_bytes=budget,
+                          p_inject=0.8, seed=42)
+            results[label] = kern.assign(x, y)
+        a, b = results["chunked"], results["whole"]
+        assert a.counters.errors_injected == b.counters.errors_injected
+        assert a.counters.errors_injected > 0
+        assert a.counters.errors_detected == b.counters.errors_detected
+        assert np.array_equal(a.labels, b.labels)
+        assert np.array_equal(a.min_sqdist, b.min_sqdist)
+
+    @pytest.mark.parametrize("variant", ["v1", "v2", "v3", "tensorop", "ft"])
+    def test_chunked_injection_matches_functional(self, data, variant):
+        """Fixed seed, p_inject > 0: the chunked fast path draws the
+        same fault plans as the tile-accurate simulator (identical
+        injected counts) and lands on the same clustering."""
+        x, y = data
+        res = {}
+        for mode in ("fast", "functional"):
+            kern = _build(variant, mode, *x.shape,
+                          chunk_bytes=TINY_BUDGET, p_inject=0.8, seed=42)
+            res[mode] = kern.assign(x, y)
+        fast, func = res["fast"], res["functional"]
+        assert fast.counters.errors_injected > 0
+        assert (fast.counters.errors_injected
+                == func.counters.errors_injected)
+        assert np.array_equal(fast.labels, func.labels)
+
+    def test_workers_bit_identical(self, data):
+        """Thread dispatch re-partitions the chunks but not the inner
+        GEMM units, so the result bits don't move."""
+        x, y = data
+        base = _build("tensorop", "fast", *x.shape, chunk_bytes=TINY_BUDGET,
+                      p_inject=0.5, seed=3).assign(x, y)
+        threaded = _build("tensorop", "fast", *x.shape,
+                          chunk_bytes=TINY_BUDGET, workers=3,
+                          p_inject=0.5, seed=3).assign(x, y)
+        assert np.array_equal(base.labels, threaded.labels)
+        assert np.array_equal(base.min_sqdist, threaded.min_sqdist)
+        assert (base.counters.errors_injected
+                == threaded.counters.errors_injected)
+
+    def test_offset_data_distances_nonnegative(self):
+        """The GEMM norm identity cancels on offset-heavy data; the
+        engine floors squared distances at zero so inertia, score and
+        the worst-fit reseed ordering stay meaningful."""
+        rng = np.random.default_rng(0)
+        x = (1000.0 + 0.01 * rng.standard_normal((500, 8))).astype(np.float32)
+        eng = FastPathEngine(None, np.float32)
+        _, best = eng.assign(x, x[:4].copy(), PerfCounters())
+        assert best.min() >= 0.0
+        km = FTKMeans(n_clusters=4, seed=0, variant="naive",
+                      max_iter=5).fit(x)
+        assert km.inertia_ >= 0.0
+
+    def test_ft_chunked_injection_corrected(self, data):
+        """The FT scheme's online correction survives chunking: injected
+        runs land on the clean run's clustering."""
+        x, y = data
+        clean = _build("ft", "fast", *x.shape,
+                       chunk_bytes=TINY_BUDGET).assign(x, y)
+        noisy = _build("ft", "fast", *x.shape, chunk_bytes=TINY_BUDGET,
+                       p_inject=0.9, seed=5).assign(x, y)
+        assert noisy.counters.errors_injected > 0
+        assert np.array_equal(clean.labels, noisy.labels)
+
+    @given(m=st.integers(40, 500), k=st.integers(2, 24),
+           n=st.integers(2, 12), chunk_kb=st.sampled_from([1, 3, 16, 1024]),
+           inject=st.booleans(), seed=st.integers(0, 2 ** 16))
+    @settings(max_examples=25, deadline=None)
+    def test_property_chunking_invariant(self, m, k, n, chunk_kb, inject,
+                                         seed):
+        """Random shapes/budgets: chunked labels & inertia are
+        bit-identical to the one-chunk engine run."""
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((m, k)).astype(np.float32)
+        y = rng.standard_normal((n, k)).astype(np.float32)
+        tile = default_tensorop_tile(np.float32)
+        outs = []
+        for budget in (chunk_kb << 10, 1 << 30):
+            inj = (FaultInjector(seed, 0.7, np.float32) if inject else None)
+            eng = FastPathEngine(None, np.float32, tile=tile, tf32=True,
+                                 injector=inj, chunk_bytes=budget)
+            counters = PerfCounters()
+            labels, best = eng.assign(x, y, counters)
+            outs.append((labels.copy(), best.copy(),
+                         float(np.sum(best.astype(np.float64)))))
+        (l1, b1, i1), (l2, b2, i2) = outs
+        assert np.array_equal(l1, l2)
+        assert np.array_equal(b1, b2)
+        assert i1 == i2
+
+
+class TestMemoryBudget:
+    def test_peak_scratch_bounded_at_200k(self):
+        """Acceptance shape M=200k, N(features)=64, K=64: every engine
+        allocation obeys the budget; nothing O(M x N) ever appears."""
+        m, feats, k = 200_000, 64, 64
+        budget = 4 << 20
+        rng = np.random.default_rng(0)
+        x = rng.random((m, feats), dtype=np.float32)
+        y = x[:k].copy()
+        allocs: list[tuple[str, int]] = []
+        eng = FastPathEngine(A100_PCIE_40GB, np.float32,
+                             tile=default_tensorop_tile(np.float32),
+                             tf32=True, chunk_bytes=budget,
+                             alloc_hook=lambda name, nb: allocs.append((name, nb)))
+        eng.begin_fit(x, k)
+        for _ in range(3):
+            eng.assign(x, y, PerfCounters())
+        scratch = [nb for name, nb in allocs if name == "chunk_scratch"]
+        assert scratch, "engine never allocated chunk scratch?"
+        # pooled scratch: allocated once, reused across all 3 iterations
+        assert sum(scratch) <= budget
+        assert eng.stats.peak_scratch_bytes <= budget
+        # no allocation anywhere near the M x N accumulator (51 MB here)
+        full_matrix = m * k * np.dtype(np.float32).itemsize
+        assert max(nb for _, nb in allocs) <= budget < full_matrix
+        assert eng.stats.chunks_run > 3  # genuinely chunked, each pass
+
+    def test_tf32_operand_staging_charged_to_budget(self):
+        """Wide-feature TF32 runs: the per-unit rounded-operand copy is
+        part of the contract, so the worker clamp and chunk rows shrink
+        to keep accumulator + staging under chunk_bytes."""
+        m, feats, n = 4096, 2048, 16
+        budget = 8 << 20
+        rng = np.random.default_rng(2)
+        x = rng.random((m, feats), dtype=np.float32)
+        y = x[:n].copy()
+        eng = FastPathEngine(None, np.float32, tf32=True,
+                             chunk_bytes=budget, workers=2)
+        eng.begin_fit(x, n)
+        cache = eng._cache
+        unit = eng.unit_rows
+        operand = unit * feats * 4
+        rows = max(hi - lo for lo, hi in cache.chunks)
+        # per-worker accumulator + staged operands, summed over workers
+        assert cache.workers * (rows * n * 4 + operand) <= budget
+        eng.assign(x, y, PerfCounters())
+        assert eng.stats.peak_scratch_bytes <= budget
+
+    def test_workers_share_the_budget(self):
+        """With worker threads the per-chunk budget divides, so the
+        total concurrent scratch stays under chunk_bytes."""
+        m, feats, k = 20_000, 32, 16
+        budget = 512 << 10
+        rng = np.random.default_rng(1)
+        x = rng.random((m, feats), dtype=np.float32)
+        y = x[:k].copy()
+        allocs: list[tuple[str, int]] = []
+        eng = FastPathEngine(None, np.float32,
+                             tile=default_tensorop_tile(np.float32),
+                             chunk_bytes=budget, workers=2,
+                             alloc_hook=lambda name, nb: allocs.append((name, nb)))
+        eng.begin_fit(x, k)
+        for _ in range(2):
+            eng.assign(x, y, PerfCounters())
+        scratch = [nb for name, nb in allocs if name == "chunk_scratch"]
+        assert sum(scratch) <= budget
+        assert eng.stats.peak_scratch_bytes <= budget
+
+
+class TestFitCache:
+    def test_invariants_hoisted_across_iterations(self, data):
+        x, y = data
+        eng = FastPathEngine(A100_PCIE_40GB, np.float32,
+                             tile=default_tensorop_tile(np.float32))
+        cache = eng.begin_fit(x, y.shape[0])
+        l1, b1 = eng.assign(x, y, PerfCounters())
+        l2, b2 = eng.assign(x, y * 1.1, PerfCounters())
+        assert eng.stats.cache_hits == 2
+        # same hoisted buffers handed back each pass
+        assert l1 is cache.labels and l2 is cache.labels
+        assert b1 is cache.best and b2 is cache.best
+        assert cache.chunks is not None and cache.block_map is not None
+
+    def test_foreign_input_uses_transient_cache(self, data):
+        x, y = data
+        eng = FastPathEngine(A100_PCIE_40GB, np.float32,
+                             tile=default_tensorop_tile(np.float32))
+        cache = eng.begin_fit(x, y.shape[0])
+        other = x[:100].copy()
+        labels, _ = eng.assign(other, y, PerfCounters())
+        assert labels.shape == (100,)
+        assert labels is not cache.labels
+        assert eng.stats.cache_hits == 0
+        # the fit cache is untouched and still active
+        l1, _ = eng.assign(x, y, PerfCounters())
+        assert l1 is cache.labels
+
+    def test_empty_input_returns_empty(self, data):
+        _, y = data
+        eng = FastPathEngine(None, np.float32,
+                             tile=default_tensorop_tile(np.float32))
+        labels, best = eng.assign(np.empty((0, y.shape[1]), np.float32), y,
+                                  PerfCounters())
+        assert labels.shape == (0,) and best.shape == (0,)
+
+    def test_workers_clamped_to_budget(self):
+        """When the per-worker share would fall below one GEMM unit the
+        worker count shrinks instead of the scratch total growing."""
+        n = 1024  # unit(256) * 1024 cols * 4 B = 1 MB per worker minimum
+        budget = 2 << 20
+        rng = np.random.default_rng(0)
+        x = rng.random((2048, 8), dtype=np.float32)
+        y = rng.random((n, 8), dtype=np.float32)
+        eng = FastPathEngine(None, np.float32, chunk_bytes=budget, workers=4)
+        eng.begin_fit(x, n)
+        eng.assign(x, y, PerfCounters())
+        assert eng._cache.workers == 2
+        assert eng.stats.peak_scratch_bytes <= budget
+
+    def test_begin_fit_coerces_dtype(self, data):
+        """A dtype-mismatched fit array is converted once, not per pass."""
+        x, y = data
+        x64 = x.astype(np.float64)
+        eng = FastPathEngine(None, np.float32,
+                             tile=default_tensorop_tile(np.float32))
+        cache = eng.begin_fit(x64, y.shape[0])
+        assert cache.x.dtype == np.float32
+        eng.assign(x64, y, PerfCounters())
+        eng.assign(x64, y, PerfCounters())
+        assert eng.stats.cache_hits == 2
+
+    def test_executor_lifecycle(self, data):
+        """One worker pool serves the whole fit, then shuts down; a
+        transient threaded pass never leaves idle threads behind."""
+        x, y = data
+        eng = FastPathEngine(None, np.float32, chunk_bytes=TINY_BUDGET * 2,
+                             workers=2)
+        eng.begin_fit(x, y.shape[0])
+        eng.assign(x, y, PerfCounters())
+        pool = eng._executor
+        assert pool is not None
+        eng.assign(x, y, PerfCounters())
+        assert eng._executor is pool  # reused across iterations
+        eng.end_fit()
+        assert eng._executor is None
+        eng.assign(x, y, PerfCounters())  # transient pass
+        assert eng._executor is None
+
+    def test_norms_match_seed_formula(self, data):
+        x, _ = data
+        eng = FastPathEngine(None, np.float32)
+        cache = eng.begin_fit(x)
+        np.testing.assert_array_equal(
+            cache.x_norms, np.sum(x * x, axis=1, dtype=np.float32))
+
+    def test_fitted_estimator_releases_training_data(self, data):
+        """After fit the engine holds no cache: the training array is
+        not pinned, and predict/score see in-place mutations instead of
+        trusting stale hoisted norms."""
+        x, _ = data
+        x = x.copy()
+        km = FTKMeans(n_clusters=6, seed=0, max_iter=8).fit(x)
+        assert km._assigner.engine._cache is None
+        assert not km._assigner.engine._pool
+        x *= 3.0  # mutate the fitted array in place
+        assert km.score(x) == pytest.approx(km.score(x.copy()))
+        # transient predict/score passes must not repopulate the pool
+        km.predict(x)
+        assert not km._assigner.engine._pool
+        assert km._assigner.engine.stats.scratch_bytes == 0
+
+
+class TestBlockMap:
+    def test_row_major_ids_and_extents(self):
+        tile = default_tensorop_tile(np.float32)  # TB 128x64
+        bmap = BlockMap.for_shape(300, 70, 40, tile)
+        assert (bmap.grid_m, bmap.grid_n) == (3, 2)
+        assert bmap.block_id(0, 0) == 0
+        assert bmap.block_id(0, 1) == 1
+        assert bmap.block_id(1, 0) == 2
+        assert bmap.block_extent(2, 1) == (300 - 2 * 128, 70 - 64)
+
+    def test_blocks_partition_across_chunks(self):
+        tile = default_tensorop_tile(np.float32)
+        bmap = BlockMap.for_shape(1000, 64, 32, tile)
+        seen = []
+        for lo, hi in ((0, 256), (256, 512), (512, 768), (768, 1000)):
+            seen.extend(bmap.blocks_for_rows(lo, hi))
+        assert seen == list(range(bmap.grid_m))
+
+    def test_unit_rows_is_tile_multiple(self):
+        for tb_m in (64, 128):
+            tile = default_tensorop_tile(np.float32 if tb_m == 128
+                                         else np.float64)
+            eng = FastPathEngine(None, np.float32, tile=tile)
+            assert eng.unit_rows % tile.tb.m == 0
+            assert eng.unit_rows >= GEMM_UNIT_ROWS // 2
+        assert FastPathEngine(None, np.float32).unit_rows == GEMM_UNIT_ROWS
+
+
+class TestWiring:
+    def test_fast_assign_wrapper_matches_engine(self, data):
+        x, y = data
+        counters = PerfCounters()
+        labels, best = fast_assign(x, y, dtype=np.float32, tf32=True,
+                                   counters=counters,
+                                   tile=default_tensorop_tile(np.float32))
+        eng = FastPathEngine(None, np.float32,
+                             tile=default_tensorop_tile(np.float32),
+                             tf32=True)
+        l2, b2 = eng.assign(x, y, PerfCounters())
+        assert np.array_equal(labels, l2)
+        assert np.array_equal(best, b2)
+        # the wrapper hands back owned arrays, not engine buffers
+        assert labels.base is None or labels.base is not l2
+
+    def test_unchunked_reference_agrees_on_labels(self, data):
+        x, y = data
+        eng = FastPathEngine(None, np.float32,
+                             tile=default_tensorop_tile(np.float32),
+                             tf32=True)
+        l_eng, _ = eng.assign(x, y, PerfCounters())
+        l_ref, _ = unchunked_assign(x, y, dtype=np.float32, tf32=True)
+        assert np.array_equal(l_eng, l_ref)
+
+    def test_estimator_chunking_invariant_end_to_end(self, data):
+        x, _ = data
+        fits = [FTKMeans(n_clusters=6, seed=0, max_iter=12,
+                         chunk_bytes=cb, engine_workers=w).fit(x)
+                for cb, w in ((TINY_BUDGET, 1), (None, 1), (TINY_BUDGET, 2))]
+        for other in fits[1:]:
+            assert np.array_equal(fits[0].labels_, other.labels_)
+            assert fits[0].inertia_ == other.inertia_
+
+    def test_predict_not_aliased_to_engine_buffers(self, data):
+        x, _ = data
+        km = FTKMeans(n_clusters=6, seed=0, max_iter=8).fit(x)
+        pred = km.predict(x)
+        again = km.predict(x)
+        np.testing.assert_array_equal(pred, again)
+        pred[:] = -1
+        # neither the fitted state nor other predictions are aliased to
+        # the engine's reusable buffers
+        assert km.labels_.min() >= 0
+        assert again.min() >= 0
+        assert km.score(x) == pytest.approx(
+            -float(np.sum(km._assigner.assign(
+                x, km.cluster_centers_).min_sqdist.astype(np.float64))))
+
+    def test_config_rejects_bad_engine_knobs(self):
+        with pytest.raises(ValueError):
+            KMeansConfig(chunk_bytes=0)
+        with pytest.raises(ValueError):
+            KMeansConfig(engine_workers=0)
+
+
+class TestSetupGmemDtype:
+    @pytest.mark.parametrize("dt", [np.float32, np.float64])
+    def test_assign_buffer_in_kernel_dtype(self, dt):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((32, 8)).astype(dt)
+        y = rng.standard_normal((4, 8)).astype(dt)
+        gmem = setup_gmem(x, y, PerfCounters())
+        assign = gmem["assign"]
+        assert assign.dtype == np.dtype(dt)
+        assert np.all(np.isinf(assign[:, 0]))
+        assert np.all(assign[:, 1] == -1)
