@@ -3,13 +3,19 @@
 Unlike the figure harness — which charges an analytic *simulated* clock —
 this module measures real host time, so subsequent PRs can track genuine
 speedups of the hot loop.  It drives a multi-iteration Lloyd fit at a
-configurable shape through two implementations of the assignment stage:
+configurable shape through the assignment **and** update stages:
 
-* ``unchunked`` — the seed one-shot fast path (full M x N accumulator,
-  per-iteration norm recomputation), kept in
-  :func:`repro.core.engine.unchunked_assign` as the regression baseline;
-* ``engine``    — the chunked streaming :class:`FastPathEngine` with its
-  per-fit invariant cache.
+* ``unchunked`` — the seed one-shot fast path (full M x N accumulator)
+  plus the seed ``np.add.at`` update accumulation, kept as the
+  regression baseline;
+* ``engine``    — the chunked streaming :class:`FastPathEngine` with the
+  centroid-update accumulation *fused* into its chunk loop (the
+  production path since the streamed-update PR);
+* ``stages``    — a per-stage split run: pure chunked assignment, then
+  the ``oneshot`` (``np.add.at``) and ``streamed`` (chunked bincount)
+  update accumulations timed on the same labels.  All three update
+  implementations are bit-identical, so every run walks the same Lloyd
+  trajectory.
 
 Each run appends one record to ``BENCH_fastpath.json`` (a perf
 trajectory: list of entries, newest last).  Run from the CLI::
@@ -29,9 +35,13 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.accumulate import (
+    StreamedAccumulator,
+    accumulate_oneshot,
+    accumulate_streamed,
+)
 from repro.core.engine import FastPathEngine, unchunked_assign
 from repro.core.tensorop import default_tensorop_tile
-from repro.gemm.reference import reference_update
 from repro.gpusim.counters import PerfCounters
 from repro.gpusim.device import get_device
 
@@ -49,28 +59,104 @@ FULL_SHAPE = dict(m=200_000, n_features=64, n_clusters=64, iters=8)
 SMOKE_SHAPE = dict(m=60_000, n_features=64, n_clusters=64, iters=3)
 
 
-def _lloyd_walltime(x, y0, n_clusters, iters, assign_fn):
-    """Time ``iters`` Lloyd iterations whose update stage is fixed, so
-    only the assignment implementation under test differs.
+def _divide(sums: np.ndarray, dtype) -> np.ndarray:
+    """Packed (K, N+1) sums -> centroids; bit-identical to the seed
+    ``reference_update`` tail (empty clusters keep zero rows)."""
+    k = sums.shape[1] - 1
+    counts = sums[:, k]
+    out = np.zeros((sums.shape[0], k), dtype=np.float64)
+    nz = counts > 0
+    out[nz] = sums[nz, :k] / counts[nz, None]
+    return out.astype(dtype)
 
-    Also returns the *first* iteration's labels: both paths see the
-    identical centroids there, so comparing them measures pure
-    assignment agreement without the tie-break cascade that independent
-    Lloyd trajectories accumulate over later iterations.
+
+def _lloyd_split(x, y0, n_clusters, iters, assign_fn):
+    """Per-stage Lloyd loop: time assignment, then both (bit-identical)
+    update accumulations on the same labels.
+
+    The streamed result drives the trajectory; returns the first
+    iteration's labels (both benchmark paths see identical centroids
+    there, so comparing them measures pure assignment agreement without
+    the tie-break cascade independent trajectories accumulate) and the
+    final labels.
     """
     y = y0.copy()
-    per_iter = []
+    assign_s, upd_streamed_s, upd_oneshot_s = [], [], []
     labels = first_labels = None
-    t0 = time.perf_counter()
     for it in range(iters):
-        ti = time.perf_counter()
-        labels, best = assign_fn(x, y)
-        per_iter.append(time.perf_counter() - ti)
+        t0 = time.perf_counter()
+        labels, _ = assign_fn(x, y)
+        assign_s.append(time.perf_counter() - t0)
         if it == 0:
             first_labels = labels.copy()
-        y, _ = reference_update(x, labels, n_clusters)
-    total = time.perf_counter() - t0
-    return total, per_iter, first_labels, labels.copy()
+        t0 = time.perf_counter()
+        sums = accumulate_streamed(x, labels, n_clusters)
+        upd_streamed_s.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        accumulate_oneshot(x, labels, n_clusters)  # baseline impl, timed
+        upd_oneshot_s.append(time.perf_counter() - t0)
+        y = _divide(sums, x.dtype)
+    return {
+        "assign_per_iter_s": assign_s,
+        "update_streamed_per_iter_s": upd_streamed_s,
+        "update_oneshot_per_iter_s": upd_oneshot_s,
+        "first_labels": first_labels,
+        "labels": labels.copy(),
+    }
+
+
+def _lloyd_fused(x, y0, n_clusters, iters, engine):
+    """The production path: fused assign+accumulate per chunk, then the
+    O(K·N) divide tail."""
+    acc = StreamedAccumulator(n_clusters, x.shape[1])
+    y = y0.copy()
+    fused_s, tail_s = [], []
+    labels = first_labels = None
+    t_all = time.perf_counter()
+    for it in range(iters):
+        acc.reset()
+        t0 = time.perf_counter()
+        labels, _ = engine.assign(x, y, PerfCounters(), accumulator=acc)
+        fused_s.append(time.perf_counter() - t0)
+        if it == 0:
+            first_labels = labels.copy()
+        t0 = time.perf_counter()
+        y = _divide(acc.packed(), x.dtype)
+        tail_s.append(time.perf_counter() - t0)
+    total = time.perf_counter() - t_all
+    return {
+        "wall_s": total,
+        "per_iter_s": fused_s,
+        "update_tail_per_iter_s": tail_s,
+        "first_labels": first_labels,
+        "labels": labels.copy(),
+    }
+
+
+def _lloyd_unchunked(x, y0, n_clusters, iters, dtype, tf32):
+    """The seed baseline: one-shot assignment + ``np.add.at`` update."""
+    y = y0.copy()
+    assign_s, update_s = [], []
+    labels = first_labels = None
+    t_all = time.perf_counter()
+    for it in range(iters):
+        t0 = time.perf_counter()
+        labels, _ = unchunked_assign(x, y, dtype=dtype, tf32=tf32)
+        assign_s.append(time.perf_counter() - t0)
+        if it == 0:
+            first_labels = labels.copy()
+        t0 = time.perf_counter()
+        sums = accumulate_oneshot(x, labels, n_clusters)
+        update_s.append(time.perf_counter() - t0)
+        y = _divide(sums, x.dtype)
+    total = time.perf_counter() - t_all
+    return {
+        "wall_s": total,
+        "per_iter_s": assign_s,
+        "update_per_iter_s": update_s,
+        "first_labels": first_labels,
+        "labels": labels.copy(),
+    }
 
 
 def run_fastpath_bench(m: int = FULL_SHAPE["m"],
@@ -99,8 +185,12 @@ def run_fastpath_bench(m: int = FULL_SHAPE["m"],
 
     try:
         engine.begin_fit(x, n_clusters)
-        eng_total, eng_iters, eng_first, eng_labels = _lloyd_walltime(
-            x, y0, n_clusters, iters, engine_assign)
+        fused = _lloyd_fused(x, y0, n_clusters, iters, engine)
+        # snapshot before the diagnostic split run doubles the counters:
+        # the recorded stats must describe ONE fit, comparably across PRs
+        fit_stats = (engine.stats.chunks_run, engine.stats.gemm_calls,
+                     engine.stats.update_chunks_fed)
+        split = _lloyd_split(x, y0, n_clusters, iters, engine_assign)
     finally:
         engine.end_fit()
 
@@ -116,30 +206,57 @@ def run_fastpath_bench(m: int = FULL_SHAPE["m"],
             "seed": seed,
         },
         "engine": {
-            "wall_s": eng_total,
-            "per_iter_s": eng_iters,
-            "chunks_run": engine.stats.chunks_run,
-            "gemm_calls": engine.stats.gemm_calls,
+            "wall_s": fused["wall_s"],
+            "per_iter_s": fused["per_iter_s"],
+            "update_tail_per_iter_s": fused["update_tail_per_iter_s"],
+            "chunks_run": fit_stats[0],
+            "gemm_calls": fit_stats[1],
+            "update_chunks_fed": fit_stats[2],
             "peak_scratch_bytes": engine.stats.peak_scratch_bytes,
         },
+        "stages": {
+            "assign_per_iter_s": split["assign_per_iter_s"],
+            "update_streamed_per_iter_s": split["update_streamed_per_iter_s"],
+            "update_oneshot_per_iter_s": split["update_oneshot_per_iter_s"],
+            "update_speedup_streamed_vs_oneshot":
+                sum(split["update_oneshot_per_iter_s"])
+                / max(1e-12, sum(split["update_streamed_per_iter_s"])),
+            # fusing the accumulation into the assignment loop vs running
+            # the two stages back-to-back unfused
+            "fused_saving_s":
+                sum(split["assign_per_iter_s"])
+                + sum(split["update_streamed_per_iter_s"])
+                - sum(fused["per_iter_s"]),
+        },
     }
+    # bit-identical updates => every run walks the same trajectory
+    assert np.array_equal(fused["labels"], split["labels"])
     if include_unchunked:
-        def seed_assign(xa, ya):
-            return unchunked_assign(xa, ya, dtype=dt, tf32=tf32)
-
-        base_total, base_iters, base_first, base_labels = _lloyd_walltime(
-            x, y0, n_clusters, iters, seed_assign)
-        record["unchunked"] = {"wall_s": base_total, "per_iter_s": base_iters}
-        # fit wall-clock includes the (identical) update stage; the
-        # assignment-only ratio isolates the engine's contribution
-        record["speedup_vs_unchunked"] = base_total / eng_total
-        record["assign_speedup_vs_unchunked"] = sum(base_iters) / sum(eng_iters)
+        base = _lloyd_unchunked(x, y0, n_clusters, iters, dt, tf32)
+        record["unchunked"] = {
+            "wall_s": base["wall_s"],
+            "per_iter_s": base["per_iter_s"],
+            "update_per_iter_s": base["update_per_iter_s"],
+        }
+        # full-fit wall-clock ratio: chunked+fused engine vs the seed
+        # one-shot assignment + np.add.at update
+        record["speedup_vs_unchunked"] = base["wall_s"] / fused["wall_s"]
+        record["assign_speedup_vs_unchunked"] = (
+            sum(base["per_iter_s"]) / sum(split["assign_per_iter_s"]))
+        # marginal cost of the update when fused: fused-loop time minus
+        # the pure-assignment time, plus the divide tail
+        fused_update_cost = max(
+            1e-12,
+            sum(fused["per_iter_s"]) + sum(fused["update_tail_per_iter_s"])
+            - sum(split["assign_per_iter_s"]))
+        record["update_speedup_vs_unchunked"] = (
+            sum(base["update_per_iter_s"]) / fused_update_cost)
         # cascade-free agreement (identical centroids on iteration 1);
         # the end-state number only diagnoses trajectory divergence
         record["label_mismatch_frac"] = float(
-            np.mean(eng_first != base_first))
+            np.mean(fused["first_labels"] != base["first_labels"]))
         record["label_mismatch_frac_final"] = float(
-            np.mean(eng_labels != base_labels))
+            np.mean(fused["labels"] != base["labels"]))
     return record
 
 
@@ -175,19 +292,26 @@ def write_record(record: dict, path: Path | str = DEFAULT_RESULT_PATH) -> Path:
 
 def _summarise(record: dict) -> str:
     cfg = record["config"]
+    st = record["stages"]
     lines = [
         f"fastpath walltime  M={cfg['m']} N(features)={cfg['n_features']} "
         f"K={cfg['n_clusters']} iters={cfg['iters']} dtype={cfg['dtype']}",
         f"  chunk_bytes={cfg['chunk_bytes']} workers={cfg['workers']} "
         f"chunks/pass={record['engine']['chunks_run'] // max(1, cfg['iters'])} "
         f"peak_scratch={record['engine']['peak_scratch_bytes']} B",
-        f"  engine    : {record['engine']['wall_s']:.3f} s",
+        f"  engine (fused) : {record['engine']['wall_s']:.3f} s",
+        f"  stages/iter    : assign {np.mean(st['assign_per_iter_s']):.4f} s"
+        f" | update streamed {np.mean(st['update_streamed_per_iter_s']):.4f} s"
+        f" vs oneshot {np.mean(st['update_oneshot_per_iter_s']):.4f} s"
+        f" ({st['update_speedup_streamed_vs_oneshot']:.2f}x)",
     ]
     if "unchunked" in record:
-        lines.append(f"  unchunked : {record['unchunked']['wall_s']:.3f} s")
-        lines.append(f"  speedup   : {record['speedup_vs_unchunked']:.2f}x fit, "
-                     f"{record['assign_speedup_vs_unchunked']:.2f}x assignment "
-                     f"(label mismatch {record['label_mismatch_frac']:.2e})")
+        lines.append(f"  unchunked      : {record['unchunked']['wall_s']:.3f} s")
+        lines.append(
+            f"  speedup        : {record['speedup_vs_unchunked']:.2f}x fit, "
+            f"{record['assign_speedup_vs_unchunked']:.2f}x assignment, "
+            f"{record['update_speedup_vs_unchunked']:.2f}x update "
+            f"(label mismatch {record['label_mismatch_frac']:.2e})")
     return "\n".join(lines)
 
 

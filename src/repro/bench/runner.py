@@ -5,7 +5,9 @@ reproductions and prints them in paper order.
 
 ``python -m repro.bench.runner --smoke`` instead runs the wall-clock
 fast-path gating benchmark (< 60 s), appending to ``BENCH_fastpath.json``
-— suitable as a tier-1 perf canary.
+— suitable as a tier-1 perf canary.  Unrecognised arguments after
+``--smoke`` are forwarded to :mod:`repro.bench.fastpath` (e.g.
+``--m 2000 --iters 1`` for an even quicker shape).
 """
 
 from __future__ import annotations
@@ -51,12 +53,16 @@ def main(argv=None) -> None:
     parser.add_argument("--out", default=None,
                         help="with --smoke: trajectory JSON to append to "
                              "(defaults to ./BENCH_fastpath.json; '-' skips)")
-    args = parser.parse_args(argv)
+    args, extra = parser.parse_known_args(argv)
     if args.smoke:
         from repro.bench import fastpath
 
-        fastpath.main(["--smoke"] + (["--out", args.out] if args.out else []))
+        fastpath.main(["--smoke"]
+                      + (["--out", args.out] if args.out else [])
+                      + extra)
         return
+    if extra:
+        parser.error(f"unrecognised arguments: {' '.join(extra)}")
     for res in all_figures():
         print_figure(res, max_rows=8)
         print()

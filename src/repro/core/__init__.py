@@ -1,11 +1,16 @@
 """The paper's primary contribution: FT K-Means (step-wise optimised
 K-means with fused warp-level ABFT)."""
 
+from repro.core.accumulate import (
+    StreamedAccumulator,
+    accumulate_oneshot,
+    accumulate_streamed,
+)
 from repro.core.api import FTKMeans
 from repro.core.assignment import AssignmentKernelBase, AssignmentResult, fast_assign
 from repro.core.broadcast import V3BroadcastAssignment
-from repro.core.config import MODES, VARIANT_NAMES, KMeansConfig
-from repro.core.convergence import ConvergenceMonitor
+from repro.core.config import MODES, UPDATE_MODES, VARIANT_NAMES, KMeansConfig
+from repro.core.convergence import ConvergenceMonitor, EwaInertiaMonitor
 from repro.core.engine import (
     BlockMap,
     EngineStats,
@@ -28,11 +33,16 @@ __all__ = [
     "AssignmentKernelBase",
     "AssignmentResult",
     "fast_assign",
+    "StreamedAccumulator",
+    "accumulate_oneshot",
+    "accumulate_streamed",
     "V3BroadcastAssignment",
     "MODES",
+    "UPDATE_MODES",
     "VARIANT_NAMES",
     "KMeansConfig",
     "ConvergenceMonitor",
+    "EwaInertiaMonitor",
     "BlockMap",
     "EngineStats",
     "FastPathEngine",

@@ -1,0 +1,251 @@
+"""Streamed centroid-sum accumulation (the update stage's hot loop).
+
+The seed update stage accumulates per-cluster sums with ``np.add.at`` —
+one full-M scatter pass that became the wall-clock bottleneck once the
+assignment stage went chunked (see ``BENCH_fastpath.json`` at M=200k).
+:class:`StreamedAccumulator` replaces it with per-chunk, per-feature
+``np.bincount`` segment sums that the streaming engine can feed *inside*
+its chunk loop, right after each chunk's labels are computed, while the
+chunk's sample rows are still hot in cache.
+
+Bit-exactness — the property everything else leans on:
+
+* ``np.bincount(labels, weights=w)`` and ``np.add.at(sums, labels, w)``
+  both walk the input *sequentially in sample order*, so each bin's sum
+  has the identical floating-point association.
+* Chunking normally breaks that (per-chunk partials merge pairwise, not
+  sequentially).  The accumulator avoids partials entirely with a
+  *continuation* trick: each bincount call is prepended with one
+  pseudo-sample per cluster carrying the running sum, so bin ``c``
+  computes ``(((running_c + s_i) + s_j) + ...)`` — exactly the sequence
+  the one-shot ``np.add.at`` would have produced, **no matter where the
+  chunk boundaries fall**.
+
+The result: streamed accumulation is bit-identical to the seed one-shot
+path for any ``chunk_bytes`` / feed granularity, and ~2x faster at the
+acceptance shape (M=200k, N=64, K=64) because bincount's tight C loop
+beats the buffered ``ufunc.at`` machinery.
+
+Accumulation runs in float64 scratch (matching the seed's
+``x.astype(np.float64)``) with the transposed ``(features, clusters)``
+layout so each per-feature column is contiguous for bincount.  All
+scratch is pooled and bounded: the running sums are ``N x K`` float64
+and the transpose/weights staging never exceeds ~:data:`STAGING_BYTES`
+(oversized feeds are split internally — the continuation trick makes
+the split invisible in the bits).  This staging is the update stage's
+own budget, deliberately separate from the engine's ``chunk_bytes``
+(which bounds assignment scratch); every allocation is reported through
+``alloc_hook``.
+
+Thread-safety: feeds must arrive in global sample order — the engine's
+threaded dispatch commits chunks in order (see
+``FastPathEngine._run_threaded``); the accumulator itself is
+single-writer by contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StreamedAccumulator", "accumulate_oneshot", "accumulate_streamed"]
+
+#: budget for the pooled float64 transpose staging; oversized feeds are
+#: split so the staging never exceeds this (any split gives identical
+#: bits thanks to the continuation trick).  Independent of the engine's
+#: ``chunk_bytes``: the update stage owns its own bounded scratch.
+STAGING_BYTES = 8 << 20
+
+#: sub-feed row floor — below this the per-call bincount overhead
+#: dominates, so very wide feature counts trade staging size for speed
+MIN_FEED_ROWS = 1024
+
+#: default sub-feed rows at 64 features (kept for tests/overrides)
+FEED_ROWS = STAGING_BYTES // (8 * 64)
+
+
+class StreamedAccumulator:
+    """Per-cluster sum/count accumulation fed chunk-by-chunk.
+
+    Parameters
+    ----------
+    n_clusters : int
+        Number of bins (K).
+    n_features : int
+        Feature dimension of the samples (N in the paper's notation).
+    alloc_hook : callable, optional
+        ``(name, nbytes)`` callback fired for every scratch allocation
+        (allocation-tracking tests; mirrors the engine's hook).
+
+    Notes
+    -----
+    ``feed`` must be called in global sample order; the running sums then
+    carry exactly the same bits as one sequential ``np.add.at`` pass over
+    the concatenation of every fed chunk.  ``packed()`` returns the seed
+    update stage's ``(K, N+1)`` layout (sums ‖ counts) so the two paths
+    stay drop-in interchangeable.
+    """
+
+    def __init__(self, n_clusters: int, n_features: int, *, alloc_hook=None):
+        if n_clusters < 1:
+            raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+        if n_features < 1:
+            raise ValueError(f"n_features must be >= 1, got {n_features}")
+        self.n_clusters = int(n_clusters)
+        self.n_features = int(n_features)
+        self.alloc_hook = alloc_hook
+        # transposed (features, clusters) layout: each feature's running
+        # sums are one contiguous bincount output row
+        self._sums_t = np.zeros((self.n_features, self.n_clusters),
+                                dtype=np.float64)
+        self._counts = np.zeros(self.n_clusters, dtype=np.float64)
+        self._cluster_ids = np.arange(self.n_clusters, dtype=np.int64)
+        self._ext_w: np.ndarray | None = None     # weights staging
+        self._ext_l: np.ndarray | None = None     # labels staging
+        self._xt: np.ndarray | None = None        # float64 transpose staging
+        #: rows per internal sub-feed: staging stays under STAGING_BYTES
+        self.feed_rows = max(MIN_FEED_ROWS,
+                             STAGING_BYTES // (8 * self.n_features))
+        self.samples_seen = 0
+        self.feeds = 0
+        self._record_alloc("accumulator_sums", self._sums_t.nbytes
+                           + self._counts.nbytes)
+
+    def _record_alloc(self, name: str, nbytes: int) -> None:
+        if self.alloc_hook is not None:
+            self.alloc_hook(name, nbytes)
+
+    def set_alloc_hook(self, hook) -> None:
+        """Attach an allocation tracker, replaying allocations that
+        predate the attachment (the engine wires its hook at the first
+        fused ``assign``, after ``__init__`` already allocated the
+        sums) so accounting never undercounts resident scratch."""
+        if hook is None or self.alloc_hook is not None:
+            return
+        self.alloc_hook = hook
+        self._record_alloc("accumulator_sums",
+                           self._sums_t.nbytes + self._counts.nbytes)
+        if self._ext_w is not None:
+            self._record_alloc("accumulator_staging",
+                               self._ext_w.nbytes + self._ext_l.nbytes)
+        if self._xt is not None:
+            self._record_alloc("accumulator_staging", self._xt.nbytes)
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Zero the running sums/counts (start of a Lloyd iteration)."""
+        self._sums_t[:] = 0.0
+        self._counts[:] = 0.0
+        self.samples_seen = 0
+        self.feeds = 0
+
+    def _staging(self, rows: int) -> tuple[np.ndarray, np.ndarray]:
+        """Pooled (weights, labels) staging of at least n + rows slots."""
+        need = self.n_clusters + rows
+        if self._ext_w is None or self._ext_w.shape[0] < need:
+            self._ext_w = np.empty(need, dtype=np.float64)
+            self._ext_l = np.empty(need, dtype=np.int64)
+            self._ext_l[:self.n_clusters] = self._cluster_ids
+            self._record_alloc("accumulator_staging",
+                               self._ext_w.nbytes + self._ext_l.nbytes)
+        if self._xt is None or self._xt.shape[1] < rows:
+            self._xt = np.empty((self.n_features, rows), dtype=np.float64)
+            self._record_alloc("accumulator_staging", self._xt.nbytes)
+        return self._ext_w, self._ext_l
+
+    def feed(self, x_chunk: np.ndarray, labels_chunk: np.ndarray) -> None:
+        """Accumulate one chunk of samples (must arrive in sample order).
+
+        Oversized chunks are split internally into ``feed_rows``-row
+        sub-feeds: the pooled float64 transpose staging then stays
+        under :data:`STAGING_BYTES` and cache-sized (a budget-sized
+        engine chunk fed whole would thrash it), and the continuation
+        trick makes the split invisible in the bits.
+
+        Parameters
+        ----------
+        x_chunk : ndarray of shape (rows, n_features)
+            Sample rows in the kernel dtype (converted to float64
+            internally, value-exactly — matching the seed's
+            ``x.astype(np.float64)``).
+        labels_chunk : ndarray of shape (rows,)
+            The chunk's cluster assignments.
+        """
+        rows = x_chunk.shape[0]
+        if rows == 0:
+            return
+        step = self.feed_rows
+        if rows > step:
+            for lo in range(0, rows, step):
+                self._feed_one(x_chunk[lo:lo + step],
+                               labels_chunk[lo:lo + step])
+        else:
+            self._feed_one(x_chunk, labels_chunk)
+        self.feeds += 1
+
+    def _feed_one(self, x_chunk: np.ndarray, labels_chunk: np.ndarray) -> None:
+        rows = x_chunk.shape[0]
+        n = self.n_clusters
+        w, lbl = self._staging(rows)
+        lbl[n:n + rows] = labels_chunk
+        ext_l = lbl[:n + rows]
+        # transposed float64 staging (pooled): one contiguous column per
+        # feature; the conversion is value-exact, so the bits match the
+        # seed's x.astype(np.float64)
+        xt = self._xt[:, :rows]
+        np.copyto(xt, x_chunk.T)
+        for j in range(self.n_features):
+            # continuation trick: the running sums ride along as one
+            # pseudo-sample per cluster, so the per-bin association stays
+            # exactly sequential across feed boundaries
+            w[:n] = self._sums_t[j]
+            w[n:n + rows] = xt[j]
+            self._sums_t[j] = np.bincount(ext_l, weights=w[:n + rows],
+                                          minlength=n)
+        self._counts += np.bincount(labels_chunk, minlength=n)
+        self.samples_seen += rows
+
+    # ------------------------------------------------------------------
+    def packed(self) -> np.ndarray:
+        """Sums and counts in the seed update stage's ``(K, N+1)`` layout."""
+        out = np.empty((self.n_clusters, self.n_features + 1),
+                       dtype=np.float64)
+        out[:, :self.n_features] = self._sums_t.T
+        out[:, self.n_features] = self._counts
+        return out
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Per-cluster sample counts accumulated so far (float64 view)."""
+        return self._counts
+
+    @property
+    def sums(self) -> np.ndarray:
+        """Per-cluster feature sums accumulated so far, shape (K, N)."""
+        return self._sums_t.T
+
+
+def accumulate_oneshot(x: np.ndarray, labels: np.ndarray,
+                       n_clusters: int) -> np.ndarray:
+    """The seed accumulation (``np.add.at``), kept as the regression
+    baseline the streamed path is bit-compared against."""
+    k = x.shape[1]
+    sums = np.zeros((n_clusters, k + 1), dtype=np.float64)
+    np.add.at(sums[:, :k], labels, x.astype(np.float64))
+    np.add.at(sums[:, k], labels, 1.0)
+    return sums
+
+
+def accumulate_streamed(x: np.ndarray, labels: np.ndarray, n_clusters: int,
+                        *, feed_rows: int = FEED_ROWS) -> np.ndarray:
+    """One-call streamed accumulation over a whole array.
+
+    Feeds ``x`` through a :class:`StreamedAccumulator` in
+    ``feed_rows``-sized chunks; bit-identical to
+    :func:`accumulate_oneshot` for every ``feed_rows``.
+    """
+    acc = StreamedAccumulator(n_clusters, x.shape[1])
+    m = x.shape[0]
+    for lo in range(0, m, feed_rows):
+        hi = min(lo + feed_rows, m)
+        acc.feed(x[lo:hi], labels[lo:hi])
+    return acc.packed()

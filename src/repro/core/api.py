@@ -5,7 +5,7 @@ An sklearn-style interface over the simulated-GPU K-means of the paper::
     from repro import FTKMeans
 
     km = FTKMeans(n_clusters=16, variant="ft", dtype="float32",
-                  device="a100", seed=0)
+                  device="a100", mode="fast", seed=0)
     km.fit(X)
     km.labels_, km.cluster_centers_, km.inertia_, km.sim_time_s_
 
@@ -15,15 +15,27 @@ chooses tile-accurate ('functional') or vectorised ('fast') execution.
 The fitted model also exposes the simulated clock (``sim_time_s_``), the
 per-kernel timing log (``timing_log_``) and the merged performance
 counters (``counters_``) so benchmarks can report paper-style GFLOPS.
+
+Beyond full-batch Lloyd, the estimator clusters **streams**:
+
+* :meth:`FTKMeans.partial_fit` consumes one mini-batch per call
+  (sklearn ``MiniBatchKMeans`` semantics: per-cluster learning-rate
+  decay, deterministic empty-cluster reassignment, EWA-inertia
+  convergence) — fault injection and ABFT checks run per batch;
+* ``batch_size=...`` makes :meth:`fit` run mini-batch K-means over
+  shuffled epochs of the training set through the same online step.
+
+See ``docs/streaming.md`` for the streaming/determinism contract.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.core.accumulate import StreamedAccumulator
 from repro.core.assignment import AssignmentResult
 from repro.core.config import KMeansConfig
-from repro.core.convergence import ConvergenceMonitor
+from repro.core.convergence import ConvergenceMonitor, EwaInertiaMonitor
 from repro.core.initializers import initialize
 from repro.core.update import UpdateStage
 from repro.core.validation import validate_centroids, validate_data
@@ -48,6 +60,10 @@ class FTKMeans:
     ``inertia_``, ``n_iter_``; plus simulator outputs ``sim_time_s_``,
     ``assignment_time_s_``, ``timing_log_``, ``counters_``,
     ``inertia_history_``.
+
+    Online attributes (after :meth:`partial_fit` or a ``batch_size``
+    fit): ``n_batches_seen_``, ``converged_``, ``ewa_inertia_``,
+    ``cluster_counts_``.
     """
 
     def __init__(self, n_clusters: int = 8, *, variant: str = "tensorop",
@@ -55,6 +71,7 @@ class FTKMeans:
                  tile=None, abft="none", p_inject: float = 0.0,
                  dmr_update: bool = True, use_tf32: bool = True,
                  chunk_bytes: int | None = None, engine_workers: int = 1,
+                 update_mode: str = "auto", batch_size: int | None = None,
                  init: str = "k-means++", max_iter: int = 50,
                  tol: float = 1e-4, seed: int | None = None,
                  init_centroids=None):
@@ -63,18 +80,39 @@ class FTKMeans:
             device=device, mode=mode, tile=tile, abft=abft,
             p_inject=p_inject, dmr_update=dmr_update, use_tf32=use_tf32,
             chunk_bytes=chunk_bytes, engine_workers=engine_workers,
+            update_mode=update_mode, batch_size=batch_size,
             init=init, max_iter=max_iter, tol=tol, seed=seed)
         self._init_centroids = init_centroids
 
     # ------------------------------------------------------------------
     def fit(self, x) -> "FTKMeans":
-        """Run Lloyd iterations until convergence or ``max_iter``."""
+        """Cluster ``x``, full-batch Lloyd or mini-batch.
+
+        Runs Lloyd iterations until convergence or ``max_iter``; with
+        ``batch_size`` set, runs mini-batch K-means instead (shuffled
+        epochs of online updates, EWA-inertia convergence — see
+        :meth:`partial_fit` for the per-batch step).
+
+        Parameters
+        ----------
+        x : array-like of shape (n_samples, n_features)
+            Training samples; validated to a finite C-contiguous array
+            of the configured dtype.
+
+        Returns
+        -------
+        FTKMeans
+            ``self``, with the fitted attributes populated.
+        """
         cfg = self.config
+        self._reset_online_state()
         x = validate_data(x, cfg.dtype)
         m, k = x.shape
         if cfg.n_clusters > m:
             raise ValueError(
                 f"n_clusters={cfg.n_clusters} exceeds n_samples={m}")
+        if cfg.batch_size is not None:
+            return self._fit_minibatch(x)
         rng = np.random.default_rng(cfg.seed)
 
         if self._init_centroids is not None:
@@ -83,8 +121,14 @@ class FTKMeans:
         else:
             y = initialize(x, cfg.n_clusters, cfg.init, rng)
 
+        update_mode = cfg.resolved_update_mode()
         assigner = build_assignment(cfg, m, k, rng)
-        updater = UpdateStage(cfg.device, cfg.dtype, dmr=cfg.dmr_update)
+        updater = UpdateStage(cfg.device, cfg.dtype, dmr=cfg.dmr_update,
+                              update_mode=update_mode)
+        # fused accumulation: the engine feeds the update sums inside its
+        # assignment chunk loop (fast mode only; bit-identical either way)
+        fuse = update_mode == "streamed" and cfg.mode == "fast"
+        acc = (StreamedAccumulator(cfg.n_clusters, k) if fuse else None)
         clock = SimClock()
         counters = PerfCounters()
         monitor = ConvergenceMonitor(cfg.tol)
@@ -96,13 +140,18 @@ class FTKMeans:
             # and injector block plans) once; every iteration reuses them
             assigner.begin_fit(x, cfg.n_clusters)
             for n_iter in range(1, cfg.max_iter + 1):
-                res: AssignmentResult = assigner.assign(x, y)
+                if acc is not None:
+                    acc.reset()
+                res: AssignmentResult = assigner.assign(x, y,
+                                                        accumulator=acc)
                 labels = res.labels
                 counters.merge(res.counters)
                 for label, t in res.timings:
                     clock.charge(label, t)
 
-                upd = updater.update(x, labels, res.min_sqdist, y, counters)
+                upd = updater.update(
+                    x, labels, res.min_sqdist, y, counters,
+                    fused_sums=acc.packed() if acc is not None else None)
                 for label, t in upd.timings:
                     clock.charge(label, t)
                 y = upd.centroids
@@ -116,6 +165,7 @@ class FTKMeans:
             # and predict/score must recompute norms fresh
             assigner.end_fit()
         self.cluster_centers_ = y
+        self.cluster_counts_ = upd.counts.copy()
         # the fast path hands out the engine's reusable buffer; detach it
         # so later predict() passes cannot overwrite fitted state
         self.labels_ = labels.copy()
@@ -129,6 +179,221 @@ class FTKMeans:
         self._assigner = assigner
         return self
 
+    # -- streaming / mini-batch ----------------------------------------
+    def partial_fit(self, x) -> "FTKMeans":
+        """One online mini-batch update (sklearn ``partial_fit`` style).
+
+        The first call initialises the centroids (from
+        ``init_centroids``, a previously fitted model, or the configured
+        ``init`` on the batch itself) and builds the per-stream state;
+        every call then runs one assignment pass over the batch through
+        the configured variant — fault injection and ABFT checks apply
+        per batch exactly as in :meth:`fit` — followed by the mini-batch
+        centroid update
+
+        ``c_j ← c_j + (sum_j − n_j · c_j) / N_j``
+
+        where ``n_j`` is the batch count and ``N_j`` the running total:
+        the per-cluster learning rate ``n_j / N_j`` decays as a cluster
+        accumulates evidence.  Clusters that have never received a
+        sample are re-seeded deterministically from the batch's
+        worst-fit samples.  Convergence is tracked on the EWA of
+        per-sample batch inertia
+        (:class:`repro.core.convergence.EwaInertiaMonitor`) and surfaced
+        as ``converged_`` — advisory only; ``partial_fit`` never refuses
+        a batch.
+
+        Parameters
+        ----------
+        x : array-like of shape (batch_size, n_features)
+            One mini-batch.  The first batch must contain at least
+            ``n_clusters`` samples unless explicit starting centroids
+            are available.
+
+        Returns
+        -------
+        FTKMeans
+            ``self``; ``cluster_centers_``/``labels_``/``inertia_``
+            reflect the state after this batch.
+        """
+        cfg = self.config
+        x = validate_data(x, cfg.dtype)
+        if self._online is None:
+            self._init_online(x)
+        elif x.shape[1] != self._online["centers64"].shape[1]:
+            raise ValueError(
+                f"X has {x.shape[1]} features, model has "
+                f"{self._online['centers64'].shape[1]}")
+        self._minibatch_step(x)
+        return self
+
+    # ------------------------------------------------------------------
+    @property
+    def _online(self) -> dict | None:
+        return getattr(self, "_online_state", None)
+
+    def _reset_online_state(self) -> None:
+        self._online_state = None
+        # a fresh full-batch fit must not leave a dead stream's
+        # attributes readable on the estimator
+        for attr in ("converged_", "n_batches_seen_", "ewa_inertia_"):
+            self.__dict__.pop(attr, None)
+
+    def _init_online(self, x: np.ndarray) -> None:
+        """Build the per-stream state from the first mini-batch."""
+        cfg = self.config
+        m, k = x.shape
+        rng = np.random.default_rng(cfg.seed)
+        if self._init_centroids is not None:
+            y = validate_centroids(self._init_centroids, cfg.n_clusters, k,
+                                   cfg.dtype)
+            counts = np.zeros(cfg.n_clusters, dtype=np.float64)
+        elif hasattr(self, "cluster_centers_"):
+            # warm start: continue a previously fitted model online
+            if self.cluster_centers_.shape[1] != k:
+                raise ValueError(
+                    f"X has {k} features, model has "
+                    f"{self.cluster_centers_.shape[1]}")
+            y = self.cluster_centers_
+            counts = getattr(
+                self, "cluster_counts_",
+                np.zeros(cfg.n_clusters)).astype(np.float64).copy()
+        else:
+            if cfg.n_clusters > m:
+                raise ValueError(
+                    f"first batch has {m} samples < n_clusters="
+                    f"{cfg.n_clusters}; supply init_centroids or a "
+                    f"larger first batch")
+            y = initialize(x, cfg.n_clusters, cfg.init, rng)
+            counts = np.zeros(cfg.n_clusters, dtype=np.float64)
+        self._build_online_state(y, counts, m, k, rng)
+
+    def _build_online_state(self, y: np.ndarray, counts: np.ndarray,
+                            batch_m: int, n_features: int,
+                            rng: np.random.Generator) -> None:
+        """The shared per-stream state of partial_fit and batch_size fit."""
+        cfg = self.config
+        update_mode = cfg.resolved_update_mode()
+        fuse = update_mode == "streamed" and cfg.mode == "fast"
+        self._online_state = {
+            "centers64": y.astype(np.float64),
+            "counts": counts,
+            "assigner": build_assignment(cfg, batch_m, n_features, rng),
+            "updater": UpdateStage(cfg.device, cfg.dtype,
+                                   dmr=cfg.dmr_update,
+                                   update_mode=update_mode),
+            # pooled across batches (reset per step), like fit()'s
+            # per-iteration reuse
+            "accumulator": (StreamedAccumulator(cfg.n_clusters, n_features)
+                            if fuse else None),
+            "monitor": EwaInertiaMonitor(cfg.tol),
+            "clock": SimClock(),
+            "counters": PerfCounters(),
+            "batch_inertias": [],
+            "samples_assigned": 0,
+        }
+        self._assigner = self._online_state["assigner"]
+        self.n_batches_seen_ = 0
+        self.converged_ = False
+
+    def _minibatch_step(self, x: np.ndarray) -> None:
+        """Assign one batch and apply the decayed online update."""
+        cfg = self.config
+        state = self._online_state
+        m, k = x.shape
+        centers64 = state["centers64"]
+        y = centers64.astype(cfg.dtype)
+        acc = state["accumulator"]
+        if acc is not None:
+            acc.reset()
+        res: AssignmentResult = state["assigner"].assign(x, y,
+                                                         accumulator=acc)
+        state["counters"].merge(res.counters)
+        for label, t in res.timings:
+            state["clock"].charge(label, t)
+        labels = res.labels
+        best = res.min_sqdist
+
+        updater: UpdateStage = state["updater"]
+        sums = updater.accumulate_protected(
+            x, labels, cfg.n_clusters, state["counters"],
+            fused_sums=acc.packed() if acc is not None else None)
+        bsums, bcounts = sums[:, :k], sums[:, k]
+        counts = state["counts"]
+        new_counts = counts + bcounts
+        nz = bcounts > 0
+        # per-cluster decayed step: lr_j = n_j / N_j (sklearn MiniBatch)
+        centers64[nz] += ((bsums[nz] - bcounts[nz, None] * centers64[nz])
+                          / new_counts[nz, None])
+        state["counts"] = new_counts
+
+        # deterministic reassignment: clusters that have never received
+        # a sample take the batch's worst-fit points (stable ordering,
+        # so a fixed seed reproduces the stream exactly)
+        dead = np.flatnonzero(state["counts"] == 0)
+        if dead.size:
+            order = np.argsort(best, kind="stable")[::-1]
+            donors = order[: dead.size]
+            reseed = dead[: donors.size]
+            centers64[reseed] = x[donors].astype(np.float64)
+            state["counts"][reseed] = 1.0
+        for label, t in updater.estimate(m, cfg.n_clusters, k):
+            state["clock"].charge(label, t)
+        state["counters"].kernels_launched += 2
+
+        inertia = float(np.sum(best.astype(np.float64)))
+        self.converged_ = state["monitor"].update(inertia, m)
+        state["batch_inertias"].append(inertia)
+        state["samples_assigned"] += m
+        self.n_batches_seen_ += 1
+        self.cluster_centers_ = centers64.astype(cfg.dtype)
+        self.cluster_counts_ = state["counts"].astype(np.int64)
+        self.labels_ = labels.copy()
+        self.inertia_ = inertia
+        self.ewa_inertia_ = state["monitor"].ewa
+        # absolute per-batch inertias: same units as inertia_ and as the
+        # full-batch fit's history (the monitor's history is per-sample)
+        self.inertia_history_ = list(state["batch_inertias"])
+        self.sim_time_s_ = state["clock"].elapsed_s
+        self.assignment_time_s_ = state["clock"].total("distance")
+        self.timing_log_ = list(state["clock"].log)
+        self.counters_ = state["counters"]
+
+    def _fit_minibatch(self, x: np.ndarray) -> "FTKMeans":
+        """Mini-batch K-means over shuffled epochs (``batch_size`` set)."""
+        cfg = self.config
+        m, k = x.shape
+        bs = min(cfg.batch_size, m)
+        rng = np.random.default_rng(cfg.seed)
+        # initialise from the full training set (first batch would do,
+        # but the full set is available — use it like sklearn does)
+        if self._init_centroids is not None:
+            y = validate_centroids(self._init_centroids, cfg.n_clusters, k,
+                                   cfg.dtype)
+        else:
+            y = initialize(x, cfg.n_clusters, cfg.init, rng)
+        self._build_online_state(
+            y, np.zeros(cfg.n_clusters, dtype=np.float64), bs, k, rng)
+
+        epoch = 0
+        for epoch in range(1, cfg.max_iter + 1):
+            perm = rng.permutation(m)
+            for lo in range(0, m, bs):
+                self._minibatch_step(x[perm[lo:lo + bs]])
+                if self.converged_:
+                    break
+            if self.converged_:
+                break
+        self.n_iter_ = epoch
+
+        # one full assignment pass for training labels / global inertia
+        res = self._assigner.assign(x, self.cluster_centers_)
+        self._online_state["counters"].merge(res.counters)
+        self.labels_ = res.labels.copy()
+        self.inertia_ = float(np.sum(res.min_sqdist.astype(np.float64)))
+        self.counters_ = self._online_state["counters"]
+        return self
+
     # ------------------------------------------------------------------
     def predict(self, x) -> np.ndarray:
         """Assign new samples to the fitted centroids.
@@ -136,6 +401,15 @@ class FTKMeans:
         One single-pass assignment through the configured variant (the
         streaming engine in ``fast`` mode, memory-bounded regardless of
         ``x``'s size); input is validated like ``fit``'s.
+
+        Parameters
+        ----------
+        x : array-like of shape (n_samples, n_features)
+
+        Returns
+        -------
+        ndarray of shape (n_samples,)
+            Index of the nearest fitted centroid per sample (int64).
         """
         self._check_fitted()
         x = self._validate_like_fit(x)
@@ -145,11 +419,31 @@ class FTKMeans:
         return res.labels
 
     def fit_predict(self, x) -> np.ndarray:
-        """fit(X) then return the training labels."""
+        """``fit(X)`` then return the training labels.
+
+        Parameters
+        ----------
+        x : array-like of shape (n_samples, n_features)
+
+        Returns
+        -------
+        ndarray of shape (n_samples,)
+        """
         return self.fit(x).labels_
 
     def score(self, x) -> float:
-        """Negative inertia of ``x`` under the fitted centroids."""
+        """Negative inertia of ``x`` under the fitted centroids.
+
+        Parameters
+        ----------
+        x : array-like of shape (n_samples, n_features)
+
+        Returns
+        -------
+        float
+            ``-sum(min squared distances)`` — higher is better, matching
+            sklearn's convention.
+        """
         self._check_fitted()
         x = self._validate_like_fit(x)
         res = self._assigner.assign(x, self.cluster_centers_)
@@ -167,11 +461,25 @@ class FTKMeans:
 
     # ------------------------------------------------------------------
     def distance_gflops_(self) -> float:
-        """Simulated distance-stage GFLOPS over the fit (paper metric)."""
+        """Simulated distance-stage GFLOPS over the fit (paper metric).
+
+        Returns
+        -------
+        float
+            Distance-stage floating-point throughput against the
+            simulated clock; NaN when no assignment time was charged.
+        """
         self._check_fitted()
-        m = self.labels_.shape[0]
         n, k = self.cluster_centers_.shape
-        total = self.n_iter_ * distance_flops(m, n, k)
+        state = self._online
+        if state is not None:
+            # online model: distance flops are linear in samples, so the
+            # stream's total is one flops count over all assigned rows
+            # (matching what assignment_time_s_ actually covers)
+            total = distance_flops(state["samples_assigned"], n, k)
+        else:
+            m = self.labels_.shape[0]
+            total = self.n_iter_ * distance_flops(m, n, k)
         t = self.assignment_time_s_
         return total / t / 1e9 if t > 0 else float("nan")
 

@@ -119,9 +119,23 @@ class AssignmentKernelBase(ABC):
             self._engine.end_fit()
 
     @abstractmethod
-    def assign(self, x: np.ndarray, y: np.ndarray) -> AssignmentResult:
+    def assign(self, x: np.ndarray, y: np.ndarray, *,
+               accumulator=None) -> AssignmentResult:
         """Compute (labels, min distances) for samples ``x`` against
-        centroids ``y``."""
+        centroids ``y``.
+
+        ``accumulator`` (a
+        :class:`repro.core.accumulate.StreamedAccumulator`) requests
+        fused update accumulation: in ``fast`` mode the engine feeds it
+        per chunk inside the assignment loop; functional kernels feed
+        the whole pass once labels exist.  Either way the accumulated
+        sums are bit-identical to a one-shot sequential pass."""
+
+    def _feed_functional(self, accumulator, x: np.ndarray,
+                         labels: np.ndarray) -> None:
+        """Feed a full functional-mode pass to the update accumulator."""
+        if accumulator is not None:
+            accumulator.feed(x, labels)
 
     @abstractmethod
     def estimate(self, m: int, n_clusters: int, k_features: int) -> list[tuple[str, KernelTiming]]:

@@ -10,13 +10,17 @@ from repro.abft.schemes import AbftScheme, get_scheme
 from repro.gemm.tiling import TileConfig
 from repro.gpusim.device import DeviceSpec, get_device
 
-__all__ = ["KMeansConfig", "VARIANT_NAMES", "MODES"]
+__all__ = ["KMeansConfig", "VARIANT_NAMES", "MODES", "UPDATE_MODES"]
 
 #: assignment-stage implementations, in the paper's optimisation order
 VARIANT_NAMES = ("naive", "v1", "v2", "v3", "tensorop", "ft")
 
 #: execution modes of the simulator
 MODES = ("fast", "functional")
+
+#: centroid-update accumulation implementations ('auto' resolves per
+#: execution mode: streamed+fused in 'fast', oneshot in 'functional')
+UPDATE_MODES = ("auto", "oneshot", "streamed")
 
 
 @dataclass
@@ -59,6 +63,20 @@ class KMeansConfig:
         Worker threads the engine may dispatch independent sample-chunks
         across (the per-chunk budget divides accordingly, so the total
         scratch footprint stays under ``chunk_bytes``).
+    update_mode:
+        Centroid-update accumulation implementation.  'oneshot' is the
+        seed ``np.add.at`` scatter pass; 'streamed' is the chunked
+        bincount segment-sum path, which ``mode='fast'`` additionally
+        fuses into the engine's assignment chunk loop.  Both produce
+        bit-identical sums.  'auto' (default) picks 'streamed' in fast
+        mode and 'oneshot' in functional mode.
+    batch_size:
+        When set, ``fit`` runs mini-batch K-means: each epoch streams
+        ``batch_size``-sample batches (a fresh shuffle per epoch)
+        through ``partial_fit``-style online updates instead of
+        full-batch Lloyd iterations.  ``max_iter`` counts epochs and
+        convergence is judged on the EWA of per-batch inertia.  None
+        (default) keeps the full-batch Lloyd loop.
     init / max_iter / tol / seed:
         Standard Lloyd controls; ``tol`` is on relative inertia change.
     """
@@ -75,6 +93,8 @@ class KMeansConfig:
     use_tf32: bool = True
     chunk_bytes: int | None = None
     engine_workers: int = 1
+    update_mode: str = "auto"
+    batch_size: int | None = None
     init: str = "k-means++"
     max_iter: int = 50
     tol: float = 1e-4
@@ -105,9 +125,29 @@ class KMeansConfig:
         if self.engine_workers < 1:
             raise ValueError(
                 f"engine_workers must be >= 1, got {self.engine_workers}")
+        if self.update_mode not in UPDATE_MODES:
+            raise ValueError(
+                f"unknown update_mode {self.update_mode!r}; "
+                f"choose from {UPDATE_MODES}")
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError(
+                f"batch_size must be >= 1, got {self.batch_size}")
         if self.max_iter < 1:
             raise ValueError(f"max_iter must be >= 1, got {self.max_iter}")
         if self.tol < 0:
             raise ValueError(f"tol must be >= 0, got {self.tol}")
         if self.init not in ("k-means++", "random"):
             raise ValueError(f"init must be 'k-means++' or 'random', got {self.init!r}")
+
+    def resolved_update_mode(self) -> str:
+        """The effective update accumulation path ('auto' resolved).
+
+        Returns
+        -------
+        str
+            'streamed' in fast mode, 'oneshot' in functional mode when
+            ``update_mode='auto'``; otherwise ``update_mode`` verbatim.
+        """
+        if self.update_mode != "auto":
+            return self.update_mode
+        return "streamed" if self.mode == "fast" else "oneshot"

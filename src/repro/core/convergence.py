@@ -1,4 +1,4 @@
-"""Lloyd-iteration stopping rules."""
+"""Lloyd-iteration and mini-batch stopping rules."""
 
 from __future__ import annotations
 
@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["ConvergenceMonitor"]
+__all__ = ["ConvergenceMonitor", "EwaInertiaMonitor"]
 
 
 @dataclass
@@ -38,4 +38,77 @@ class ConvergenceMonitor:
 
     @property
     def n_iterations(self) -> int:
+        return len(self.history)
+
+
+@dataclass
+class EwaInertiaMonitor:
+    """Mini-batch / online stopping rule on smoothed per-sample inertia.
+
+    Per-batch inertia is noisy (every batch is a different subsample),
+    so the full-batch rule of :class:`ConvergenceMonitor` would stop on
+    the first lucky batch.  This monitor instead tracks an exponentially
+    weighted average (EWA) of the *per-sample* batch inertia — the
+    normalisation makes unequal batch sizes comparable — and declares
+    convergence only after ``patience`` consecutive batches whose
+    relative EWA improvement falls below ``tol`` (the scheme sklearn's
+    ``MiniBatchKMeans`` uses for its ``tol=0`` -free early stopping).
+
+    Parameters
+    ----------
+    tol : float
+        Relative-improvement threshold on the smoothed inertia.
+    alpha : float, default 0.3
+        EWA smoothing factor in (0, 1]; higher reacts faster.
+    patience : int, default 3
+        Consecutive sub-``tol`` batches required before stopping.
+
+    Attributes
+    ----------
+    ewa : float or None
+        Current smoothed per-sample inertia (None before the first batch).
+    history : list of float
+        Raw per-sample batch inertias, in arrival order.
+    """
+
+    tol: float
+    alpha: float = 0.3
+    patience: int = 3
+    ewa: float | None = None
+    stalled: int = 0
+    history: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {self.alpha}")
+        if self.patience < 1:
+            raise ValueError(f"patience must be >= 1, got {self.patience}")
+
+    def update(self, batch_inertia: float, batch_size: int) -> bool:
+        """Record one batch; return True once converged.
+
+        Parameters
+        ----------
+        batch_inertia : float
+            Sum of squared distances over the batch.
+        batch_size : int
+            Samples in the batch (normalises the inertia).
+        """
+        if not np.isfinite(batch_inertia):
+            raise ValueError(f"non-finite inertia {batch_inertia!r}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        per_sample = float(batch_inertia) / batch_size
+        self.history.append(per_sample)
+        prev = self.ewa
+        if prev is None:
+            self.ewa = per_sample
+            return False
+        self.ewa = self.alpha * per_sample + (1.0 - self.alpha) * prev
+        improvement = (prev - self.ewa) / prev if prev > 0.0 else 0.0
+        self.stalled = self.stalled + 1 if improvement <= self.tol else 0
+        return self.stalled >= self.patience
+
+    @property
+    def n_batches(self) -> int:
         return len(self.history)

@@ -41,6 +41,17 @@ Independent chunks can optionally be dispatched across worker threads
 (NumPy releases the GIL inside BLAS); the per-chunk budget is divided
 by the worker count so the total scratch footprint stays bounded by
 ``chunk_bytes``.
+
+Fused centroid-update accumulation: ``assign`` optionally takes a
+:class:`repro.core.accumulate.StreamedAccumulator` and feeds it each
+chunk's (rows, labels) right after the chunk's argmin — the update
+stage's sum/count pass rides the assignment loop instead of re-reading
+all of ``x``.  Sequential dispatch feeds in chunk order naturally;
+threaded dispatch commits chunks *in order* (a worker that finishes
+chunk ``t`` early parks it until every chunk ``< t`` has been fed), so
+the accumulated bits never depend on ``workers`` — and, thanks to the
+accumulator's sequential-continuation design, never on ``chunk_bytes``
+either.  They equal the seed one-shot ``np.add.at`` pass exactly.
 """
 
 from __future__ import annotations
@@ -148,6 +159,7 @@ class EngineStats:
     cache_hits: int = 0
     chunks_run: int = 0
     gemm_calls: int = 0
+    update_chunks_fed: int = 0   # chunks fed to a fused update accumulator
     scratch_bytes: int = 0       # scratch currently held (pooled)
     peak_scratch_bytes: int = 0
 
@@ -389,14 +401,36 @@ class FastPathEngine:
     # -- the hot loop ---------------------------------------------------
     def assign(self, x: np.ndarray, y: np.ndarray,
                counters: PerfCounters, *,
-               cache: FitCache | None = None) -> tuple[np.ndarray, np.ndarray]:
+               cache: FitCache | None = None,
+               accumulator=None) -> tuple[np.ndarray, np.ndarray]:
         """One full assignment pass: (labels, min squared distances).
 
         Reuses the per-fit cache when ``x`` is the fitted array;
         otherwise (e.g. ``predict`` on new data) builds a transient one.
         The returned arrays are the cache's reusable buffers — callers
         that keep results across passes must copy.
+
+        Parameters
+        ----------
+        x, y : ndarray
+            Samples (M, N) and centroids (K, N).
+        counters : PerfCounters
+            Functional-execution statistics (injection/detection tallies
+            merge here).
+        cache : FitCache, optional
+            Explicit fit cache override (tests); defaults to the active
+            ``begin_fit`` cache.
+        accumulator : StreamedAccumulator, optional
+            When given, each chunk's sample rows and fresh labels are fed
+            to it inside the chunk loop (fused assign+accumulate).  Fed
+            strictly in chunk order — also under threaded dispatch — so
+            the accumulated sums are bit-identical to a one-shot
+            sequential pass.
         """
+        if accumulator is not None:
+            # fused pool reports through the engine's allocation tracker
+            # (replays anything allocated before the attachment)
+            accumulator.set_alloc_hook(self.alloc_hook)
         cache = cache if cache is not None else self._cache
         if cache is not None and (x is cache.x or x is cache.source):
             self.stats.cache_hits += 1
@@ -436,11 +470,17 @@ class FastPathEngine:
                 for lo, hi in chunks:
                     self._run_chunk(lo, hi, x, yr_t, yy, cache, plans,
                                     policy, counters, scratch)
+                    if accumulator is not None:
+                        # fused update accumulation: the chunk's rows are
+                        # still cache-hot from the GEMM/argmin above
+                        accumulator.feed(x[lo:hi], cache.labels[lo:hi])
+                        self.stats.update_chunks_fed += 1
             finally:
                 self._put_scratch(scratch)
         else:
             self._run_threaded(chunks, x, yr_t, yy, cache, plans, policy,
-                               counters, n, cache.workers)
+                               counters, n, cache.workers,
+                               accumulator=accumulator)
         if self._cache is None:
             # no fit is active to reuse the threads (a transient pass
             # during a fit leaves the fit's pool alone).  Deliberate
@@ -450,16 +490,23 @@ class FastPathEngine:
         return cache.labels, cache.best
 
     def _run_threaded(self, chunks, x, yr_t, yy, cache, plans, policy,
-                      counters, n, workers) -> None:
+                      counters, n, workers, *, accumulator=None) -> None:
         """Dispatch independent chunks across worker threads.
 
         Each thread owns a pooled scratch buffer and a private counter
         bundle; counters merge in chunk order so totals are
-        deterministic."""
+        deterministic.  A fused update accumulator is fed through an
+        in-order commit: whichever worker finishes the next-uncommitted
+        chunk drains every completed chunk in order, so the accumulated
+        bits match sequential dispatch exactly while the GEMMs still
+        overlap."""
         max_rows = max(hi - lo for lo, hi in chunks)
         locals_ = threading.local()
         partials: list[PerfCounters | None] = [None] * len(chunks)
         held: list[np.ndarray] = []
+        done = [False] * len(chunks)
+        commit = {"next": 0}
+        commit_lock = threading.Lock()
 
         def work(idx: int) -> None:
             scr = getattr(locals_, "scratch", None)
@@ -473,6 +520,15 @@ class FastPathEngine:
             self._run_chunk(lo, hi, x, yr_t, yy, cache, plans, policy,
                             local_counters, scr)
             partials[idx] = local_counters
+            if accumulator is not None:
+                with commit_lock:
+                    done[idx] = True
+                    while (commit["next"] < len(chunks)
+                           and done[commit["next"]]):
+                        clo, chi = chunks[commit["next"]]
+                        accumulator.feed(x[clo:chi], cache.labels[clo:chi])
+                        self.stats.update_chunks_fed += 1
+                        commit["next"] += 1
 
         try:
             list(self._get_executor(workers).map(work, range(len(chunks))))

@@ -205,14 +205,17 @@ class FtAssignment(TensorOpAssignment):
         return dict(tf32=self.use_tf32, scheme=self.scheme, safety=self.safety)
 
     # ------------------------------------------------------------------
-    def assign(self, x: np.ndarray, y: np.ndarray) -> AssignmentResult:
+    def assign(self, x: np.ndarray, y: np.ndarray, *,
+               accumulator=None) -> AssignmentResult:
         m, k = x.shape
         n = y.shape[0]
         counters = PerfCounters()
         if self.mode == "functional":
             labels, best = self._assign_functional(x, y, counters)
+            self._feed_functional(accumulator, x, labels)
         else:
-            labels, best = self.engine.assign(x, y, counters)
+            labels, best = self.engine.assign(x, y, counters,
+                                              accumulator=accumulator)
         return AssignmentResult(labels, best, counters, self.estimate(m, n, k))
 
     def _assign_functional(self, x, y, counters):

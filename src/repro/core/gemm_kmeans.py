@@ -45,14 +45,17 @@ class V1GemmAssignment(AssignmentKernelBase):
         self.tile = tile if tile is not None else default_simt_tile(dtype)
 
     # ------------------------------------------------------------------
-    def assign(self, x: np.ndarray, y: np.ndarray) -> AssignmentResult:
+    def assign(self, x: np.ndarray, y: np.ndarray, *,
+               accumulator=None) -> AssignmentResult:
         m, k = x.shape
         n = y.shape[0]
         counters = PerfCounters()
         if self.mode == "functional":
             labels, best = self._assign_functional(x, y, counters)
+            self._feed_functional(accumulator, x, labels)
         else:
-            labels, best = self.engine.assign(x, y, counters)
+            labels, best = self.engine.assign(x, y, counters,
+                                              accumulator=accumulator)
         return AssignmentResult(labels, best, counters,
                                 self.estimate(m, n, k))
 

@@ -36,13 +36,15 @@ class NaiveAssignment(AssignmentKernelBase):
 
     name = "naive"
 
-    def assign(self, x: np.ndarray, y: np.ndarray) -> AssignmentResult:
+    def assign(self, x: np.ndarray, y: np.ndarray, *,
+               accumulator=None) -> AssignmentResult:
         counters = PerfCounters()
         counters.kernels_launched += 1
         m, k = x.shape
         n = y.shape[0]
         if self.mode != "functional":
-            labels, best = self.engine.assign(x, y, counters)
+            labels, best = self.engine.assign(x, y, counters,
+                                              accumulator=accumulator)
             # charge the same modelled work the per-thread scan performs
             # (every thread streams all centroids), so counter-derived
             # GFLOPS/traffic stay comparable across modes
@@ -65,6 +67,7 @@ class NaiveAssignment(AssignmentKernelBase):
             counters.flops += 3 * (hi - lo) * n * k
             labels[lo:hi] = np.argmin(d, axis=1)
             best[lo:hi] = d[np.arange(hi - lo), labels[lo:hi]]
+        self._feed_functional(accumulator, x, labels)
         timings = self.estimate(m, n, k)
         return AssignmentResult(labels, best, counters, timings)
 

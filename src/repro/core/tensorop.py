@@ -63,7 +63,8 @@ class TensorOpAssignment(AssignmentKernelBase):
                             use_tf32=self.use_tf32)
 
     # ------------------------------------------------------------------
-    def assign(self, x: np.ndarray, y: np.ndarray) -> AssignmentResult:
+    def assign(self, x: np.ndarray, y: np.ndarray, *,
+               accumulator=None) -> AssignmentResult:
         m, k = x.shape
         n = y.shape[0]
         counters = PerfCounters()
@@ -74,8 +75,10 @@ class TensorOpAssignment(AssignmentKernelBase):
             assign = gmem["assign"]
             labels = assign[:, 1].astype(np.int64)
             best = assign[:, 0].astype(self.dtype)
+            self._feed_functional(accumulator, x, labels)
         else:
-            labels, best = self.engine.assign(x, y, counters)
+            labels, best = self.engine.assign(x, y, counters,
+                                              accumulator=accumulator)
         return AssignmentResult(labels, best, counters,
                                 self.estimate(m, n, k))
 

@@ -7,6 +7,20 @@ plus a count; a small second kernel divides.  The stage is memory-bound
 redundancy (DMR) protects it for <1% (Sec. I) — the duplicate arithmetic
 hides behind the loads.
 
+Two accumulation implementations produce bit-identical sums:
+
+* ``oneshot`` — the seed ``np.add.at`` scatter pass (regression
+  baseline, see :func:`repro.core.accumulate.accumulate_oneshot`);
+* ``streamed`` — per-chunk ``bincount`` segment sums with sequential
+  continuation (:class:`repro.core.accumulate.StreamedAccumulator`),
+  which the fast-path engine can additionally *fuse* into its assignment
+  chunk loop so the samples are only streamed once per iteration.
+
+When the engine has already fused the accumulation, :meth:`update`
+accepts the packed sums as ``fused_sums``; under DMR the fused pass
+counts as the first replica and one independent re-accumulation is the
+duplicate — identical detect/recompute semantics to the seed.
+
 Empty clusters are re-seeded from the samples farthest from their
 assigned centroid (a common cuML/sklearn policy), keeping K constant.
 """
@@ -16,6 +30,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.abft.dmr import dmr_protected
+from repro.core.accumulate import accumulate_oneshot, accumulate_streamed
 from repro.gpusim.counters import PerfCounters
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.timing import KernelTiming, TimingModel
@@ -24,7 +39,19 @@ __all__ = ["UpdateStage", "UpdateResult"]
 
 
 class UpdateResult:
-    """Output of one centroid update."""
+    """Output of one centroid update.
+
+    Attributes
+    ----------
+    centroids : ndarray of shape (K, N)
+        The new centroids, in the stage dtype.
+    counts : ndarray of shape (K,)
+        Samples assigned to each cluster (int64).
+    shift : float
+        Frobenius norm of the centroid movement this iteration.
+    timings : list of (str, KernelTiming)
+        Modelled kernel durations charged to the simulated clock.
+    """
 
     def __init__(self, centroids: np.ndarray, counts: np.ndarray,
                  shift: float, timings: list[tuple[str, KernelTiming]]):
@@ -35,40 +62,78 @@ class UpdateResult:
 
 
 class UpdateStage:
-    """Atomic-accumulation centroid update with DMR and empty-cluster
-    re-seeding."""
+    """Centroid update with DMR and empty-cluster re-seeding.
+
+    Parameters
+    ----------
+    device : DeviceSpec
+        Timing-model device.
+    dtype : dtype-like
+        Centroid element type (float32/float64).
+    dmr : bool, default True
+        Duplicate the accumulation arithmetic and compare (Sec. I/IV);
+        a mismatch triggers recomputation.
+    update_mode : {'oneshot', 'streamed'}, default 'oneshot'
+        Accumulation implementation when no fused sums are supplied.
+        Both produce bit-identical sums; ``streamed`` is the faster
+        bincount path.
+    corrupt_hook : callable, optional
+        Test hook — an SEU inside one DMR replica (see
+        :mod:`repro.abft.dmr`).
+    """
 
     def __init__(self, device: DeviceSpec, dtype, *, dmr: bool = True,
-                 corrupt_hook=None):
+                 update_mode: str = "oneshot", corrupt_hook=None):
+        if update_mode not in ("oneshot", "streamed"):
+            raise ValueError(
+                f"update_mode must be 'oneshot' or 'streamed', "
+                f"got {update_mode!r}")
         self.device = device
         self.dtype = np.dtype(dtype)
         self.dmr = dmr
+        self.update_mode = update_mode
         self.model = TimingModel(device)
         #: test hook — an SEU inside one DMR replica (see abft.dmr)
         self.corrupt_hook = corrupt_hook
 
     # ------------------------------------------------------------------
+    def _accumulate(self, x: np.ndarray, labels: np.ndarray,
+                    n_clusters: int) -> np.ndarray:
+        """One accumulation pass in the configured implementation."""
+        if self.update_mode == "streamed":
+            return accumulate_streamed(x, labels, n_clusters)
+        return accumulate_oneshot(x, labels, n_clusters)
+
     def update(self, x: np.ndarray, labels: np.ndarray, best_sqdist: np.ndarray,
-               old_centroids: np.ndarray, counters: PerfCounters) -> UpdateResult:
+               old_centroids: np.ndarray, counters: PerfCounters, *,
+               fused_sums: np.ndarray | None = None) -> UpdateResult:
+        """Compute new centroids from one assignment pass.
+
+        Parameters
+        ----------
+        x : ndarray of shape (M, N)
+            Samples (in the estimator dtype).
+        labels : ndarray of shape (M,)
+            Assignments from the distance stage.
+        best_sqdist : ndarray of shape (M,)
+            Per-sample min squared distances (drives the worst-fit
+            empty-cluster re-seed).
+        old_centroids : ndarray of shape (K, N)
+            Previous iteration's centroids.
+        counters : PerfCounters
+            Statistics sink (atomics, DMR checks, detections).
+        fused_sums : ndarray of shape (K, N+1), optional
+            Packed sums ‖ counts already accumulated by the streaming
+            engine's fused chunk loop.  Under DMR this is the first
+            replica; one independent re-accumulation is the duplicate.
+
+        Returns
+        -------
+        UpdateResult
+        """
         n_clusters, k = old_centroids.shape
-        m = x.shape[0]
-
-        def accumulate() -> np.ndarray:
-            """The duplicated instruction stream: sums ‖ counts packed."""
-            sums = np.zeros((n_clusters, k + 1), dtype=np.float64)
-            np.add.at(sums[:, :k], labels, x.astype(np.float64))
-            np.add.at(sums[:, k], labels, 1.0)
-            return sums
-
-        counters.atomics += m * (k + 1)
-        counters.global_loads += x.nbytes
-        if self.dmr:
-            sums = dmr_protected(accumulate, counters=counters,
-                                 corrupt_first=self.corrupt_hook)
-            # the hook models a one-shot SEU; don't re-fire next iteration
-            self.corrupt_hook = None
-        else:
-            sums = accumulate()
+        sums = self.accumulate_protected(x, labels, n_clusters, counters,
+                                         fused_sums=fused_sums)
         counts = sums[:, k].astype(np.int64)
         centroids = np.array(old_centroids, dtype=self.dtype, copy=True)
         nz = counts > 0
@@ -83,12 +148,68 @@ class UpdateStage:
 
         shift = float(np.linalg.norm(
             centroids.astype(np.float64) - old_centroids.astype(np.float64)))
-        timings = self.estimate(m, n_clusters, k)
+        timings = self.estimate(x.shape[0], n_clusters, k)
         counters.kernels_launched += 2
         return UpdateResult(centroids, counts, shift, timings)
 
     # ------------------------------------------------------------------
+    def accumulate_protected(self, x: np.ndarray, labels: np.ndarray,
+                             n_clusters: int, counters: PerfCounters, *,
+                             fused_sums: np.ndarray | None = None
+                             ) -> np.ndarray:
+        """DMR-wrapped sum/count accumulation (packed ``(K, N+1)``).
+
+        The shared core of the full-batch :meth:`update` and the online
+        mini-batch step: runs the configured accumulation under DMR when
+        enabled, treating ``fused_sums`` (the engine's fused chunk-loop
+        pass) as the first replica so only the duplicate re-streams the
+        samples.
+
+        Parameters
+        ----------
+        x : ndarray of shape (M, N)
+        labels : ndarray of shape (M,)
+        n_clusters : int
+        counters : PerfCounters
+        fused_sums : ndarray of shape (K, N+1), optional
+
+        Returns
+        -------
+        ndarray of shape (K, N+1)
+            Per-cluster feature sums with counts in the last column,
+            float64.
+        """
+        m, k = x.shape
+
+        def accumulate() -> np.ndarray:
+            """The duplicated instruction stream: sums ‖ counts packed."""
+            return self._accumulate(x, labels, n_clusters)
+
+        counters.atomics += m * (k + 1)
+        counters.global_loads += x.nbytes
+        if self.dmr:
+            compute = accumulate
+            if fused_sums is not None:
+                # the fused pass is replica 1 (already paid for during
+                # assignment); replicas after it re-accumulate freshly
+                pending = [fused_sums]
+
+                def compute() -> np.ndarray:
+                    return pending.pop() if pending else accumulate()
+
+            sums = dmr_protected(compute, counters=counters,
+                                 corrupt_first=self.corrupt_hook)
+            # the hook models a one-shot SEU; don't re-fire next iteration
+            self.corrupt_hook = None
+        elif fused_sums is not None:
+            sums = fused_sums
+        else:
+            sums = accumulate()
+        return sums
+
+    # ------------------------------------------------------------------
     def estimate(self, m: int, n_clusters: int, k_features: int):
+        """Modelled kernel timings for one update at this shape."""
         t = self.model.update_kernel(m, n_clusters, k_features, self.dtype,
                                      dmr=self.dmr)
         return [("update", t)]

@@ -1,9 +1,11 @@
 """Tests for the figure runner and recorded series structure."""
 
+import json
+
 import numpy as np
 import pytest
 
-from repro.bench import figures
+from repro.bench import figures, runner
 from repro.bench.tables import format_figure
 
 
@@ -41,3 +43,42 @@ class TestFigureStructure:
         hi = figures.fig17_fig18_error_injection(np.float32, p_inject=1.0)
         assert lo.summary["injection_overhead_pct_avg"] \
             < hi.summary["injection_overhead_pct_avg"]
+
+
+class TestSmokeGate:
+    """`python -m repro.bench.runner --smoke` is tier-1: a broken bench
+    harness (or a record missing the per-stage split) must fail the
+    suite.  Run at a tiny shape via the runner's argument passthrough so
+    the gate stays fast."""
+
+    def test_runner_smoke_invocation_records_stage_split(self, tmp_path):
+        out = tmp_path / "bench.json"
+        runner.main(["--smoke", "--out", str(out),
+                     "--m", "1024", "--iters", "1"])
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == "fastpath_walltime/v1"
+        (record,) = doc["entries"]
+        assert record["config"]["m"] == 1024
+        # the per-stage split the streamed-update PR added
+        stages = record["stages"]
+        for key in ("assign_per_iter_s", "update_streamed_per_iter_s",
+                    "update_oneshot_per_iter_s",
+                    "update_speedup_streamed_vs_oneshot"):
+            assert key in stages, key
+        assert len(stages["update_streamed_per_iter_s"]) == 1
+        # baseline comparison + agreement diagnostics present
+        assert record["unchunked"]["update_per_iter_s"]
+        assert record["label_mismatch_frac"] <= 1e-3
+        assert record["engine"]["update_chunks_fed"] >= 1
+
+    def test_runner_smoke_appends_to_trajectory(self, tmp_path):
+        out = tmp_path / "bench.json"
+        for _ in range(2):
+            runner.main(["--smoke", "--out", str(out),
+                         "--m", "1024", "--iters", "1"])
+        assert len(json.loads(out.read_text())["entries"]) == 2
+
+    def test_runner_rejects_unknown_args_without_smoke(self, capsys):
+        with pytest.raises(SystemExit):
+            runner.main(["--m", "1024"])
+        capsys.readouterr()

@@ -1,0 +1,65 @@
+"""Docs link-checker: stale documentation fails tier-1.
+
+Every relative markdown link in README.md and under docs/ must resolve
+to a real file (optionally with a ``#fragment``), and the docs tree the
+README advertises must exist.  Absolute URLs are out of scope (no
+network in tier-1).
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: markdown inline links: [text](target)
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _doc_files() -> list[Path]:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return files
+
+
+def _relative_links(path: Path) -> list[str]:
+    links = []
+    for target in _LINK_RE.findall(path.read_text()):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        links.append(target)
+    return links
+
+
+def test_docs_tree_exists():
+    """The README-advertised documentation subsystem is present."""
+    for name in ("architecture.md", "streaming.md", "api.md"):
+        assert (REPO_ROOT / "docs" / name).is_file(), f"docs/{name} missing"
+
+
+@pytest.mark.parametrize("doc", _doc_files(), ids=lambda p: p.name)
+def test_relative_links_resolve(doc):
+    assert doc.is_file()
+    broken = []
+    for target in _relative_links(doc):
+        rel = target.split("#", 1)[0]
+        if not rel:  # pure fragment link (#section): same-file anchor
+            continue
+        if not (doc.parent / rel).exists():
+            broken.append(target)
+    assert not broken, f"{doc.relative_to(REPO_ROOT)} has broken links: {broken}"
+
+
+def test_docs_cross_reference_each_other():
+    """The three docs form a navigable set (each links the others)."""
+    docs = {p.name: p.read_text() for p in (REPO_ROOT / "docs").glob("*.md")}
+    assert "streaming.md" in docs["architecture.md"]
+    assert "architecture.md" in docs["streaming.md"]
+    assert "api.md" in docs["architecture.md"]
+
+
+def test_readme_links_docs():
+    text = (REPO_ROOT / "README.md").read_text()
+    for name in ("docs/architecture.md", "docs/streaming.md", "docs/api.md"):
+        assert name in text, f"README does not link {name}"
