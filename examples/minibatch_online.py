@@ -64,6 +64,21 @@ def main() -> None:
                   f"label agreement vs clean {agree:.3f}")
 
     assert noisy.counters_.errors_injected > 0
+
+    # the per-batch fault trace: which batches saw flips, and what the
+    # ABFT/DMR machinery did about them (faulty batches only)
+    trace = noisy.fault_trace_
+    print(f"\nfault trace: {len(trace)} of {noisy.n_batches_seen_} "
+          f"batches saw faults")
+    for entry in trace[:6]:
+        print(f"  batch {entry['batch']:3d}: injected {entry['injected']}"
+              f"  detected {entry['detected']}"
+              f"  corrected {entry['corrected']}"
+              f"  dmr mismatches {entry['dmr_mismatches']}")
+    if len(trace) > 6:
+        print(f"  ... {len(trace) - 6} more")
+    assert not clean.fault_trace_  # the clean twin's trace stays empty
+
     print(f"\nafter {noisy.n_batches_seen_} batches: "
           f"converged={noisy.converged_}")
     drift_dist = np.linalg.norm(

@@ -1,0 +1,238 @@
+"""Wall-clock scaling benchmark of the sharded multi-worker layer.
+
+Drives full :class:`FTKMeans` fits through ``repro.dist`` over a
+workers × M grid and records, per cell:
+
+* real host wall time and per-iteration time;
+* the *simulated* parallel makespan (the coordinator charges the
+  slowest shard per round, so ``sim_time_s_`` models multi-device
+  scaling even when the host serialises the workers);
+* a bit-identity flag against the single-worker fast path (the
+  determinism contract is re-asserted on every bench run).
+
+A **recovery run** measures the fault-tolerance overhead: the same fit
+with an injected worker crash mid-way (checkpoint/restart enabled)
+against the clean sharded fit — the ``recovery`` record carries the
+extra seconds, the relative overhead and the recovered-bit-identical
+flag.
+
+Each run appends one record to ``BENCH_dist.json``::
+
+    python -m repro.bench.dist                # full grid
+    python -m repro.bench.dist --smoke        # tiny < 30 s gating run
+    python -m repro.bench.runner --smoke      # fastpath + dist smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.fastpath import write_record
+from repro.core.api import FTKMeans
+from repro.dist.faults import WorkerFaultInjector
+
+__all__ = ["run_dist_bench", "run_smoke", "DEFAULT_RESULT_PATH", "main"]
+
+#: perf-trajectory file of the distribution layer (sibling of
+#: BENCH_fastpath.json, resolved against the working directory)
+DEFAULT_RESULT_PATH = Path("BENCH_dist.json")
+
+SCHEMA = "dist_scaling/v1"
+
+#: full grid (CI-feasible, a few minutes)
+FULL_SHAPE = dict(m_grid=(60_000, 120_000), n_features=64, n_clusters=64,
+                  iters=5, workers_grid=(1, 2, 4))
+
+#: smoke/gating configuration (< 30 s wall clock)
+SMOKE_SHAPE = dict(m_grid=(16_384,), n_features=32, n_clusters=16, iters=3,
+                   workers_grid=(1, 2))
+
+
+def _fit_once(x, y0, *, n_clusters, iters, workers, executor, seed,
+              checkpoint_every=0, worker_faults=None):
+    """One timed sharded (or single-worker) fit; returns (model, wall)."""
+    km = FTKMeans(n_clusters=n_clusters, variant="tensorop", mode="fast",
+                  n_workers=workers,
+                  executor=executor if workers > 1 else "serial",
+                  checkpoint_every=checkpoint_every if workers > 1 else 0,
+                  max_iter=iters, tol=0.0, seed=seed, init_centroids=y0,
+                  worker_faults=worker_faults)
+    t0 = time.perf_counter()
+    km.fit(x)
+    return km, time.perf_counter() - t0
+
+
+def run_dist_bench(m_grid=FULL_SHAPE["m_grid"],
+                   n_features: int = FULL_SHAPE["n_features"],
+                   n_clusters: int = FULL_SHAPE["n_clusters"],
+                   iters: int = FULL_SHAPE["iters"], *,
+                   workers_grid=FULL_SHAPE["workers_grid"],
+                   executor: str = "thread", dtype: str = "float32",
+                   seed: int = 0, checkpoint_every: int = 2) -> dict:
+    """One workers × M scaling run + recovery overhead; JSON record."""
+    if iters < 1:
+        raise ValueError(f"iters must be >= 1, got {iters}")
+    m_grid = tuple(int(v) for v in m_grid)
+    workers_grid = tuple(int(v) for v in workers_grid)
+    if not m_grid or min(m_grid) < 1:
+        raise ValueError(f"bad m_grid {m_grid!r}")
+    if not workers_grid or min(workers_grid) < 1:
+        raise ValueError(f"bad workers_grid {workers_grid!r}")
+    rng = np.random.default_rng(seed)
+
+    grid = []
+    rec_data = None
+    for m in m_grid:
+        x = rng.random((m, n_features), dtype=np.float64).astype(dtype)
+        y0 = x[rng.choice(m, size=n_clusters, replace=False)].copy()
+        # the baseline is always a true single-worker run — even when
+        # the grid omits workers=1 — so bit_identical_vs_single really
+        # re-asserts the determinism contract on every bench run
+        base = _fit_once(x, y0, n_clusters=n_clusters, iters=iters,
+                         workers=1, executor=executor, seed=seed)
+        for workers in workers_grid:
+            if workers == 1:
+                km, wall = base
+            else:
+                km, wall = _fit_once(x, y0, n_clusters=n_clusters,
+                                     iters=iters, workers=workers,
+                                     executor=executor, seed=seed)
+            row = {
+                "workers": workers,
+                "m": m,
+                "executor": executor if workers > 1 else "serial",
+                "wall_s": wall,
+                "per_iter_s": wall / km.n_iter_,
+                "sim_time_s": km.sim_time_s_,
+                "assign_sim_time_s": km.assignment_time_s_,
+                "n_iter": km.n_iter_,
+                "inertia": km.inertia_,
+                "bit_identical_vs_single": bool(
+                    np.array_equal(km.labels_, base[0].labels_)
+                    and np.array_equal(km.cluster_centers_,
+                                       base[0].cluster_centers_)),
+                "wall_speedup_vs_single": base[1] / max(1e-12, wall),
+                "sim_speedup_vs_single": (
+                    base[0].sim_time_s_ / max(1e-12, km.sim_time_s_)),
+            }
+            grid.append(row)
+        rec_data = (x, y0)  # recovery runs at the largest M
+
+    # -- recovery overhead: crash one worker mid-fit ------------------
+    x, y0 = rec_data
+    rec_workers = (max(w for w in workers_grid if w > 1)
+                   if any(w > 1 for w in workers_grid) else 2)
+    crash_it = max(1, iters // 2 + 1)
+    clean, clean_wall = _fit_once(
+        x, y0, n_clusters=n_clusters, iters=iters, workers=rec_workers,
+        executor=executor, seed=seed, checkpoint_every=checkpoint_every)
+    crashed, crash_wall = _fit_once(
+        x, y0, n_clusters=n_clusters, iters=iters, workers=rec_workers,
+        executor=executor, seed=seed, checkpoint_every=checkpoint_every,
+        worker_faults=WorkerFaultInjector.crash_at(0, crash_it))
+    recovery = {
+        "workers": rec_workers,
+        "m": x.shape[0],
+        "executor": executor,
+        "checkpoint_every": checkpoint_every,
+        "crash_iteration": crash_it,
+        "clean_wall_s": clean_wall,
+        "crash_wall_s": crash_wall,
+        "recovery_overhead_s": crash_wall - clean_wall,
+        "recovery_overhead_frac": (crash_wall - clean_wall)
+        / max(1e-12, clean_wall),
+        "recoveries": crashed.dist_recoveries_,
+        "recovered_bit_identical": bool(
+            np.array_equal(crashed.cluster_centers_,
+                           clean.cluster_centers_)),
+    }
+
+    return {
+        "bench": "dist_scaling",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "host": platform.node(),
+        "numpy": np.__version__,
+        "config": {
+            "m_grid": list(m_grid), "n_features": n_features,
+            "n_clusters": n_clusters, "iters": iters, "dtype": dtype,
+            "executor": executor, "workers_grid": list(workers_grid),
+            "seed": seed, "checkpoint_every": checkpoint_every,
+        },
+        "grid": grid,
+        "recovery": recovery,
+    }
+
+
+def run_smoke(**overrides) -> dict:
+    """The < 30 s gating configuration (tier-1 friendly)."""
+    kwargs = dict(SMOKE_SHAPE)
+    kwargs.update(overrides)
+    return run_dist_bench(**kwargs)
+
+
+def _summarise(record: dict) -> str:
+    cfg = record["config"]
+    lines = [
+        f"dist scaling  M grid={cfg['m_grid']} "
+        f"N(features)={cfg['n_features']} K={cfg['n_clusters']} "
+        f"iters={cfg['iters']} executor={cfg['executor']}"]
+    for row in record["grid"]:
+        lines.append(
+            f"  M={row['m']} workers={row['workers']}: "
+            f"wall {row['wall_s']:.3f} s "
+            f"({row['wall_speedup_vs_single']:.2f}x) | sim "
+            f"{row['sim_time_s']:.4f} s "
+            f"({row['sim_speedup_vs_single']:.2f}x) | bit-identical "
+            f"{row['bit_identical_vs_single']}")
+    rec = record["recovery"]
+    lines.append(
+        f"  recovery (crash@{rec['crash_iteration']}, "
+        f"ckpt={rec['checkpoint_every']}): +{rec['recovery_overhead_s']:.3f} s"
+        f" ({rec['recovery_overhead_frac']:.1%}) over "
+        f"{rec['clean_wall_s']:.3f} s clean, recovered-bit-identical "
+        f"{rec['recovered_bit_identical']}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> dict:
+    parser = argparse.ArgumentParser(
+        description="Wall-clock scaling benchmark of repro.dist")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny < 30 s configuration for CI gating")
+    parser.add_argument("--m", type=int, default=None)
+    parser.add_argument("--features", type=int, default=None)
+    parser.add_argument("--clusters", type=int, default=None)
+    parser.add_argument("--iters", type=int, default=None)
+    parser.add_argument("--workers", default=None,
+                        help="comma-separated workers grid, e.g. 1,2,4")
+    parser.add_argument("--executor", default="thread",
+                        choices=("serial", "thread", "process"))
+    parser.add_argument("--out", default=str(DEFAULT_RESULT_PATH),
+                        help="trajectory JSON to append to ('-' to skip)")
+    args = parser.parse_args(argv)
+
+    kwargs = dict(SMOKE_SHAPE if args.smoke else FULL_SHAPE)
+    if args.m is not None:
+        kwargs["m_grid"] = (args.m,)
+    for key, val in (("n_features", args.features),
+                     ("n_clusters", args.clusters), ("iters", args.iters)):
+        if val is not None:
+            kwargs[key] = val
+    if args.workers:
+        kwargs["workers_grid"] = tuple(
+            int(v) for v in args.workers.split(","))
+    record = run_dist_bench(executor=args.executor, **kwargs)
+    print(_summarise(record))
+    if args.out != "-":
+        path = write_record(record, args.out, schema=SCHEMA)
+        print(f"  recorded -> {path}")
+    return record
+
+
+if __name__ == "__main__":
+    main()

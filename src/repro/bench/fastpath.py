@@ -267,10 +267,15 @@ def run_smoke(**overrides) -> dict:
     return run_fastpath_bench(**kwargs)
 
 
-def write_record(record: dict, path: Path | str = DEFAULT_RESULT_PATH) -> Path:
-    """Append one record to the perf-trajectory file."""
+def write_record(record: dict, path: Path | str = DEFAULT_RESULT_PATH, *,
+                 schema: str = "fastpath_walltime/v1") -> Path:
+    """Append one record to a perf-trajectory file.
+
+    Shared by every wall-clock bench (``schema`` names the trajectory
+    kind when the file is created fresh; existing files keep theirs).
+    """
     path = Path(path)
-    doc = {"schema": "fastpath_walltime/v1", "entries": []}
+    doc = {"schema": schema, "entries": []}
     if path.exists():
         try:
             loaded = json.loads(path.read_text())

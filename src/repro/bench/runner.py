@@ -4,10 +4,13 @@
 reproductions and prints them in paper order.
 
 ``python -m repro.bench.runner --smoke`` instead runs the wall-clock
-fast-path gating benchmark (< 60 s), appending to ``BENCH_fastpath.json``
-— suitable as a tier-1 perf canary.  Unrecognised arguments after
-``--smoke`` are forwarded to :mod:`repro.bench.fastpath` (e.g.
-``--m 2000 --iters 1`` for an even quicker shape).
+gating benchmarks — the fast-path run (appending to
+``BENCH_fastpath.json``) followed by a tiny 2-worker sharded scaling +
+recovery run (appending to ``BENCH_dist.json``) — suitable as a tier-1
+perf canary.  Unrecognised arguments after ``--smoke`` are forwarded to
+:mod:`repro.bench.fastpath` (e.g. ``--m 2000 --iters 1`` for an even
+quicker shape); the sharded smoke keeps its fixed tiny shape and is
+skipped entirely with ``--dist-out -``.
 """
 
 from __future__ import annotations
@@ -53,13 +56,22 @@ def main(argv=None) -> None:
     parser.add_argument("--out", default=None,
                         help="with --smoke: trajectory JSON to append to "
                              "(defaults to ./BENCH_fastpath.json; '-' skips)")
+    parser.add_argument("--dist-out", default=None,
+                        help="with --smoke: sharded-scaling trajectory JSON "
+                             "(defaults to ./BENCH_dist.json; '-' skips the "
+                             "sharded smoke run)")
     args, extra = parser.parse_known_args(argv)
     if args.smoke:
+        from repro.bench import dist as dist_bench
         from repro.bench import fastpath
 
         fastpath.main(["--smoke"]
                       + (["--out", args.out] if args.out else [])
                       + extra)
+        if args.dist_out != "-":
+            dist_bench.main(
+                ["--smoke"]
+                + (["--out", args.dist_out] if args.dist_out else []))
         return
     if extra:
         parser.error(f"unrecognised arguments: {' '.join(extra)}")

@@ -41,6 +41,15 @@ Thread-safety: feeds must arrive in global sample order — the engine's
 threaded dispatch commits chunks in order (see
 ``FastPathEngine._run_threaded``); the accumulator itself is
 single-writer by contract.
+
+Sample weights: :meth:`StreamedAccumulator.bind_weights` attaches a
+per-sample weight vector once; ``feed`` then consumes the slice matching
+its in-order sample window (the running ``samples_seen`` offset).  The
+weighted products ``w_i * x_ij`` are formed in float64 — value-identical
+to the one-shot ``np.add.at(sums, labels, x64 * w[:, None])`` — and the
+weighted *counts* ride the same continuation trick as the sums, so
+weighted accumulation stays bit-identical to the sequential one-shot
+pass for any feed granularity, shard boundary or worker count.
 """
 
 from __future__ import annotations
@@ -102,6 +111,7 @@ class StreamedAccumulator:
         self._ext_w: np.ndarray | None = None     # weights staging
         self._ext_l: np.ndarray | None = None     # labels staging
         self._xt: np.ndarray | None = None        # float64 transpose staging
+        self._weights: np.ndarray | None = None   # bound per-sample weights
         #: rows per internal sub-feed: staging stays under STAGING_BYTES
         self.feed_rows = max(MIN_FEED_ROWS,
                              STAGING_BYTES // (8 * self.n_features))
@@ -131,8 +141,29 @@ class StreamedAccumulator:
             self._record_alloc("accumulator_staging", self._xt.nbytes)
 
     # ------------------------------------------------------------------
+    def bind_weights(self, sample_weight: np.ndarray | None) -> None:
+        """Attach (or detach, with None) a per-sample weight vector.
+
+        ``feed`` consumes ``sample_weight[samples_seen : samples_seen +
+        rows]`` for each in-order chunk, so the binding covers the whole
+        stream this accumulator will see before its next ``reset``.  The
+        vector is converted to float64 once (value-exactly).
+        """
+        if sample_weight is None:
+            self._weights = None
+            return
+        w = np.ascontiguousarray(sample_weight, dtype=np.float64)
+        if w.ndim != 1:
+            raise ValueError(
+                f"sample_weight must be 1-D, got shape {w.shape}")
+        self._weights = w
+
     def reset(self) -> None:
-        """Zero the running sums/counts (start of a Lloyd iteration)."""
+        """Zero the running sums/counts (start of a Lloyd iteration).
+
+        Bound weights survive a reset: the same fit re-feeds the same
+        stream every iteration, restarting at offset 0.
+        """
         self._sums_t[:] = 0.0
         self._counts[:] = 0.0
         self.samples_seen = 0
@@ -193,6 +224,17 @@ class StreamedAccumulator:
         # seed's x.astype(np.float64)
         xt = self._xt[:, :rows]
         np.copyto(xt, x_chunk.T)
+        w_s = None
+        if self._weights is not None:
+            off = self.samples_seen
+            if off + rows > self._weights.shape[0]:
+                raise ValueError(
+                    f"feed past bound weights: offset {off} + {rows} rows "
+                    f"> {self._weights.shape[0]} weights")
+            w_s = self._weights[off: off + rows]
+            # weighted products formed in float64, value-identical to the
+            # one-shot x64 * w[:, None]
+            xt *= w_s[None, :]
         for j in range(self.n_features):
             # continuation trick: the running sums ride along as one
             # pseudo-sample per cluster, so the per-bin association stays
@@ -201,7 +243,16 @@ class StreamedAccumulator:
             w[n:n + rows] = xt[j]
             self._sums_t[j] = np.bincount(ext_l, weights=w[:n + rows],
                                           minlength=n)
-        self._counts += np.bincount(labels_chunk, minlength=n)
+        if w_s is None:
+            # integer counts: any association is exact, skip the staging
+            self._counts += np.bincount(labels_chunk, minlength=n)
+        else:
+            # weighted counts need the same continuation as the sums to
+            # match the sequential np.add.at(sums[:, k], labels, w) bits
+            w[:n] = self._counts
+            w[n:n + rows] = w_s
+            self._counts[:] = np.bincount(ext_l, weights=w[:n + rows],
+                                          minlength=n)
         self.samples_seen += rows
 
     # ------------------------------------------------------------------
@@ -224,26 +275,39 @@ class StreamedAccumulator:
         return self._sums_t.T
 
 
-def accumulate_oneshot(x: np.ndarray, labels: np.ndarray,
-                       n_clusters: int) -> np.ndarray:
+def accumulate_oneshot(x: np.ndarray, labels: np.ndarray, n_clusters: int,
+                       *, sample_weight: np.ndarray | None = None
+                       ) -> np.ndarray:
     """The seed accumulation (``np.add.at``), kept as the regression
-    baseline the streamed path is bit-compared against."""
+    baseline the streamed path is bit-compared against.  With
+    ``sample_weight`` the scatter adds ``w_i * x_i`` and the count column
+    accumulates the weights themselves."""
     k = x.shape[1]
     sums = np.zeros((n_clusters, k + 1), dtype=np.float64)
-    np.add.at(sums[:, :k], labels, x.astype(np.float64))
-    np.add.at(sums[:, k], labels, 1.0)
+    x64 = x.astype(np.float64)
+    if sample_weight is None:
+        np.add.at(sums[:, :k], labels, x64)
+        np.add.at(sums[:, k], labels, 1.0)
+    else:
+        w = np.ascontiguousarray(sample_weight, dtype=np.float64)
+        np.add.at(sums[:, :k], labels, x64 * w[:, None])
+        np.add.at(sums[:, k], labels, w)
     return sums
 
 
 def accumulate_streamed(x: np.ndarray, labels: np.ndarray, n_clusters: int,
-                        *, feed_rows: int = FEED_ROWS) -> np.ndarray:
+                        *, feed_rows: int = FEED_ROWS,
+                        sample_weight: np.ndarray | None = None
+                        ) -> np.ndarray:
     """One-call streamed accumulation over a whole array.
 
     Feeds ``x`` through a :class:`StreamedAccumulator` in
     ``feed_rows``-sized chunks; bit-identical to
-    :func:`accumulate_oneshot` for every ``feed_rows``.
+    :func:`accumulate_oneshot` for every ``feed_rows`` (weighted or
+    not).
     """
     acc = StreamedAccumulator(n_clusters, x.shape[1])
+    acc.bind_weights(sample_weight)
     m = x.shape[0]
     for lo in range(0, m, feed_rows):
         hi = min(lo + feed_rows, m)

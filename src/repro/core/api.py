@@ -20,12 +20,23 @@ Beyond full-batch Lloyd, the estimator clusters **streams**:
 
 * :meth:`FTKMeans.partial_fit` consumes one mini-batch per call
   (sklearn ``MiniBatchKMeans`` semantics: per-cluster learning-rate
-  decay, deterministic empty-cluster reassignment, EWA-inertia
-  convergence) — fault injection and ABFT checks run per batch;
+  decay, configurable empty-cluster reassignment, EWA-inertia
+  convergence) — fault injection and ABFT checks run per batch, and the
+  per-batch fault activity is surfaced on ``fault_trace_``;
 * ``batch_size=...`` makes :meth:`fit` run mini-batch K-means over
   shuffled epochs of the training set through the same online step.
 
-See ``docs/streaming.md`` for the streaming/determinism contract.
+Both :meth:`fit` and :meth:`partial_fit` accept ``sample_weight``
+(weighted sums/counts through the same bit-exact streamed accumulation).
+
+With ``n_workers > 1`` the full-batch fit shards across simulated
+devices/processes through :mod:`repro.dist` — map-reduce Lloyd rounds,
+an ABFT checksum over the merged partials, and checkpoint/restart
+recovery from worker loss — while staying bit-identical to the
+single-worker fast path.
+
+See ``docs/streaming.md`` for the streaming/determinism contract and
+``docs/distributed.md`` for the sharded execution contract.
 """
 
 from __future__ import annotations
@@ -38,7 +49,11 @@ from repro.core.config import KMeansConfig
 from repro.core.convergence import ConvergenceMonitor, EwaInertiaMonitor
 from repro.core.initializers import initialize
 from repro.core.update import UpdateStage
-from repro.core.validation import validate_centroids, validate_data
+from repro.core.validation import (
+    validate_centroids,
+    validate_data,
+    validate_weights,
+)
 from repro.core.variants import build_assignment
 from repro.gemm.shapes import distance_flops
 from repro.gpusim.clock import SimClock
@@ -55,6 +70,13 @@ class FTKMeans:
 
     ``init_centroids``
         Optional explicit (K x N) starting centroids (overrides ``init``).
+    ``worker_faults``
+        Optional :class:`repro.dist.WorkerFaultInjector` driving
+        worker-level crash/stall/corrupt-partial injection in sharded
+        fits (``n_workers > 1``).
+    ``checkpoint_dir``
+        Directory for the sharded fit's checkpoint snapshots; None
+        (default) keeps them in memory.
 
     Fitted attributes (sklearn naming): ``cluster_centers_``, ``labels_``,
     ``inertia_``, ``n_iter_``; plus simulator outputs ``sim_time_s_``,
@@ -63,7 +85,10 @@ class FTKMeans:
 
     Online attributes (after :meth:`partial_fit` or a ``batch_size``
     fit): ``n_batches_seen_``, ``converged_``, ``ewa_inertia_``,
-    ``cluster_counts_``.
+    ``cluster_counts_``, ``fault_trace_``.
+
+    Sharded-fit attributes (after a ``n_workers > 1`` fit):
+    ``n_workers_``, ``dist_recoveries_``, ``dist_trace_``.
     """
 
     def __init__(self, n_clusters: int = 8, *, variant: str = "tensorop",
@@ -72,32 +97,50 @@ class FTKMeans:
                  dmr_update: bool = True, use_tf32: bool = True,
                  chunk_bytes: int | None = None, engine_workers: int = 1,
                  update_mode: str = "auto", batch_size: int | None = None,
+                 n_workers: int = 1, executor: str = "serial",
+                 checkpoint_every: int = 0,
+                 reassignment_mode: str = "deterministic",
+                 reassignment_ratio: float = 0.01,
                  init: str = "k-means++", max_iter: int = 50,
                  tol: float = 1e-4, seed: int | None = None,
-                 init_centroids=None):
+                 init_centroids=None, worker_faults=None,
+                 checkpoint_dir=None):
         self.config = KMeansConfig(
             n_clusters=n_clusters, variant=variant, dtype=np.dtype(dtype),
             device=device, mode=mode, tile=tile, abft=abft,
             p_inject=p_inject, dmr_update=dmr_update, use_tf32=use_tf32,
             chunk_bytes=chunk_bytes, engine_workers=engine_workers,
             update_mode=update_mode, batch_size=batch_size,
+            n_workers=n_workers, executor=executor,
+            checkpoint_every=checkpoint_every,
+            reassignment_mode=reassignment_mode,
+            reassignment_ratio=reassignment_ratio,
             init=init, max_iter=max_iter, tol=tol, seed=seed)
         self._init_centroids = init_centroids
+        self._worker_faults = worker_faults
+        self._checkpoint_dir = checkpoint_dir
 
     # ------------------------------------------------------------------
-    def fit(self, x) -> "FTKMeans":
+    def fit(self, x, sample_weight=None) -> "FTKMeans":
         """Cluster ``x``, full-batch Lloyd or mini-batch.
 
         Runs Lloyd iterations until convergence or ``max_iter``; with
         ``batch_size`` set, runs mini-batch K-means instead (shuffled
         epochs of online updates, EWA-inertia convergence — see
-        :meth:`partial_fit` for the per-batch step).
+        :meth:`partial_fit` for the per-batch step).  With
+        ``n_workers > 1`` the full-batch fit shards across workers
+        through :mod:`repro.dist` (bit-identical result, plus
+        checkpoint/restart fault tolerance).
 
         Parameters
         ----------
         x : array-like of shape (n_samples, n_features)
             Training samples; validated to a finite C-contiguous array
             of the configured dtype.
+        sample_weight : array-like of shape (n_samples,), optional
+            Non-negative per-sample weights.  Weighted centroid sums
+            and counts run through the same bit-exact streamed
+            accumulation; inertia becomes ``sum(w_i * d_i)``.
 
         Returns
         -------
@@ -108,11 +151,14 @@ class FTKMeans:
         self._reset_online_state()
         x = validate_data(x, cfg.dtype)
         m, k = x.shape
+        w = validate_weights(sample_weight, m)
         if cfg.n_clusters > m:
             raise ValueError(
                 f"n_clusters={cfg.n_clusters} exceeds n_samples={m}")
         if cfg.batch_size is not None:
-            return self._fit_minibatch(x)
+            return self._fit_minibatch(x, w)
+        if cfg.n_workers > 1:
+            return self._fit_dist(x, w)
         rng = np.random.default_rng(cfg.seed)
 
         if self._init_centroids is not None:
@@ -129,6 +175,8 @@ class FTKMeans:
         # assignment chunk loop (fast mode only; bit-identical either way)
         fuse = update_mode == "streamed" and cfg.mode == "fast"
         acc = (StreamedAccumulator(cfg.n_clusters, k) if fuse else None)
+        if acc is not None:
+            acc.bind_weights(w)
         clock = SimClock()
         counters = PerfCounters()
         monitor = ConvergenceMonitor(cfg.tol)
@@ -151,12 +199,15 @@ class FTKMeans:
 
                 upd = updater.update(
                     x, labels, res.min_sqdist, y, counters,
-                    fused_sums=acc.packed() if acc is not None else None)
+                    fused_sums=acc.packed() if acc is not None else None,
+                    sample_weight=w)
                 for label, t in upd.timings:
                     clock.charge(label, t)
                 y = upd.centroids
 
-                inertia = float(np.sum(res.min_sqdist.astype(np.float64)))
+                best64 = res.min_sqdist.astype(np.float64)
+                inertia = float(np.sum(best64 * w) if w is not None
+                                else np.sum(best64))
                 if monitor.update(inertia, upd.shift):
                     break
         finally:
@@ -179,8 +230,52 @@ class FTKMeans:
         self._assigner = assigner
         return self
 
+    # -- sharded multi-worker fit --------------------------------------
+    def _fit_dist(self, x: np.ndarray, w: np.ndarray | None) -> "FTKMeans":
+        """Full-batch fit sharded across ``n_workers`` (repro.dist).
+
+        The coordinator runs map-reduce Lloyd rounds with a
+        sequential-continuation merge, so the result is bit-identical
+        to the single-worker fast path; worker loss is absorbed by
+        checkpoint/restart.
+        """
+        # imported lazily: dist sits above core in the layering
+        from repro.dist import CheckpointStore, Coordinator
+
+        cfg = self.config
+        m, k = x.shape
+        rng = np.random.default_rng(cfg.seed)
+        if self._init_centroids is not None:
+            y0 = validate_centroids(self._init_centroids, cfg.n_clusters, k,
+                                    cfg.dtype)
+        else:
+            y0 = initialize(x, cfg.n_clusters, cfg.init, rng)
+
+        coord = Coordinator(
+            cfg, executor=cfg.executor,
+            checkpoint=CheckpointStore(self._checkpoint_dir),
+            worker_faults=self._worker_faults)
+        res = coord.fit(x, y0, sample_weight=w)
+
+        self.cluster_centers_ = res.centroids
+        self.cluster_counts_ = res.counts
+        self.labels_ = res.labels
+        self.inertia_ = res.inertia
+        self.inertia_history_ = res.inertia_history
+        self.n_iter_ = res.n_iter
+        self.sim_time_s_ = res.clock.elapsed_s
+        self.assignment_time_s_ = res.clock.total("distance")
+        self.timing_log_ = list(res.clock.log)
+        self.counters_ = res.counters
+        self.n_workers_ = res.plan.n_workers
+        self.dist_recoveries_ = res.recoveries
+        self.dist_trace_ = res.trace
+        # predict/score run single-pass through an ordinary assigner
+        self._assigner = build_assignment(cfg, m, k, rng)
+        return self
+
     # -- streaming / mini-batch ----------------------------------------
-    def partial_fit(self, x) -> "FTKMeans":
+    def partial_fit(self, x, sample_weight=None) -> "FTKMeans":
         """One online mini-batch update (sklearn ``partial_fit`` style).
 
         The first call initialises the centroids (from
@@ -193,15 +288,18 @@ class FTKMeans:
 
         ``c_j ← c_j + (sum_j − n_j · c_j) / N_j``
 
-        where ``n_j`` is the batch count and ``N_j`` the running total:
-        the per-cluster learning rate ``n_j / N_j`` decays as a cluster
-        accumulates evidence.  Clusters that have never received a
-        sample are re-seeded deterministically from the batch's
-        worst-fit samples.  Convergence is tracked on the EWA of
+        where ``n_j`` is the batch count (weight total, with
+        ``sample_weight``) and ``N_j`` the running total: the
+        per-cluster learning rate ``n_j / N_j`` decays as a cluster
+        accumulates evidence.  Starved clusters are re-seeded per the
+        configured ``reassignment_mode`` ('deterministic' worst-fit
+        default; 'count_threshold' / 'random' à la sklearn's
+        ``reassignment_ratio``).  Convergence is tracked on the EWA of
         per-sample batch inertia
         (:class:`repro.core.convergence.EwaInertiaMonitor`) and surfaced
         as ``converged_`` — advisory only; ``partial_fit`` never refuses
-        a batch.
+        a batch.  Per-batch fault activity (flips injected / detected /
+        corrected) accumulates on ``fault_trace_``.
 
         Parameters
         ----------
@@ -209,6 +307,8 @@ class FTKMeans:
             One mini-batch.  The first batch must contain at least
             ``n_clusters`` samples unless explicit starting centroids
             are available.
+        sample_weight : array-like of shape (batch_size,), optional
+            Non-negative per-sample weights for this batch.
 
         Returns
         -------
@@ -217,14 +317,19 @@ class FTKMeans:
             reflect the state after this batch.
         """
         cfg = self.config
+        if cfg.n_workers > 1:
+            raise ValueError(
+                "sharded execution (n_workers > 1) covers the full-batch "
+                "fit only; partial_fit runs single-worker")
         x = validate_data(x, cfg.dtype)
+        w = validate_weights(sample_weight, x.shape[0])
         if self._online is None:
             self._init_online(x)
         elif x.shape[1] != self._online["centers64"].shape[1]:
             raise ValueError(
                 f"X has {x.shape[1]} features, model has "
                 f"{self._online['centers64'].shape[1]}")
-        self._minibatch_step(x)
+        self._minibatch_step(x, w)
         return self
 
     # ------------------------------------------------------------------
@@ -236,7 +341,8 @@ class FTKMeans:
         self._online_state = None
         # a fresh full-batch fit must not leave a dead stream's
         # attributes readable on the estimator
-        for attr in ("converged_", "n_batches_seen_", "ewa_inertia_"):
+        for attr in ("converged_", "n_batches_seen_", "ewa_inertia_",
+                     "fault_trace_"):
             self.__dict__.pop(attr, None)
 
     def _init_online(self, x: np.ndarray) -> None:
@@ -291,12 +397,23 @@ class FTKMeans:
             "counters": PerfCounters(),
             "batch_inertias": [],
             "samples_assigned": 0,
+            # the stream's RNG (random reassignment draws); shared with
+            # the epoch shuffles of a batch_size fit, so a fixed seed
+            # reproduces the whole stream
+            "rng": rng,
+            "fault_trace": [],
         }
         self._assigner = self._online_state["assigner"]
         self.n_batches_seen_ = 0
         self.converged_ = False
+        self.fault_trace_ = self._online_state["fault_trace"]
 
-    def _minibatch_step(self, x: np.ndarray) -> None:
+    #: counter fields whose per-batch deltas form the fault trace
+    _TRACE_FIELDS = ("errors_injected", "errors_detected",
+                     "errors_corrected", "dmr_mismatches")
+
+    def _minibatch_step(self, x: np.ndarray,
+                        w: np.ndarray | None = None) -> None:
         """Assign one batch and apply the decayed online update."""
         cfg = self.config
         state = self._online_state
@@ -306,6 +423,9 @@ class FTKMeans:
         acc = state["accumulator"]
         if acc is not None:
             acc.reset()
+            acc.bind_weights(w)
+        fault_snap = {f: getattr(state["counters"], f)
+                      for f in self._TRACE_FIELDS}
         res: AssignmentResult = state["assigner"].assign(x, y,
                                                          accumulator=acc)
         state["counters"].merge(res.counters)
@@ -317,7 +437,8 @@ class FTKMeans:
         updater: UpdateStage = state["updater"]
         sums = updater.accumulate_protected(
             x, labels, cfg.n_clusters, state["counters"],
-            fused_sums=acc.packed() if acc is not None else None)
+            fused_sums=acc.packed() if acc is not None else None,
+            sample_weight=w)
         bsums, bcounts = sums[:, :k], sums[:, k]
         counts = state["counts"]
         new_counts = counts + bcounts
@@ -326,28 +447,46 @@ class FTKMeans:
         centers64[nz] += ((bsums[nz] - bcounts[nz, None] * centers64[nz])
                           / new_counts[nz, None])
         state["counts"] = new_counts
+        if w is not None:
+            state["weighted"] = True
 
-        # deterministic reassignment: clusters that have never received
-        # a sample take the batch's worst-fit points (stable ordering,
-        # so a fixed seed reproduces the stream exactly)
-        dead = np.flatnonzero(state["counts"] == 0)
-        if dead.size:
-            order = np.argsort(best, kind="stable")[::-1]
-            donors = order[: dead.size]
-            reseed = dead[: donors.size]
-            centers64[reseed] = x[donors].astype(np.float64)
-            state["counts"][reseed] = 1.0
+        self._reassign_starved(x, best, w, state)
         for label, t in updater.estimate(m, cfg.n_clusters, k):
             state["clock"].charge(label, t)
         state["counters"].kernels_launched += 2
 
-        inertia = float(np.sum(best.astype(np.float64)))
-        self.converged_ = state["monitor"].update(inertia, m)
+        batch_index = self.n_batches_seen_
+        delta = {f: getattr(state["counters"], f) - fault_snap[f]
+                 for f in self._TRACE_FIELDS}
+        if any(delta.values()):
+            state["fault_trace"].append({"batch": batch_index,
+                                         "injected": delta["errors_injected"],
+                                         "detected": delta["errors_detected"],
+                                         "corrected": delta["errors_corrected"],
+                                         "dmr_mismatches":
+                                             delta["dmr_mismatches"]})
+        self.fault_trace_ = state["fault_trace"]
+
+        best64 = best.astype(np.float64)
+        inertia = float(np.sum(best64 * w) if w is not None
+                        else np.sum(best64))
+        # weighted streams normalise the EWA by the batch weight total,
+        # so convergence tracks fit quality, not the weight scale.  An
+        # all-zero-weight batch carries no evidence at all: it must not
+        # touch the monitor (its weighted inertia of 0 would fake a
+        # huge improvement), and converged_ keeps its last verdict.
+        ewa_norm = m if w is None else float(w.sum())
+        if ewa_norm > 0:
+            self.converged_ = state["monitor"].update(inertia, ewa_norm)
         state["batch_inertias"].append(inertia)
         state["samples_assigned"] += m
         self.n_batches_seen_ += 1
         self.cluster_centers_ = centers64.astype(cfg.dtype)
-        self.cluster_counts_ = state["counts"].astype(np.int64)
+        # weighted streams report the float64 running weight totals;
+        # unweighted streams keep the integer sample counts
+        self.cluster_counts_ = (state["counts"].copy()
+                                if state.get("weighted")
+                                else state["counts"].astype(np.int64))
         self.labels_ = labels.copy()
         self.inertia_ = inertia
         self.ewa_inertia_ = state["monitor"].ewa
@@ -359,7 +498,59 @@ class FTKMeans:
         self.timing_log_ = list(state["clock"].log)
         self.counters_ = state["counters"]
 
-    def _fit_minibatch(self, x: np.ndarray) -> "FTKMeans":
+    def _reassign_starved(self, x: np.ndarray, best: np.ndarray,
+                          w: np.ndarray | None, state: dict) -> None:
+        """Re-seed starved clusters per the configured policy.
+
+        * ``deterministic`` — clusters whose running weight is exactly
+          zero take the batch's worst-fit samples in stable order (a
+          fixed seed reproduces the stream bit-for-bit);
+        * ``count_threshold`` — clusters below ``reassignment_ratio`` x
+          the largest running count are also re-seeded, still from the
+          deterministic worst-fit order;
+        * ``random`` — the below-threshold clusters re-seed from random
+          batch samples drawn with probability proportional to (weighted)
+          squared distance, sklearn's ``reassignment_ratio`` behaviour;
+          draws come from the stream's RNG, so a fixed seed still
+          reproduces the stream.
+        """
+        cfg = self.config
+        counts = state["counts"]
+        centers64 = state["centers64"]
+        m = x.shape[0]
+        if cfg.reassignment_mode == "deterministic":
+            starved = np.flatnonzero(counts == 0)
+        else:
+            threshold = cfg.reassignment_ratio * float(counts.max())
+            starved = np.flatnonzero(counts < threshold)
+            if starved.size == 0:
+                starved = np.flatnonzero(counts == 0)
+        if starved.size == 0:
+            return
+        if cfg.reassignment_mode == "random":
+            p = best.astype(np.float64)
+            if w is not None:
+                p = p * w
+            total = float(p.sum())
+            size = min(starved.size, m)
+            # replace=False needs at least `size` nonzero probabilities;
+            # degenerate batches (most points on a centroid) fall back
+            # to a uniform draw instead of crashing the stream
+            if total <= 0 or np.count_nonzero(p) < size:
+                probs = None
+            else:
+                probs = p / total
+            donors = state["rng"].choice(m, size=size, replace=False,
+                                         p=probs)
+        else:
+            order = np.argsort(best, kind="stable")[::-1]
+            donors = order[: starved.size]
+        reseed = starved[: donors.size]
+        centers64[reseed] = x[donors].astype(np.float64)
+        counts[reseed] = np.maximum(counts[reseed], 1.0)
+
+    def _fit_minibatch(self, x: np.ndarray,
+                       w: np.ndarray | None = None) -> "FTKMeans":
         """Mini-batch K-means over shuffled epochs (``batch_size`` set)."""
         cfg = self.config
         m, k = x.shape
@@ -379,7 +570,9 @@ class FTKMeans:
         for epoch in range(1, cfg.max_iter + 1):
             perm = rng.permutation(m)
             for lo in range(0, m, bs):
-                self._minibatch_step(x[perm[lo:lo + bs]])
+                batch_idx = perm[lo:lo + bs]
+                self._minibatch_step(x[batch_idx],
+                                     None if w is None else w[batch_idx])
                 if self.converged_:
                     break
             if self.converged_:
@@ -390,7 +583,9 @@ class FTKMeans:
         res = self._assigner.assign(x, self.cluster_centers_)
         self._online_state["counters"].merge(res.counters)
         self.labels_ = res.labels.copy()
-        self.inertia_ = float(np.sum(res.min_sqdist.astype(np.float64)))
+        best64 = res.min_sqdist.astype(np.float64)
+        self.inertia_ = float(np.sum(best64 * w) if w is not None
+                              else np.sum(best64))
         self.counters_ = self._online_state["counters"]
         return self
 

@@ -10,7 +10,8 @@ from repro.abft.schemes import AbftScheme, get_scheme
 from repro.gemm.tiling import TileConfig
 from repro.gpusim.device import DeviceSpec, get_device
 
-__all__ = ["KMeansConfig", "VARIANT_NAMES", "MODES", "UPDATE_MODES"]
+__all__ = ["KMeansConfig", "VARIANT_NAMES", "MODES", "UPDATE_MODES",
+           "EXECUTORS", "REASSIGNMENT_MODES"]
 
 #: assignment-stage implementations, in the paper's optimisation order
 VARIANT_NAMES = ("naive", "v1", "v2", "v3", "tensorop", "ft")
@@ -21,6 +22,12 @@ MODES = ("fast", "functional")
 #: centroid-update accumulation implementations ('auto' resolves per
 #: execution mode: streamed+fused in 'fast', oneshot in 'functional')
 UPDATE_MODES = ("auto", "oneshot", "streamed")
+
+#: executor backends of the sharded multi-worker layer (repro.dist)
+EXECUTORS = ("serial", "thread", "process")
+
+#: empty-cluster handling policies of the online/mini-batch update
+REASSIGNMENT_MODES = ("deterministic", "count_threshold", "random")
 
 
 @dataclass
@@ -77,6 +84,37 @@ class KMeansConfig:
         full-batch Lloyd iterations.  ``max_iter`` counts epochs and
         convergence is judged on the EWA of per-batch inertia.  None
         (default) keeps the full-batch Lloyd loop.
+    n_workers:
+        Shard the full-batch fit across this many simulated
+        devices/processes through :mod:`repro.dist` (fast mode only).
+        Samples split into GEMM-unit-aligned shards; workers compute
+        per-shard assignments + partial sums map-reduce style and the
+        coordinator merges with sequential-continuation semantics, so
+        the fit stays bit-identical to ``n_workers=1`` for any shard
+        count or executor.  1 (default) keeps the in-process engine.
+    executor:
+        Worker backend when ``n_workers > 1``: 'serial' (in-process
+        loop, correctness/debug), 'thread' (worker threads; BLAS
+        releases the GIL) or 'process' (one OS process per worker —
+        survives real worker death).
+    checkpoint_every:
+        With ``n_workers > 1``: snapshot the coordinator state
+        (centroids, iteration, convergence monitor, RNG/counter state)
+        every this many iterations, so a crashed worker resumes from
+        the last checkpoint instead of iteration 0.  0 disables
+        periodic checkpoints (recovery then restarts the fit).
+    reassignment_mode:
+        Empty-cluster policy of the online/mini-batch update step:
+        'deterministic' (clusters with zero running weight take the
+        batch's worst-fit samples, stable order), 'count_threshold'
+        (clusters below ``reassignment_ratio`` x the largest running
+        count are re-seeded from worst-fit samples) or 'random'
+        (below-threshold clusters re-seed from random batch samples
+        drawn proportional to squared distance, à la sklearn's
+        ``reassignment_ratio``).
+    reassignment_ratio:
+        Count-fraction threshold used by the 'count_threshold' and
+        'random' modes.
     init / max_iter / tol / seed:
         Standard Lloyd controls; ``tol`` is on relative inertia change.
     """
@@ -95,6 +133,11 @@ class KMeansConfig:
     engine_workers: int = 1
     update_mode: str = "auto"
     batch_size: int | None = None
+    n_workers: int = 1
+    executor: str = "serial"
+    checkpoint_every: int = 0
+    reassignment_mode: str = "deterministic"
+    reassignment_ratio: float = 0.01
     init: str = "k-means++"
     max_iter: int = 50
     tol: float = 1e-4
@@ -132,6 +175,29 @@ class KMeansConfig:
         if self.batch_size is not None and self.batch_size < 1:
             raise ValueError(
                 f"batch_size must be >= 1, got {self.batch_size}")
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {self.executor!r}; choose from {EXECUTORS}")
+        if self.n_workers > 1 and self.mode != "fast":
+            raise ValueError(
+                "sharded execution (n_workers > 1) requires mode='fast'")
+        if self.n_workers > 1 and self.batch_size is not None:
+            raise ValueError(
+                "sharded execution (n_workers > 1) covers the full-batch "
+                "fit only; it cannot be combined with batch_size")
+        if self.checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every}")
+        if self.reassignment_mode not in REASSIGNMENT_MODES:
+            raise ValueError(
+                f"unknown reassignment_mode {self.reassignment_mode!r}; "
+                f"choose from {REASSIGNMENT_MODES}")
+        if not 0.0 <= self.reassignment_ratio <= 1.0:
+            raise ValueError(
+                f"reassignment_ratio must be in [0, 1], "
+                f"got {self.reassignment_ratio}")
         if self.max_iter < 1:
             raise ValueError(f"max_iter must be >= 1, got {self.max_iter}")
         if self.tol < 0:

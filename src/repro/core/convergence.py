@@ -84,20 +84,23 @@ class EwaInertiaMonitor:
         if self.patience < 1:
             raise ValueError(f"patience must be >= 1, got {self.patience}")
 
-    def update(self, batch_inertia: float, batch_size: int) -> bool:
+    def update(self, batch_inertia: float, batch_size: float) -> bool:
         """Record one batch; return True once converged.
 
         Parameters
         ----------
         batch_inertia : float
-            Sum of squared distances over the batch.
-        batch_size : int
-            Samples in the batch (normalises the inertia).
+            Sum of (weighted) squared distances over the batch.
+        batch_size : float
+            Samples in the batch — or the batch's total sample weight
+            for weighted streams, so the normalised inertia stays in
+            per-unit-weight units and convergence never depends on the
+            weight scale.
         """
         if not np.isfinite(batch_inertia):
             raise ValueError(f"non-finite inertia {batch_inertia!r}")
-        if batch_size < 1:
-            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be > 0, got {batch_size}")
         per_sample = float(batch_inertia) / batch_size
         self.history.append(per_sample)
         prev = self.ewa

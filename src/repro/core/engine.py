@@ -74,6 +74,7 @@ from repro.utils.bits import flip_bit
 __all__ = [
     "GEMM_UNIT_ROWS",
     "DEFAULT_CHUNK_BYTES",
+    "unit_rows_for_tile",
     "BlockMap",
     "FitCache",
     "EngineStats",
@@ -87,6 +88,22 @@ GEMM_UNIT_ROWS = 256
 
 #: memory budget when neither ``chunk_bytes`` nor a device is given
 DEFAULT_CHUNK_BYTES = 8 << 20
+
+
+def unit_rows_for_tile(tile: TileConfig | None) -> int:
+    """Fixed inner-GEMM row unit for a tile geometry (see module doc).
+
+    The single definition behind :attr:`FastPathEngine.unit_rows`.
+    :mod:`repro.dist` aligns shard boundaries to this unit (read off a
+    probe kernel's engine, which carries the variant's resolved tile):
+    a sharded run then issues the exact GEMM call sequence of the
+    single-worker engine, which is what keeps sharded labels/inertia
+    bit-identical for any shard count.
+    """
+    if tile is None:
+        return GEMM_UNIT_ROWS
+    tb_m = tile.tb.m
+    return tb_m * max(1, GEMM_UNIT_ROWS // tb_m)
 
 
 @dataclass(frozen=True)
@@ -228,10 +245,7 @@ class FastPathEngine:
     @property
     def unit_rows(self) -> int:
         """Fixed inner-GEMM row unit (multiple of TB_M; see module doc)."""
-        if self.tile is None:
-            return GEMM_UNIT_ROWS
-        tb_m = self.tile.tb.m
-        return tb_m * max(1, GEMM_UNIT_ROWS // tb_m)
+        return unit_rows_for_tile(self.tile)
 
     def _plan_chunks(self, m: int, n: int,
                      k: int) -> tuple[list[tuple[int, int]], int]:

@@ -46,7 +46,8 @@ class UpdateResult:
     centroids : ndarray of shape (K, N)
         The new centroids, in the stage dtype.
     counts : ndarray of shape (K,)
-        Samples assigned to each cluster (int64).
+        Samples assigned to each cluster (int64; per-cluster weight
+        totals in float64 when ``sample_weight`` was supplied).
     shift : float
         Frobenius norm of the centroid movement this iteration.
     timings : list of (str, KernelTiming)
@@ -97,16 +98,19 @@ class UpdateStage:
         self.corrupt_hook = corrupt_hook
 
     # ------------------------------------------------------------------
-    def _accumulate(self, x: np.ndarray, labels: np.ndarray,
-                    n_clusters: int) -> np.ndarray:
+    def _accumulate(self, x: np.ndarray, labels: np.ndarray, n_clusters: int,
+                    sample_weight: np.ndarray | None = None) -> np.ndarray:
         """One accumulation pass in the configured implementation."""
         if self.update_mode == "streamed":
-            return accumulate_streamed(x, labels, n_clusters)
-        return accumulate_oneshot(x, labels, n_clusters)
+            return accumulate_streamed(x, labels, n_clusters,
+                                       sample_weight=sample_weight)
+        return accumulate_oneshot(x, labels, n_clusters,
+                                  sample_weight=sample_weight)
 
     def update(self, x: np.ndarray, labels: np.ndarray, best_sqdist: np.ndarray,
                old_centroids: np.ndarray, counters: PerfCounters, *,
-               fused_sums: np.ndarray | None = None) -> UpdateResult:
+               fused_sums: np.ndarray | None = None,
+               sample_weight: np.ndarray | None = None) -> UpdateResult:
         """Compute new centroids from one assignment pass.
 
         Parameters
@@ -126,6 +130,10 @@ class UpdateStage:
             Packed sums ‖ counts already accumulated by the streaming
             engine's fused chunk loop.  Under DMR this is the first
             replica; one independent re-accumulation is the duplicate.
+        sample_weight : ndarray of shape (M,), optional
+            Per-sample weights; sums become ``Σ w_i x_i`` and counts the
+            per-cluster weight totals (``UpdateResult.counts`` is then
+            float64 instead of int64).
 
         Returns
         -------
@@ -133,11 +141,14 @@ class UpdateStage:
         """
         n_clusters, k = old_centroids.shape
         sums = self.accumulate_protected(x, labels, n_clusters, counters,
-                                         fused_sums=fused_sums)
-        counts = sums[:, k].astype(np.int64)
+                                         fused_sums=fused_sums,
+                                         sample_weight=sample_weight)
+        wcounts = sums[:, k]
+        counts = (wcounts.astype(np.int64) if sample_weight is None
+                  else wcounts.copy())
         centroids = np.array(old_centroids, dtype=self.dtype, copy=True)
-        nz = counts > 0
-        centroids[nz] = (sums[nz, :k] / counts[nz, None]).astype(self.dtype)
+        nz = wcounts > 0
+        centroids[nz] = (sums[nz, :k] / wcounts[nz, None]).astype(self.dtype)
 
         # re-seed empty clusters from the worst-fit samples
         empty = np.flatnonzero(~nz)
@@ -155,7 +166,8 @@ class UpdateStage:
     # ------------------------------------------------------------------
     def accumulate_protected(self, x: np.ndarray, labels: np.ndarray,
                              n_clusters: int, counters: PerfCounters, *,
-                             fused_sums: np.ndarray | None = None
+                             fused_sums: np.ndarray | None = None,
+                             sample_weight: np.ndarray | None = None
                              ) -> np.ndarray:
         """DMR-wrapped sum/count accumulation (packed ``(K, N+1)``).
 
@@ -172,18 +184,19 @@ class UpdateStage:
         n_clusters : int
         counters : PerfCounters
         fused_sums : ndarray of shape (K, N+1), optional
+        sample_weight : ndarray of shape (M,), optional
 
         Returns
         -------
         ndarray of shape (K, N+1)
-            Per-cluster feature sums with counts in the last column,
-            float64.
+            Per-cluster feature sums with counts (or weight totals) in
+            the last column, float64.
         """
         m, k = x.shape
 
         def accumulate() -> np.ndarray:
             """The duplicated instruction stream: sums ‖ counts packed."""
-            return self._accumulate(x, labels, n_clusters)
+            return self._accumulate(x, labels, n_clusters, sample_weight)
 
         counters.atomics += m * (k + 1)
         counters.global_loads += x.nbytes

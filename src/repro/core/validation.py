@@ -6,7 +6,7 @@ import numpy as np
 
 from repro.utils.arrays import check_2d
 
-__all__ = ["validate_data", "validate_centroids"]
+__all__ = ["validate_data", "validate_centroids", "validate_weights"]
 
 
 def validate_data(x, dtype) -> np.ndarray:
@@ -16,6 +16,25 @@ def validate_data(x, dtype) -> np.ndarray:
     if not np.all(np.isfinite(x)):
         raise ValueError("X contains NaN or Inf")
     return x
+
+
+def validate_weights(sample_weight, n_samples: int) -> np.ndarray | None:
+    """Validate per-sample weights: finite, non-negative, shape (M,).
+
+    Returns a C-contiguous float64 vector, or None when no weights were
+    given (the unweighted fast paths stay untouched).
+    """
+    if sample_weight is None:
+        return None
+    w = np.ascontiguousarray(np.asarray(sample_weight), dtype=np.float64)
+    if w.ndim != 1 or w.shape[0] != n_samples:
+        raise ValueError(
+            f"sample_weight shape {np.shape(sample_weight)} != ({n_samples},)")
+    if not np.all(np.isfinite(w)):
+        raise ValueError("sample_weight contains NaN or Inf")
+    if np.any(w < 0):
+        raise ValueError("sample_weight contains negative weights")
+    return w
 
 
 def validate_centroids(y, n_clusters: int, n_features: int, dtype) -> np.ndarray:

@@ -1,0 +1,60 @@
+"""repro.dist — sharded multi-worker execution with fault tolerance.
+
+The distribution layer of the reproduction: a full-batch fit sharded
+across N simulated devices/processes, surviving whole-worker loss —
+the failure class orthogonal to the paper's in-device SEUs.
+
+* :class:`ShardPlan` — GEMM-unit-aligned sample shards (bit-stable);
+* :class:`ShardWorker` — one shard's fused assignment per round;
+* executors — ``serial`` / ``thread`` / ``process`` backends behind one
+  round protocol (:func:`make_executor`);
+* :class:`Coordinator` — map-reduce Lloyd with a sequential-continuation
+  merge (bit-identical to single-worker for any shard count), an ABFT
+  checksum over the merged partials, and checkpoint/restart recovery;
+* :class:`CheckpointStore` — atomic in-memory or on-disk snapshots;
+* :class:`WorkerFaultInjector` — crash / stall / corrupt-partial
+  injection for the recovery tests and benchmarks.
+
+Usually reached through the estimator::
+
+    FTKMeans(n_clusters=64, n_workers=4, executor="thread",
+             checkpoint_every=5).fit(x)
+
+but every piece is public for direct composition.  The contract lives
+in ``docs/distributed.md``.
+"""
+
+from repro.dist.checkpoint import CheckpointStore
+from repro.dist.coordinator import Coordinator, DistFitResult
+from repro.dist.executors import (
+    BaseExecutor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
+from repro.dist.faults import (
+    WorkerCrash,
+    WorkerFaultInjector,
+    WorkerFaultPlan,
+)
+from repro.dist.plan import Shard, ShardPlan
+from repro.dist.worker import RoundResult, ShardWorker
+
+__all__ = [
+    "ShardPlan",
+    "Shard",
+    "ShardWorker",
+    "RoundResult",
+    "BaseExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
+    "Coordinator",
+    "DistFitResult",
+    "CheckpointStore",
+    "WorkerCrash",
+    "WorkerFaultPlan",
+    "WorkerFaultInjector",
+]

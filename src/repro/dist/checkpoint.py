@@ -1,0 +1,95 @@
+"""Checkpoint/restart state store for the sharded coordinator.
+
+Snapshots are pickled blobs of the coordinator's whole per-iteration
+state — centroids, iteration index, convergence monitor, simulated
+clock, counters — taken every ``checkpoint_every`` iterations.  After a
+worker loss the coordinator restores the newest snapshot and replays
+from there; because the Lloyd step is deterministic given ``(x, y)``
+(and the worker SEU streams are keyed by iteration, not history), the
+replayed trajectory is bit-identical to an uninterrupted run.
+
+Two storage modes behind one API:
+
+* **in-memory** (default): snapshots live as pickled bytes inside the
+  store object.  Pickling is kept even here so a restore always yields
+  fresh objects — the live fit state can never alias a snapshot.
+* **directory-backed** (``directory=...``): snapshots persist as
+  ``ckpt_<iteration>.pkl`` files written atomically (tmp + ``os.replace``)
+  so a crash mid-write never corrupts the newest restorable state.
+  Only the ``keep`` newest files are retained.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+
+__all__ = ["CheckpointStore"]
+
+
+class CheckpointStore:
+    """Iteration-keyed snapshot store (in-memory or directory-backed)."""
+
+    def __init__(self, directory: str | os.PathLike | None = None, *,
+                 keep: int = 2):
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.keep = int(keep)
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._mem: dict[int, bytes] = {}
+
+    # ------------------------------------------------------------------
+    def _path(self, iteration: int) -> Path:
+        return self.directory / f"ckpt_{iteration:08d}.pkl"
+
+    def save(self, iteration: int, state: dict) -> None:
+        """Snapshot ``state`` under ``iteration`` (atomic on disk)."""
+        if iteration < 0:
+            raise ValueError(f"iteration must be >= 0, got {iteration}")
+        blob = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        if self.directory is None:
+            self._mem[iteration] = blob
+            for it in sorted(self._mem)[:-self.keep]:
+                del self._mem[it]
+            return
+        tmp = self._path(iteration).with_suffix(".tmp")
+        tmp.write_bytes(blob)
+        os.replace(tmp, self._path(iteration))
+        for it in self.iterations[:-self.keep]:
+            self._path(it).unlink(missing_ok=True)
+
+    @property
+    def iterations(self) -> list[int]:
+        """Checkpointed iterations, oldest first."""
+        if self.directory is None:
+            return sorted(self._mem)
+        its = []
+        for p in self.directory.glob("ckpt_*.pkl"):
+            try:
+                its.append(int(p.stem.split("_", 1)[1]))
+            except (IndexError, ValueError):
+                continue
+        return sorted(its)
+
+    def load_latest(self) -> tuple[int, dict] | None:
+        """Newest ``(iteration, state)`` snapshot, or None when empty.
+
+        The returned state is freshly unpickled — mutating it never
+        touches the stored snapshot.
+        """
+        its = self.iterations
+        if not its:
+            return None
+        it = its[-1]
+        blob = (self._mem[it] if self.directory is None
+                else self._path(it).read_bytes())
+        return it, pickle.loads(blob)
+
+    def clear(self) -> None:
+        self._mem.clear()
+        if self.directory is not None:
+            for it in self.iterations:
+                self._path(it).unlink(missing_ok=True)

@@ -1,0 +1,371 @@
+"""The reduce half: map-reduce Lloyd iterations over shard workers.
+
+:class:`Coordinator` owns the distributed fit.  Per iteration it
+
+1. broadcasts the centroids to every worker (one ``run_round`` through
+   the configured executor, with any fault directives for the round);
+2. gathers per-shard labels / min distances / fused partial sums, in
+   worker order;
+3. **merges with sequential-continuation semantics**: the shard feeds
+   replay through one :class:`StreamedAccumulator` in shard order, so
+   the merged sums carry exactly the bits a single-worker fused pass
+   over the full sample matrix would have produced — the association
+   never depends on the shard count or executor;
+4. runs an **ABFT checksum test** over the workers' own partials: the
+   worker-order sum of the per-shard partials must match the merged
+   sums within a float64 re-association threshold.  A corrupted partial
+   (injected bit flip, or a worker computing garbage) trips the test;
+   the offender is localized by an exact per-shard recompute and the
+   event is counted/traced.  The authoritative merged sums are computed
+   coordinator-side, so a detected corruption never pollutes the fit —
+   detection + containment, the paper's ABFT philosophy one level up;
+5. applies the same :class:`UpdateStage` / convergence step the
+   single-device estimator runs (DMR included), so sharded fits are
+   bit-identical to ``FTKMeans.fit`` with ``n_workers=1``.
+
+**Checkpoint/restart.**  Every ``checkpoint_every`` iterations the
+coordinator snapshots ``(iteration, centroids, convergence monitor,
+simulated clock, counters)`` into a :class:`CheckpointStore`.  When a
+worker dies — a :class:`WorkerCrash` from the executor, whether injected
+in-process or a real child-process death — the coordinator restores the
+newest snapshot, restarts the executor (all workers rebuild from the
+factory) and replays.  The Lloyd step is deterministic given ``(x, y)``
+and worker SEU streams are keyed by ``(seed, worker, iteration)``, so
+the replayed trajectory — and the final centroids — are bit-identical
+to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field, replace
+from functools import partial
+
+import numpy as np
+
+from repro.core.accumulate import StreamedAccumulator
+from repro.core.config import KMeansConfig
+from repro.core.convergence import ConvergenceMonitor
+from repro.core.update import UpdateStage
+from repro.core.variants import _resolve_tile, build_assignment
+from repro.dist.checkpoint import CheckpointStore
+from repro.dist.executors import BaseExecutor, make_executor
+from repro.dist.faults import WorkerCrash, WorkerFaultInjector
+from repro.dist.plan import ShardPlan
+from repro.dist.worker import RoundResult, build_worker
+from repro.gpusim.clock import SimClock
+from repro.gpusim.counters import PerfCounters
+
+__all__ = ["Coordinator", "DistFitResult", "PARTIAL_CHECK_RTOL"]
+
+#: relative threshold of the merged-partials checksum test.  Clean runs
+#: differ from the sequential merge only by float64 re-association
+#: (~1e-12 relative at 1e6 samples); flips in high mantissa / exponent
+#: bits land far above this.  Low-order mantissa flips escape — the same
+#: sub-threshold philosophy as the SEU detection thresholds.
+PARTIAL_CHECK_RTOL = 1e-8
+
+
+@dataclass
+class DistFitResult:
+    """Everything a sharded fit produced (owned arrays throughout)."""
+
+    centroids: np.ndarray
+    labels: np.ndarray
+    best: np.ndarray
+    counts: np.ndarray
+    inertia: float
+    inertia_history: list[float]
+    n_iter: int
+    converged: bool
+    counters: PerfCounters
+    clock: SimClock
+    recoveries: int
+    trace: list[dict] = field(default_factory=list)
+    plan: ShardPlan | None = None
+    executor: str = "serial"
+
+
+class Coordinator:
+    """Sharded map-reduce Lloyd driver with checkpoint/restart.
+
+    Parameters
+    ----------
+    cfg : KMeansConfig
+        The fit configuration (``mode='fast'``; ``cfg.n_workers`` sets
+        the requested shard count unless an explicit ``plan`` is given).
+    executor : str or BaseExecutor, optional
+        Backend name ('serial' / 'thread' / 'process') or a prebuilt
+        executor; defaults to ``cfg.executor``.
+    plan : ShardPlan, optional
+        Explicit shard plan (tests); defaults to a unit-aligned balanced
+        plan over ``cfg.n_workers``.
+    checkpoint : CheckpointStore, optional
+        Snapshot store; defaults to a fresh in-memory store.
+    checkpoint_every : int, optional
+        Snapshot period in iterations; defaults to ``cfg.checkpoint_every``
+        (0 = only the implicit initial state, i.e. recovery restarts the
+        fit from iteration 0).
+    worker_faults : WorkerFaultInjector, optional
+        Worker-level fault source for the rounds.
+    max_recoveries : int
+        Crash-recovery budget; one more crash raises the
+        :class:`WorkerCrash` to the caller.
+    partial_tol : float
+        Relative threshold of the merged-partials checksum test.
+    """
+
+    def __init__(self, cfg: KMeansConfig, *,
+                 executor: str | BaseExecutor | None = None,
+                 plan: ShardPlan | None = None,
+                 checkpoint: CheckpointStore | None = None,
+                 checkpoint_every: int | None = None,
+                 worker_faults: WorkerFaultInjector | None = None,
+                 max_recoveries: int = 8,
+                 partial_tol: float = PARTIAL_CHECK_RTOL):
+        if cfg.mode != "fast":
+            raise ValueError("sharded execution requires mode='fast'")
+        self.cfg = cfg
+        executor = executor if executor is not None else cfg.executor
+        self.executor = (executor if isinstance(executor, BaseExecutor)
+                         else make_executor(executor))
+        self.plan = plan
+        self.store = checkpoint if checkpoint is not None else CheckpointStore()
+        self.checkpoint_every = (cfg.checkpoint_every
+                                 if checkpoint_every is None
+                                 else int(checkpoint_every))
+        self.faults = worker_faults
+        self.max_recoveries = int(max_recoveries)
+        self.partial_tol = float(partial_tol)
+
+    # ------------------------------------------------------------------
+    def _worker_cfg(self, m: int, k: int) -> KMeansConfig:
+        """The per-worker config: tile='auto' resolved at the *full*
+        problem shape, so every shard runs the same kernel geometry."""
+        cfg = self.cfg
+        if cfg.tile == "auto":
+            return replace(cfg, tile=_resolve_tile(cfg, m, k))
+        return cfg
+
+    @staticmethod
+    def _snapshot(iteration: int, y, monitor, clock, counters) -> dict:
+        return {"iteration": iteration, "y": y.copy(), "monitor": monitor,
+                "clock": clock, "counters": counters}
+
+    # ------------------------------------------------------------------
+    def fit(self, x: np.ndarray, y0: np.ndarray, *,
+            sample_weight: np.ndarray | None = None) -> DistFitResult:
+        """Run the sharded Lloyd loop to convergence (or ``max_iter``).
+
+        ``x`` and ``y0`` must already be validated in the kernel dtype
+        (the estimator does this); ``sample_weight`` is float64 per
+        sample or None.
+        """
+        cfg = self.cfg
+        m, k = x.shape
+        n_clusters = cfg.n_clusters
+        worker_cfg = self._worker_cfg(m, k)
+        # one probe kernel pins the engine's GEMM row unit for this
+        # geometry; shard boundaries align to it (the bit-identity key).
+        # A bare unit_rows_for_tile(worker_cfg.tile) is not enough:
+        # variant constructors substitute dtype/scheme-specific default
+        # tiles when cfg.tile is None, and the unit must match the tile
+        # the workers' engines will actually run.
+        probe = build_assignment(worker_cfg, m, k, np.random.default_rng(0))
+        plan = self.plan or ShardPlan.build(m, cfg.n_workers,
+                                            probe.engine.unit_rows)
+        base_seed = cfg.seed if cfg.seed is not None else 0
+
+        # functools.partial of a module-level function: picklable, so
+        # the process executor can ship it under any start method
+        factory = partial(build_worker, x=x, plan=plan, cfg=worker_cfg,
+                          n_clusters=n_clusters, sample_weight=sample_weight,
+                          base_seed=base_seed)
+
+        updater = UpdateStage(cfg.device, cfg.dtype, dmr=cfg.dmr_update,
+                              update_mode=cfg.resolved_update_mode())
+        merge_acc = StreamedAccumulator(n_clusters, k)
+        merge_acc.bind_weights(sample_weight)
+        labels = np.empty(m, dtype=np.int64)
+        best = np.empty(m, dtype=cfg.dtype)
+
+        y = y0.astype(cfg.dtype) if y0.dtype != cfg.dtype else y0.copy()
+        monitor = ConvergenceMonitor(cfg.tol)
+        clock = SimClock()
+        counters = PerfCounters()
+        trace: list[dict] = []
+        recoveries = 0
+        converged = False
+        upd = None
+        # coordinator-level fault events are one-shot: a checkpoint
+        # restore must not erase them (the replayed rounds run clean),
+        # so they tally outside the snapshots and apply to the final
+        # counters once the loop ends
+        faults_seen = {"stalls": 0, "injected": 0, "detected": 0,
+                       "corrected": 0}
+        # the implicit iteration-0 snapshot: recovery's floor when no
+        # periodic checkpoint exists yet
+        initial_blob = pickle.dumps(
+            self._snapshot(0, y, monitor, clock, counters),
+            protocol=pickle.HIGHEST_PROTOCOL)
+        # a reused store (e.g. a checkpoint_dir shared across fits) must
+        # not leak a previous fit's snapshots into this one's recovery
+        self.store.clear()
+        if self.checkpoint_every:
+            self.store.save(0, self._snapshot(0, y, monitor, clock, counters))
+
+        self.executor.start(factory, plan.worker_ids)
+        n_iter = 0
+        try:
+            it = 1
+            while it <= cfg.max_iter:
+                directives = (self.faults.directives_for_round(
+                    it, plan.worker_ids) if self.faults is not None else {})
+                try:
+                    results = self.executor.run_round(y, it, directives)
+                except WorkerCrash as crash:
+                    recoveries += 1
+                    trace.append({"kind": "crash", "worker": crash.worker_id,
+                                  "iteration": it, "reason": crash.reason})
+                    if recoveries > self.max_recoveries:
+                        raise
+                    loaded = self.store.load_latest()
+                    if loaded is None:
+                        loaded = (0, pickle.loads(initial_blob))
+                    restored_it, state = loaded
+                    y = state["y"]
+                    monitor = state["monitor"]
+                    clock = state["clock"]
+                    counters = state["counters"]
+                    trace.append({"kind": "restore",
+                                  "iteration": restored_it})
+                    self.executor.restart()
+                    it = restored_it + 1
+                    continue
+
+                # -- gather (worker order == sample order) -------------
+                for res, shard in zip(results, plan.shards):
+                    labels[shard.lo:shard.hi] = res.labels
+                    best[shard.lo:shard.hi] = res.best
+                    counters.merge(res.counters)
+                self._charge_round(clock, results)
+                self._count_directives(faults_seen, trace, directives, it)
+
+                # -- sequential-continuation merge (bit-exact) ---------
+                merge_acc.reset()
+                for shard in plan.shards:
+                    merge_acc.feed(x[shard.slice], labels[shard.slice])
+                merged = merge_acc.packed()
+                counters.checksum_tests += 1
+                self._check_partials(merged, results, plan, x, labels,
+                                     sample_weight, faults_seen, trace, it)
+
+                # -- the exact single-device update + convergence ------
+                upd = updater.update(x, labels, best, y, counters,
+                                     fused_sums=merged,
+                                     sample_weight=sample_weight)
+                for label, t in upd.timings:
+                    clock.charge(label, t)
+                y = upd.centroids
+                best64 = best.astype(np.float64)
+                inertia = float(np.sum(best64 * sample_weight)
+                                if sample_weight is not None
+                                else np.sum(best64))
+                n_iter = it
+                converged = monitor.update(inertia, upd.shift)
+                if self.checkpoint_every and it % self.checkpoint_every == 0:
+                    self.store.save(it, self._snapshot(it, y, monitor, clock,
+                                                       counters))
+                if converged:
+                    break
+                it += 1
+        finally:
+            self.executor.shutdown()
+
+        # fold the restore-proof tallies into the final counter totals
+        counters.worker_crashes = recoveries
+        counters.checkpoint_restores = recoveries
+        counters.worker_stalls += faults_seen["stalls"]
+        counters.errors_injected += faults_seen["injected"]
+        counters.errors_detected += faults_seen["detected"]
+        counters.errors_corrected += faults_seen["corrected"]
+        return DistFitResult(
+            centroids=y, labels=labels, best=best,
+            counts=(upd.counts.copy() if upd is not None
+                    else np.zeros(n_clusters, dtype=np.int64)),
+            inertia=monitor.history[-1] if monitor.history else float("nan"),
+            inertia_history=list(monitor.history), n_iter=n_iter,
+            converged=converged, counters=counters, clock=clock,
+            recoveries=recoveries, trace=trace, plan=plan,
+            executor=getattr(self.executor, "name", "custom"))
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _charge_round(clock: SimClock, results: list[RoundResult]) -> None:
+        """Charge the slowest worker's modelled kernel times: shards run
+        concurrently on independent devices, so the round's simulated
+        duration is the makespan, not the sum."""
+        slow = max(results, key=lambda r: r.sim_time_s)
+        for label, t in slow.timings:
+            clock.charge(label, t)
+
+    @staticmethod
+    def _count_directives(faults_seen: dict, trace: list[dict],
+                          directives: dict[int, dict], it: int) -> None:
+        """Tally the injected faults of a *completed* round.
+
+        Tallies go to the restore-proof ``faults_seen`` dict, not the
+        (checkpoint-snapshotted) counters: the directives are one-shot,
+        so a replayed round runs clean and could never re-count them.
+        """
+        for wid, d in directives.items():
+            if "corrupt" in d:
+                faults_seen["injected"] += 1
+                trace.append({"kind": "corrupt_partial", "worker": wid,
+                              "iteration": it})
+            if d.get("stall_s"):
+                faults_seen["stalls"] += 1
+                trace.append({"kind": "stall", "worker": wid,
+                              "iteration": it,
+                              "stall_s": d["stall_s"]})
+
+    def _check_partials(self, merged: np.ndarray,
+                        results: list[RoundResult], plan: ShardPlan,
+                        x: np.ndarray, labels: np.ndarray,
+                        sample_weight: np.ndarray | None,
+                        faults_seen: dict, trace: list[dict],
+                        it: int) -> None:
+        """ABFT checksum over the merged partials.
+
+        The worker-order sum of per-shard partials must agree with the
+        sequential-continuation merge up to float64 re-association.  On
+        alarm, each worker's partial is recomputed shard-locally (bit
+        -exactly, thanks to the continuation design) to localize the
+        corrupt worker; the merged sums are already authoritative, so
+        the event counts as detected *and* corrected.  Detection events
+        tally into the restore-proof ``faults_seen`` (one-shot faults
+        never replay, so a checkpoint restore must not erase them).
+        """
+        total = np.zeros_like(merged)
+        for res in results:
+            total += res.partial
+        scale = np.maximum(1.0, np.maximum(np.abs(total), np.abs(merged)))
+        if not (np.abs(total - merged) > self.partial_tol * scale).any():
+            return
+        faults_seen["detected"] += 1
+        located = False
+        for res, shard in zip(results, plan.shards):
+            ref = StreamedAccumulator(merged.shape[0], x.shape[1])
+            if sample_weight is not None:
+                ref.bind_weights(sample_weight[shard.slice])
+            ref.feed(x[shard.slice], labels[shard.slice])
+            bad = ref.packed() != res.partial
+            if bad.any():
+                located = True
+                faults_seen["corrected"] += 1
+                trace.append({"kind": "corrupt_partial_detected",
+                              "worker": res.worker_id, "iteration": it,
+                              "cells": int(bad.sum())})
+        if not located:  # pragma: no cover - defensive
+            trace.append({"kind": "partial_mismatch_unlocated",
+                          "iteration": it})

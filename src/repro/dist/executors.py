@@ -1,0 +1,237 @@
+"""Executor backends: how shard workers actually run.
+
+Three interchangeable backends drive the same :class:`ShardWorker`
+round protocol:
+
+* :class:`SerialExecutor` — an in-process loop.  Zero concurrency, zero
+  overhead; the correctness/debug baseline every other backend must
+  match bit-for-bit.
+* :class:`ThreadExecutor` — one thread per worker.  BLAS releases the
+  GIL inside each worker's GEMMs, so shard assignment genuinely
+  overlaps on multicore hosts (the same reasoning as the engine's
+  chunk threads, one level up).
+* :class:`ProcessExecutor` — one OS process per worker, talking over
+  pipes.  The only backend where a worker can *really die*: an injected
+  crash hard-exits the child, the coordinator observes the broken pipe
+  and runs checkpoint recovery exactly as it would for a real worker
+  loss.
+
+All three return round results **in worker order**, so the coordinator's
+merge order — and therefore every accumulated bit — is
+executor-independent.  A crashed worker surfaces as
+:class:`~repro.dist.faults.WorkerCrash` from :meth:`run_round`;
+``restart()`` rebuilds the full worker set from the factory the
+coordinator registered with :meth:`start`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from abc import ABC, abstractmethod
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.dist.faults import WorkerCrash
+from repro.dist.worker import RoundResult, ShardWorker
+
+__all__ = ["BaseExecutor", "SerialExecutor", "ThreadExecutor",
+           "ProcessExecutor", "make_executor"]
+
+
+class BaseExecutor(ABC):
+    """Round-based execution of a fixed worker set."""
+
+    def __init__(self) -> None:
+        self._factory = None
+        self._worker_ids: tuple[int, ...] = ()
+
+    def start(self, factory, worker_ids) -> None:
+        """Build one worker per id via ``factory(worker_id)``."""
+        self._factory = factory
+        self._worker_ids = tuple(worker_ids)
+        self._spawn()
+
+    def restart(self) -> None:
+        """Tear down every worker and rebuild from the factory (crash
+        recovery; surviving workers restart too so the whole round
+        replays from a clean slate)."""
+        self._teardown()
+        self._spawn()
+
+    def shutdown(self) -> None:
+        self._teardown()
+
+    @abstractmethod
+    def _spawn(self) -> None: ...
+
+    @abstractmethod
+    def _teardown(self) -> None: ...
+
+    @abstractmethod
+    def run_round(self, y, iteration: int,
+                  directives: dict[int, dict]) -> list[RoundResult]:
+        """One Lloyd round on every worker; results in worker order.
+
+        Raises :class:`WorkerCrash` when any worker dies (injected or
+        real); the surviving results of that round are discarded by the
+        coordinator's recovery path.
+        """
+
+
+class SerialExecutor(BaseExecutor):
+    """In-process sequential backend (the bit-reference)."""
+
+    name = "serial"
+
+    def _spawn(self) -> None:
+        self._workers: dict[int, ShardWorker] = {
+            wid: self._factory(wid) for wid in self._worker_ids}
+
+    def _teardown(self) -> None:
+        for w in getattr(self, "_workers", {}).values():
+            w.close()
+        self._workers = {}
+
+    def run_round(self, y, iteration, directives) -> list[RoundResult]:
+        return [self._workers[wid].run_round(y, iteration,
+                                             directives.get(wid))
+                for wid in self._worker_ids]
+
+
+class ThreadExecutor(BaseExecutor):
+    """One thread per worker; rounds join before returning."""
+
+    name = "thread"
+
+    def _spawn(self) -> None:
+        self._workers = {wid: self._factory(wid) for wid in self._worker_ids}
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, len(self._worker_ids)))
+
+    def _teardown(self) -> None:
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            pool.shutdown(wait=True)
+            self._pool = None
+        for w in getattr(self, "_workers", {}).values():
+            w.close()
+        self._workers = {}
+
+    def run_round(self, y, iteration, directives) -> list[RoundResult]:
+        futures = [
+            self._pool.submit(self._workers[wid].run_round, y, iteration,
+                              directives.get(wid))
+            for wid in self._worker_ids]
+        results, crash = [], None
+        # drain every future before raising: no worker may still be
+        # writing when the coordinator starts recovery
+        for fut in futures:
+            try:
+                results.append(fut.result())
+            except WorkerCrash as exc:
+                crash = crash or exc
+        if crash is not None:
+            raise crash
+        return results
+
+
+def _child_main(conn, factory, worker_id: int) -> None:
+    """Process-executor child loop: build the worker, answer rounds.
+
+    An injected crash hard-exits the process (no exception channel, no
+    cleanup) so the parent sees exactly what a real worker death looks
+    like: a broken pipe.
+    """
+    worker = factory(worker_id)
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except EOFError:
+                break
+            if msg is None:
+                break
+            y, iteration, directive = msg
+            try:
+                result = worker.run_round(y, iteration, directive)
+            except WorkerCrash:
+                os._exit(17)
+            conn.send(result)
+    finally:
+        worker.close()
+        conn.close()
+
+
+class ProcessExecutor(BaseExecutor):
+    """One OS process per worker (pipes; fork start method by default).
+
+    The worker factory must be picklable under the 'spawn' method
+    (:func:`repro.dist.worker.build_worker` partials are); under 'fork'
+    it is inherited.
+    """
+
+    name = "process"
+
+    def __init__(self, start_method: str | None = None):
+        super().__init__()
+        if start_method is None:
+            methods = mp.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self._ctx = mp.get_context(start_method)
+
+    def _spawn(self) -> None:
+        self._procs: dict[int, mp.Process] = {}
+        self._conns: dict[int, object] = {}
+        for wid in self._worker_ids:
+            parent, child = self._ctx.Pipe()
+            proc = self._ctx.Process(target=_child_main,
+                                     args=(child, self._factory, wid),
+                                     daemon=True)
+            proc.start()
+            child.close()
+            self._procs[wid] = proc
+            self._conns[wid] = parent
+
+    def _teardown(self) -> None:
+        for wid, conn in getattr(self, "_conns", {}).items():
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+            conn.close()
+        for proc in getattr(self, "_procs", {}).values():
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        self._procs = {}
+        self._conns = {}
+
+    def run_round(self, y, iteration, directives) -> list[RoundResult]:
+        for wid in self._worker_ids:
+            try:
+                self._conns[wid].send((y, iteration, directives.get(wid)))
+            except (BrokenPipeError, OSError):
+                raise WorkerCrash(wid, iteration, reason="send failed")
+        results, crash = [], None
+        for wid in self._worker_ids:
+            try:
+                results.append(self._conns[wid].recv())
+            except (EOFError, OSError):
+                # the child is gone: a real (or injected-hard-exit) death
+                crash = crash or WorkerCrash(wid, iteration,
+                                             reason="worker process died")
+        if crash is not None:
+            raise crash
+        return results
+
+
+def make_executor(name: str) -> BaseExecutor:
+    """Build an executor backend by config name."""
+    try:
+        cls = {"serial": SerialExecutor, "thread": ThreadExecutor,
+               "process": ProcessExecutor}[name]
+    except KeyError:
+        raise ValueError(f"unknown executor {name!r}; choose from "
+                         f"('serial', 'thread', 'process')")
+    return cls()

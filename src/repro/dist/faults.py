@@ -1,0 +1,219 @@
+"""Worker-level fault injection: crash, stall, corrupt-partial.
+
+The paper's ABFT/DMR protects against *silent* SEUs inside a device;
+this module models the orthogonal failure class of a distributed fit —
+a whole worker misbehaving — and extends the taxonomy of
+:mod:`repro.gpusim.faults` up one level:
+
+========================  ==========================================
+kind                      models
+========================  ==========================================
+``crash``                 the worker process dies mid-round (the
+                          process executor really ``_exit``\\ s; the
+                          in-process executors raise
+                          :class:`WorkerCrash`)
+``stall``                 a straggler: the worker sleeps before
+                          answering its round
+``corrupt_partial``       the worker's returned partial sums carry a
+                          single flipped bit — located through the
+                          same :class:`~repro.gpusim.faults.FaultPlan`
+                          fractional geometry the SEU injector uses,
+                          and caught by the coordinator's checksum
+                          test over the merged partials
+========================  ==========================================
+
+Faults can be scheduled explicitly (tests, benchmarks:
+:meth:`WorkerFaultInjector.crash_at` et al.) or drawn randomly per
+(worker, iteration).  Either way every fault fires **at most once**:
+after a crash the coordinator replays iterations from the last
+checkpoint, and a re-firing fault would pin the fit in a crash loop.
+Random draws are cached per (iteration, worker) so a replayed iteration
+neither re-fires nor re-rolls its dice — recovery stays deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpusim.faults import FaultPlan
+
+__all__ = ["CRASH", "STALL", "CORRUPT_PARTIAL", "WORKER_FAULT_KINDS",
+           "WorkerCrash", "WorkerFaultPlan", "WorkerFaultInjector"]
+
+CRASH = "crash"
+STALL = "stall"
+CORRUPT_PARTIAL = "corrupt_partial"
+WORKER_FAULT_KINDS = (CRASH, STALL, CORRUPT_PARTIAL)
+
+
+class WorkerCrash(RuntimeError):
+    """A worker died (injected or real) during a round.
+
+    The coordinator catches this, restores the last checkpoint and
+    restarts the executor; it propagates only when recovery is
+    exhausted (``max_recoveries``).
+    """
+
+    def __init__(self, worker_id: int, iteration: int,
+                 reason: str = "injected"):
+        super().__init__(
+            f"worker {worker_id} crashed at iteration {iteration} ({reason})")
+        self.worker_id = worker_id
+        self.iteration = iteration
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class WorkerFaultPlan:
+    """One scheduled worker-level fault.
+
+    ``seu`` reuses the SEU taxonomy's :class:`FaultPlan` to locate the
+    corrupt-partial flip inside the worker's packed ``(K, N+1)`` sums
+    (fractional coordinates, so one plan applies to any shape); it is
+    None for crash/stall plans.
+    """
+
+    kind: str
+    worker_id: int
+    iteration: int
+    seu: FaultPlan | None = None
+    stall_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in WORKER_FAULT_KINDS:
+            raise ValueError(f"unknown worker fault kind {self.kind!r}; "
+                             f"choose from {WORKER_FAULT_KINDS}")
+        if self.kind == CORRUPT_PARTIAL and self.seu is None:
+            raise ValueError("corrupt_partial plans need an seu FaultPlan")
+
+
+class WorkerFaultInjector:
+    """Plans worker-level faults for the coordinator's rounds.
+
+    Parameters
+    ----------
+    plans : iterable of WorkerFaultPlan
+        Explicitly scheduled faults (each fires once).
+    rng : np.random.Generator or seed, optional
+        Randomness source for the probabilistic mode.
+    p_crash, p_stall, p_corrupt : float
+        Per-(worker, iteration) probabilities of drawing each fault
+        kind (evaluated in that order; at most one fires per cell).
+    stall_s : float
+        Sleep duration of drawn stalls.
+    corrupt_bit : int
+        Bit index flipped by drawn corrupt-partial faults (defaults to
+        a high-exponent bit so the checksum test sees it; low mantissa
+        bits escape the threshold exactly like sub-threshold SEUs).
+    max_faults : int, optional
+        Global cap across all kinds (None = unlimited).
+    """
+
+    def __init__(self, plans=(), *, rng=None, p_crash: float = 0.0,
+                 p_stall: float = 0.0, p_corrupt: float = 0.0,
+                 stall_s: float = 0.005, corrupt_bit: int = 55,
+                 max_faults: int | None = None):
+        for name, p in (("p_crash", p_crash), ("p_stall", p_stall),
+                        ("p_corrupt", p_corrupt)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        self.plans: list[WorkerFaultPlan] = list(plans)
+        self.rng = np.random.default_rng(rng)
+        self.p_crash = float(p_crash)
+        self.p_stall = float(p_stall)
+        self.p_corrupt = float(p_corrupt)
+        self.stall_s = float(stall_s)
+        self.corrupt_bit = int(corrupt_bit)
+        self.max_faults = max_faults
+        self.fired: list[WorkerFaultPlan] = []
+        self._fired_scheduled: set[int] = set()       # indices into plans
+        self._drawn: dict[tuple[int, int], WorkerFaultPlan | None] = {}
+        self._drawn_fired: set[tuple[int, int]] = set()
+
+    # -- convenience constructors --------------------------------------
+    @classmethod
+    def crash_at(cls, worker_id: int, iteration: int) -> "WorkerFaultInjector":
+        return cls([WorkerFaultPlan(CRASH, worker_id, iteration)])
+
+    @classmethod
+    def stall_at(cls, worker_id: int, iteration: int,
+                 stall_s: float = 0.005) -> "WorkerFaultInjector":
+        return cls([WorkerFaultPlan(STALL, worker_id, iteration,
+                                    stall_s=stall_s)])
+
+    @classmethod
+    def corrupt_at(cls, worker_id: int, iteration: int, *, bit: int = 55,
+                   row_frac: float = 0.5,
+                   col_frac: float = 0.5) -> "WorkerFaultInjector":
+        seu = FaultPlan(step=0, row_frac=row_frac, col_frac=col_frac, bit=bit)
+        return cls([WorkerFaultPlan(CORRUPT_PARTIAL, worker_id, iteration,
+                                    seu=seu)])
+
+    # ------------------------------------------------------------------
+    @property
+    def _budget_left(self) -> bool:
+        return self.max_faults is None or len(self.fired) < self.max_faults
+
+    def _draw(self, iteration: int, worker_id: int) -> WorkerFaultPlan | None:
+        """Roll the probabilistic fault for one (iteration, worker) cell,
+        at most once ever (replayed iterations reuse the cached draw)."""
+        key = (iteration, worker_id)
+        if key in self._drawn:
+            return self._drawn[key]
+        plan = None
+        if self.p_crash and self.rng.random() < self.p_crash:
+            plan = WorkerFaultPlan(CRASH, worker_id, iteration)
+        elif self.p_stall and self.rng.random() < self.p_stall:
+            plan = WorkerFaultPlan(STALL, worker_id, iteration,
+                                   stall_s=self.stall_s)
+        elif self.p_corrupt and self.rng.random() < self.p_corrupt:
+            seu = FaultPlan(step=0, row_frac=float(self.rng.random()),
+                            col_frac=float(self.rng.random()),
+                            bit=self.corrupt_bit)
+            plan = WorkerFaultPlan(CORRUPT_PARTIAL, worker_id, iteration,
+                                   seu=seu)
+        self._drawn[key] = plan
+        return plan
+
+    def directives_for_round(self, iteration: int,
+                             worker_ids) -> dict[int, dict]:
+        """Per-worker fault directives for one round (one-shot each).
+
+        Returns a dict ``worker_id -> directive`` where a directive is
+        ``{"crash": True}``, ``{"stall_s": s}`` or ``{"corrupt":
+        FaultPlan}``; workers absent from the dict run clean.  Every
+        plan returned here is marked fired and will never be returned
+        again — including when the iteration replays after recovery.
+        """
+        directives: dict[int, dict] = {}
+        for wid in worker_ids:
+            if not self._budget_left:
+                break
+            plan = None
+            for idx, cand in enumerate(self.plans):
+                if (idx not in self._fired_scheduled
+                        and cand.worker_id == wid
+                        and cand.iteration == iteration):
+                    plan = cand
+                    self._fired_scheduled.add(idx)
+                    break
+            if plan is None and (self.p_crash or self.p_stall
+                                 or self.p_corrupt):
+                key = (iteration, wid)
+                plan = self._draw(iteration, wid)
+                if plan is not None and key in self._drawn_fired:
+                    plan = None
+                elif plan is not None:
+                    self._drawn_fired.add(key)
+            if plan is None:
+                continue
+            self.fired.append(plan)
+            if plan.kind == CRASH:
+                directives[wid] = {"crash": True}
+            elif plan.kind == STALL:
+                directives[wid] = {"stall_s": plan.stall_s}
+            else:
+                directives[wid] = {"corrupt": plan.seu}
+        return directives

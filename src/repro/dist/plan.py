@@ -1,0 +1,99 @@
+"""Sharding a sample matrix across workers, bit-stably.
+
+A :class:`ShardPlan` partitions the M sample rows into contiguous
+per-worker shards whose boundaries are multiples of the engine's fixed
+inner-GEMM row unit (:func:`repro.core.engine.unit_rows_for_tile`).
+Because the streaming engine always issues GEMMs on that unit grid —
+globally aligned from row 0 — a worker running the engine over its shard
+executes the *identical* sequence of GEMM calls the single-worker engine
+would execute over the same rows.  Per-row quantities (labels, min
+squared distances, sample norms) are therefore bit-identical for any
+shard count, which is the foundation of the ``repro.dist`` determinism
+contract (see ``docs/distributed.md``).
+
+Shards are balanced in whole units: with U total units and W workers,
+each worker receives ``U // W`` units and the first ``U % W`` workers one
+extra.  When there are fewer units than requested workers, the plan
+clamps to one shard per unit (the effective worker count the coordinator
+then uses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.arrays import ceil_div
+
+__all__ = ["Shard", "ShardPlan"]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One worker's contiguous row range ``[lo, hi)``."""
+
+    worker_id: int
+    lo: int
+    hi: int
+
+    @property
+    def rows(self) -> int:
+        return self.hi - self.lo
+
+    @property
+    def slice(self) -> slice:
+        return slice(self.lo, self.hi)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Unit-aligned partition of ``m`` sample rows across workers."""
+
+    m: int
+    unit_rows: int
+    shards: tuple[Shard, ...]
+
+    @classmethod
+    def build(cls, m: int, n_workers: int, unit_rows: int) -> "ShardPlan":
+        """Partition ``[0, m)`` into at most ``n_workers`` aligned shards.
+
+        Parameters
+        ----------
+        m : int
+            Total sample rows (>= 1).
+        n_workers : int
+            Requested worker count (>= 1); clamped to the number of
+            whole GEMM units so every shard is non-empty.
+        unit_rows : int
+            The engine's fixed inner-GEMM row unit for the fit's tile
+            geometry.
+        """
+        if m < 1:
+            raise ValueError(f"m must be >= 1, got {m}")
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if unit_rows < 1:
+            raise ValueError(f"unit_rows must be >= 1, got {unit_rows}")
+        n_units = ceil_div(m, unit_rows)
+        eff = min(n_workers, n_units)
+        base, extra = divmod(n_units, eff)
+        shards = []
+        lo = 0
+        for wid in range(eff):
+            units = base + (1 if wid < extra else 0)
+            hi = min(lo + units * unit_rows, m)
+            shards.append(Shard(worker_id=wid, lo=lo, hi=hi))
+            lo = hi
+        assert lo == m, "shard plan does not cover all rows"
+        return cls(m=m, unit_rows=unit_rows, shards=tuple(shards))
+
+    @property
+    def n_workers(self) -> int:
+        """Effective worker count (after the unit clamp)."""
+        return len(self.shards)
+
+    @property
+    def worker_ids(self) -> tuple[int, ...]:
+        return tuple(s.worker_id for s in self.shards)
+
+    def shard_sizes(self) -> tuple[int, ...]:
+        return tuple(s.rows for s in self.shards)

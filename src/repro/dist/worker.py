@@ -1,0 +1,157 @@
+"""The per-shard worker: one simulated device running the fast path.
+
+A :class:`ShardWorker` owns one shard of the sample matrix and a fully
+configured assignment kernel (the same :func:`build_assignment` product
+the single-device estimator uses, fast mode only).  Per round it runs
+one fused assignment pass over its shard against the broadcast centroids
+and returns a :class:`RoundResult` with the shard's labels, min squared
+distances, fused partial sums and counters — the "map" half of the
+coordinator's map-reduce Lloyd iteration.
+
+Determinism: the shard's labels/distances are bit-identical to the rows
+a single-worker engine would produce (see :mod:`repro.dist.plan`), and
+the fused partial sums are bit-identical to a sequential accumulation
+over the shard alone — which is exactly what the coordinator's
+localization step recomputes when its checksum test fires.
+
+SEU injection inside a worker draws a fresh, per-round injector seeded
+from ``(base_seed, worker_id, iteration)``: the fault pattern of
+iteration *k* never depends on how many iterations ran before it, so a
+checkpoint-restored replay re-injects the identical flips and recovery
+stays bit-exact even under injection.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.accumulate import StreamedAccumulator
+from repro.core.variants import build_assignment
+from repro.dist.faults import WorkerCrash
+from repro.gpusim.counters import PerfCounters
+from repro.gpusim.faults import FaultInjector
+from repro.utils.bits import flip_bit
+
+__all__ = ["RoundResult", "ShardWorker", "build_worker"]
+
+
+@dataclass
+class RoundResult:
+    """One worker's answer for one Lloyd iteration (picklable)."""
+
+    worker_id: int
+    iteration: int
+    labels: np.ndarray            # (shard_rows,) int64, owned
+    best: np.ndarray              # (shard_rows,) kernel dtype, owned
+    partial: np.ndarray           # (K, N+1) float64 fused sums ‖ counts
+    counters: PerfCounters
+    timings: list = field(default_factory=list)
+    wall_s: float = 0.0
+
+    @property
+    def sim_time_s(self) -> float:
+        return sum(t.time_s for _, t in self.timings)
+
+
+class ShardWorker:
+    """One shard's assignment + fused accumulation, round by round.
+
+    Parameters
+    ----------
+    worker_id : int
+        Position in the shard plan (also the fault-directive address).
+    x_shard : ndarray of shape (shard_rows, N)
+        This worker's resident sample rows.
+    cfg : KMeansConfig
+        The fit configuration (``mode`` must be 'fast'; ``tile`` must
+        already be resolved — never 'auto', which is shard-shape
+        dependent).
+    n_clusters : int
+        K (redundant with cfg but kept explicit for the engine cache).
+    sample_weight : ndarray of shape (shard_rows,), optional
+        This shard's slice of the fit's sample weights.
+    base_seed : int
+        Entropy root of the per-round SEU injector streams.
+    """
+
+    def __init__(self, worker_id: int, x_shard: np.ndarray, cfg,
+                 n_clusters: int, *, sample_weight=None, base_seed: int = 0):
+        if cfg.mode != "fast":
+            raise ValueError("ShardWorker requires mode='fast'")
+        if cfg.tile == "auto":
+            raise ValueError("resolve tile='auto' before building workers")
+        self.worker_id = int(worker_id)
+        self.x = x_shard
+        self.cfg = cfg
+        self.n_clusters = int(n_clusters)
+        self.base_seed = int(base_seed)
+        m, k = x_shard.shape
+        self.kernel = build_assignment(
+            cfg, m, k, np.random.default_rng(self.base_seed))
+        self.kernel.begin_fit(x_shard, n_clusters)
+        self.acc = StreamedAccumulator(n_clusters, k)
+        self.acc.bind_weights(sample_weight)
+        self.rounds_run = 0
+
+    # ------------------------------------------------------------------
+    def _round_injector(self, iteration: int) -> None:
+        """Per-round SEU injector, seeded by (base, worker, iteration)."""
+        if self.cfg.p_inject <= 0:
+            return
+        seq = np.random.SeedSequence(
+            [self.base_seed, self.worker_id, int(iteration)])
+        inj = FaultInjector(np.random.default_rng(seq), self.cfg.p_inject,
+                            self.cfg.dtype)
+        self.kernel.injector = inj
+        self.kernel.engine.injector = inj
+
+    def run_round(self, y: np.ndarray, iteration: int,
+                  directive: dict | None = None) -> RoundResult:
+        """One fused assignment pass over the shard.
+
+        ``directive`` (from :class:`repro.dist.faults.WorkerFaultInjector`)
+        may order this worker to stall, crash, or corrupt its partial.
+        """
+        t0 = time.perf_counter()
+        if directive:
+            if directive.get("stall_s"):
+                time.sleep(float(directive["stall_s"]))
+            if directive.get("crash"):
+                raise WorkerCrash(self.worker_id, iteration)
+        self._round_injector(iteration)
+        self.acc.reset()
+        res = self.kernel.assign(self.x, y, accumulator=self.acc)
+        partial = self.acc.packed()
+        if directive and "corrupt" in directive:
+            plan = directive["corrupt"]
+            r, c = plan.locate(partial.shape[0], partial.shape[1])
+            partial[r, c] = flip_bit(partial[r, c], plan.bit)
+        self.rounds_run += 1
+        return RoundResult(
+            worker_id=self.worker_id, iteration=iteration,
+            labels=res.labels.copy(), best=res.min_sqdist.copy(),
+            partial=partial, counters=res.counters, timings=res.timings,
+            wall_s=time.perf_counter() - t0)
+
+    def close(self) -> None:
+        """Release the engine's fit cache / scratch / threads."""
+        self.kernel.end_fit()
+
+
+def build_worker(worker_id: int, *, x: np.ndarray, plan, cfg,
+                 n_clusters: int, sample_weight=None,
+                 base_seed: int = 0) -> ShardWorker:
+    """Module-level worker factory (picklable for the process executor).
+
+    Slices the worker's shard out of the full arrays via the
+    :class:`~repro.dist.plan.ShardPlan`, so one factory serves the
+    initial spawn and every post-crash respawn alike.
+    """
+    shard = plan.shards[worker_id]
+    w = (None if sample_weight is None
+         else sample_weight[shard.lo:shard.hi])
+    return ShardWorker(worker_id, x[shard.lo:shard.hi], cfg, n_clusters,
+                       sample_weight=w, base_seed=base_seed)

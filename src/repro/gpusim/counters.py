@@ -43,6 +43,11 @@ class PerfCounters:
     dmr_checks: int = 0
     dmr_mismatches: int = 0
     kernels_launched: int = 0
+    # worker-level fault tolerance (repro.dist): whole-process failures,
+    # the failure class orthogonal to the SEU counters above
+    worker_crashes: int = 0
+    worker_stalls: int = 0
+    checkpoint_restores: int = 0
 
     def reset(self) -> None:
         """Zero every counter in place."""

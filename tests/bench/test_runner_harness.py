@@ -53,7 +53,7 @@ class TestSmokeGate:
 
     def test_runner_smoke_invocation_records_stage_split(self, tmp_path):
         out = tmp_path / "bench.json"
-        runner.main(["--smoke", "--out", str(out),
+        runner.main(["--smoke", "--out", str(out), "--dist-out", "-",
                      "--m", "1024", "--iters", "1"])
         doc = json.loads(out.read_text())
         assert doc["schema"] == "fastpath_walltime/v1"
@@ -74,7 +74,7 @@ class TestSmokeGate:
     def test_runner_smoke_appends_to_trajectory(self, tmp_path):
         out = tmp_path / "bench.json"
         for _ in range(2):
-            runner.main(["--smoke", "--out", str(out),
+            runner.main(["--smoke", "--out", str(out), "--dist-out", "-",
                          "--m", "1024", "--iters", "1"])
         assert len(json.loads(out.read_text())["entries"]) == 2
 
@@ -82,3 +82,41 @@ class TestSmokeGate:
         with pytest.raises(SystemExit):
             runner.main(["--m", "1024"])
         capsys.readouterr()
+
+
+class TestDistSmokeGate:
+    """`runner --smoke` also exercises the sharded layer: a tiny
+    2-worker scaling + recovery record must land in BENCH_dist.json
+    with the bit-identity and recovery columns intact."""
+
+    def test_runner_smoke_records_dist_scaling(self, tmp_path):
+        fp_out = tmp_path / "fastpath.json"
+        dist_out = tmp_path / "dist.json"
+        runner.main(["--smoke", "--out", str(fp_out),
+                     "--dist-out", str(dist_out),
+                     "--m", "1024", "--iters", "1"])
+        doc = json.loads(dist_out.read_text())
+        assert doc["schema"] == "dist_scaling/v1"
+        (record,) = doc["entries"]
+        workers = [row["workers"] for row in record["grid"]]
+        assert workers == record["config"]["workers_grid"] == [1, 2]
+        for row in record["grid"]:
+            assert row["bit_identical_vs_single"] is True
+            assert row["wall_s"] > 0
+        rec = record["recovery"]
+        assert rec["recoveries"] == 1
+        assert rec["recovered_bit_identical"] is True
+        for key in ("clean_wall_s", "crash_wall_s", "recovery_overhead_s",
+                    "recovery_overhead_frac", "crash_iteration"):
+            assert key in rec, key
+
+    def test_dist_bench_cli_direct(self, tmp_path):
+        from repro.bench import dist as dist_bench
+
+        out = tmp_path / "dist.json"
+        record = dist_bench.main(
+            ["--smoke", "--m", "2048", "--clusters", "8", "--iters", "2",
+             "--workers", "1,2", "--executor", "serial",
+             "--out", str(out)])
+        assert [r["m"] for r in record["grid"]] == [2048, 2048]
+        assert json.loads(out.read_text())["entries"]

@@ -1,0 +1,144 @@
+"""Online-update knobs: reassignment_mode policies and fault_trace_."""
+
+import numpy as np
+import pytest
+
+from repro import FTKMeans
+from repro.core.config import KMeansConfig
+
+
+def two_blob_batch(rng, m=256, n_features=4):
+    """Two tight far-apart blobs: with K > 2 several clusters starve."""
+    half = m // 2
+    a = rng.normal(0, 0.1, (half, n_features)) + 5.0
+    b = rng.normal(0, 0.1, (m - half, n_features)) - 5.0
+    return np.vstack([a, b]).astype(np.float32)
+
+
+def run_stream(mode, *, seed=0, ratio=0.2, batches=6, **kw):
+    rng = np.random.default_rng(3)
+    km = FTKMeans(n_clusters=6, seed=seed, reassignment_mode=mode,
+                  reassignment_ratio=ratio, **kw)
+    for _ in range(batches):
+        km.partial_fit(two_blob_batch(rng))
+    return km
+
+
+class TestReassignmentModes:
+    def test_deterministic_default_unchanged(self):
+        # the default mode is the existing behaviour: only clusters
+        # with zero running weight are re-seeded
+        km = run_stream("deterministic")
+        assert km.config.reassignment_mode == "deterministic"
+        assert (km.cluster_counts_ > 0).all()
+
+    def test_count_threshold_zero_ratio_degenerates_to_deterministic(self):
+        # threshold 0 re-seeds exactly the zero-count clusters: the two
+        # policies must walk the identical stream, bit for bit
+        det = run_stream("deterministic", ratio=0.0)
+        thr = run_stream("count_threshold", ratio=0.0)
+        assert np.array_equal(det.cluster_centers_, thr.cluster_centers_)
+        assert np.array_equal(det.cluster_counts_, thr.cluster_counts_)
+
+    def test_count_threshold_reseeds_low_count_clusters(self):
+        # a high ratio forces re-seeds that the deterministic policy
+        # (zero-count only) never performs, so the streams diverge
+        det = run_stream("deterministic", ratio=0.5)
+        thr = run_stream("count_threshold", ratio=0.5)
+        assert not np.array_equal(det.cluster_centers_,
+                                  thr.cluster_centers_)
+        # and the policy stays reproducible under a fixed seed
+        again = run_stream("count_threshold", ratio=0.5)
+        assert np.array_equal(thr.cluster_centers_, again.cluster_centers_)
+
+    def test_random_mode_reproducible_under_seed(self):
+        a = run_stream("random", seed=7)
+        b = run_stream("random", seed=7)
+        assert np.array_equal(a.cluster_centers_, b.cluster_centers_)
+
+    def test_random_mode_diverges_from_deterministic(self):
+        det = run_stream("deterministic", seed=7)
+        rnd = run_stream("random", seed=7)
+        assert not np.array_equal(det.cluster_centers_,
+                                  rnd.cluster_centers_)
+
+    def test_random_mode_survives_degenerate_batch(self):
+        # most of the batch sits exactly on one centroid (zero distance)
+        # while several clusters are starved: fewer nonzero probabilities
+        # than draws must fall back to uniform, not crash the stream
+        c0 = np.zeros((4, 4), dtype=np.float32)
+        c0[1:] += 50.0
+        km = FTKMeans(n_clusters=4, seed=0, init_centroids=c0,
+                      reassignment_mode="random", reassignment_ratio=0.5)
+        batch = np.zeros((128, 4), dtype=np.float32)
+        batch[-1] += 1.0   # a single off-centroid sample
+        km.partial_fit(batch)
+        assert km.n_batches_seen_ == 1
+
+    def test_weighted_ewa_normalises_by_weight_total(self):
+        # uniformly scaling all weights must not move the smoothed
+        # per-sample inertia the convergence rule looks at
+        rng = np.random.default_rng(0)
+        batches = [rng.random((256, 8)).astype(np.float32)
+                   for _ in range(4)]
+        plain = FTKMeans(n_clusters=4, seed=0)
+        scaled = FTKMeans(n_clusters=4, seed=0)
+        for b in batches:
+            plain.partial_fit(b)
+            scaled.partial_fit(b, sample_weight=np.full(len(b), 100.0))
+        assert scaled.ewa_inertia_ == pytest.approx(plain.ewa_inertia_,
+                                                    rel=1e-9)
+
+    def test_zero_weight_batch_does_not_move_convergence(self):
+        rng = np.random.default_rng(0)
+        km = FTKMeans(n_clusters=4, seed=0)
+        for _ in range(3):
+            km.partial_fit(rng.random((256, 8)).astype(np.float32))
+        ewa_before = km.ewa_inertia_
+        km.partial_fit(rng.random((64, 8)).astype(np.float32),
+                       sample_weight=np.zeros(64))
+        # an information-free batch: the smoothed inertia stays put
+        assert km.ewa_inertia_ == ewa_before
+        assert km.n_batches_seen_ == 4
+
+    def test_modes_validated(self):
+        with pytest.raises(ValueError, match="reassignment_mode"):
+            KMeansConfig(reassignment_mode="chaos")
+        with pytest.raises(ValueError, match="reassignment_ratio"):
+            KMeansConfig(reassignment_ratio=1.5)
+
+    def test_batch_size_fit_accepts_modes(self):
+        rng = np.random.default_rng(0)
+        x = np.vstack([two_blob_batch(rng) for _ in range(4)])
+        km = FTKMeans(n_clusters=6, seed=0, batch_size=128, max_iter=3,
+                      reassignment_mode="random",
+                      reassignment_ratio=0.2).fit(x)
+        assert km.cluster_centers_.shape == (6, 4)
+
+
+class TestFaultTrace:
+    def test_trace_records_injected_batches(self):
+        rng = np.random.default_rng(0)
+        km = FTKMeans(n_clusters=4, variant="ft", p_inject=1.0, seed=0)
+        for _ in range(3):
+            km.partial_fit(rng.random((256, 8)).astype(np.float32))
+        assert len(km.fault_trace_) == 3
+        assert [e["batch"] for e in km.fault_trace_] == [0, 1, 2]
+        for entry in km.fault_trace_:
+            assert entry["injected"] > 0
+            assert entry["corrected"] <= entry["detected"]
+
+    def test_trace_empty_without_injection(self):
+        rng = np.random.default_rng(0)
+        km = FTKMeans(n_clusters=4, seed=0)
+        km.partial_fit(rng.random((128, 8)).astype(np.float32))
+        assert km.fault_trace_ == []
+
+    def test_trace_cleared_by_full_fit(self):
+        rng = np.random.default_rng(0)
+        km = FTKMeans(n_clusters=4, variant="ft", p_inject=1.0, seed=0)
+        km.partial_fit(rng.random((128, 8)).astype(np.float32))
+        assert km.fault_trace_
+        km.fit(rng.random((128, 8)).astype(np.float32))
+        # a full-batch fit starts a fresh story: no stale stream trace
+        assert not hasattr(km, "fault_trace_")

@@ -1,0 +1,191 @@
+"""Checkpoint/restart: crash-at-k recovery converges to the same bits."""
+
+import numpy as np
+import pytest
+
+from repro import FTKMeans
+from repro.dist import (
+    CheckpointStore,
+    WorkerCrash,
+    WorkerFaultInjector,
+    WorkerFaultPlan,
+)
+from repro.dist.faults import CRASH
+
+M, N_FEATURES, K = 1537, 12, 7
+
+
+@pytest.fixture(scope="module")
+def x():
+    rng = np.random.default_rng(0)
+    return rng.random((M, N_FEATURES), dtype=np.float64).astype(np.float32)
+
+
+def fit(x, **kw):
+    base = dict(n_clusters=K, variant="tensorop", seed=3, max_iter=10,
+                n_workers=2)
+    base.update(kw)
+    return FTKMeans(**base).fit(x)
+
+
+class TestCheckpointStore:
+    def test_memory_roundtrip_and_pruning(self):
+        store = CheckpointStore(keep=2)
+        for it in (0, 2, 4, 6):
+            store.save(it, {"iteration": it, "v": it * 10})
+        assert store.iterations == [4, 6]
+        it, state = store.load_latest()
+        assert it == 6 and state["v"] == 60
+
+    def test_disk_roundtrip_and_pruning(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt", keep=2)
+        for it in (0, 3, 5):
+            store.save(it, {"y": np.arange(it + 1)})
+        assert store.iterations == [3, 5]
+        it, state = store.load_latest()
+        assert it == 5 and np.array_equal(state["y"], np.arange(6))
+        assert len(list((tmp_path / "ckpt").glob("ckpt_*.pkl"))) == 2
+
+    def test_snapshots_never_alias_live_state(self):
+        store = CheckpointStore()
+        y = np.zeros(4)
+        store.save(1, {"y": y})
+        y[:] = 99.0
+        _, state = store.load_latest()
+        assert np.array_equal(state["y"], np.zeros(4))
+
+    def test_empty_store_loads_none(self):
+        assert CheckpointStore().load_latest() is None
+
+    def test_clear(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(1, {})
+        store.clear()
+        assert store.load_latest() is None
+
+
+class TestCrashRecovery:
+    @pytest.mark.parametrize("crash_it", [1, 5, 9])
+    def test_crash_at_k_recovers_to_same_centroids(self, x, crash_it):
+        clean = fit(x, checkpoint_every=2)
+        crashed = fit(x, checkpoint_every=2,
+                      worker_faults=WorkerFaultInjector.crash_at(1, crash_it))
+        assert np.array_equal(crashed.cluster_centers_,
+                              clean.cluster_centers_)
+        assert np.array_equal(crashed.labels_, clean.labels_)
+        assert crashed.inertia_ == clean.inertia_
+        assert crashed.dist_recoveries_ == 1
+        assert crashed.counters_.worker_crashes == 1
+        assert crashed.counters_.checkpoint_restores == 1
+        kinds = [e["kind"] for e in crashed.dist_trace_]
+        assert kinds.count("crash") == 1 and kinds.count("restore") == 1
+
+    def test_restore_resumes_from_latest_checkpoint(self, x):
+        crashed = fit(x, checkpoint_every=3,
+                      worker_faults=WorkerFaultInjector.crash_at(0, 8))
+        restore = [e for e in crashed.dist_trace_
+                   if e["kind"] == "restore"][0]
+        assert restore["iteration"] == 6   # newest checkpoint before 8
+
+    def test_no_checkpoint_restarts_from_scratch(self, x):
+        clean = fit(x, checkpoint_every=0)
+        crashed = fit(x, checkpoint_every=0,
+                      worker_faults=WorkerFaultInjector.crash_at(0, 4))
+        assert np.array_equal(crashed.cluster_centers_,
+                              clean.cluster_centers_)
+        restore = [e for e in crashed.dist_trace_
+                   if e["kind"] == "restore"][0]
+        assert restore["iteration"] == 0
+
+    def test_process_executor_survives_real_worker_death(self, x):
+        clean = fit(x, max_iter=8, executor="process", checkpoint_every=2)
+        crashed = fit(x, max_iter=8, executor="process", checkpoint_every=2,
+                      worker_faults=WorkerFaultInjector.crash_at(0, 4))
+        assert np.array_equal(crashed.cluster_centers_,
+                              clean.cluster_centers_)
+        assert crashed.dist_recoveries_ == 1
+
+    def test_recovery_bit_exact_under_seu_injection(self, x):
+        cfg = dict(variant="ft", p_inject=0.3, checkpoint_every=2,
+                   max_iter=8)
+        clean = fit(x, **cfg)
+        crashed = fit(x, **cfg,
+                      worker_faults=WorkerFaultInjector.crash_at(1, 6))
+        # per-round injector streams are keyed by (seed, worker,
+        # iteration), so the replay re-injects the identical SEUs
+        assert clean.counters_.errors_injected > 0
+        assert np.array_equal(crashed.cluster_centers_,
+                              clean.cluster_centers_)
+
+    def test_disk_checkpoints(self, x, tmp_path):
+        clean = fit(x, checkpoint_every=2)
+        crashed = fit(x, checkpoint_every=2, checkpoint_dir=tmp_path,
+                      worker_faults=WorkerFaultInjector.crash_at(1, 5))
+        assert np.array_equal(crashed.cluster_centers_,
+                              clean.cluster_centers_)
+        assert list(tmp_path.glob("ckpt_*.pkl"))
+
+    def test_recovery_budget_exhausts(self, x):
+        # two scheduled crashes of the same (worker, iteration): the
+        # second fires on the replay and exceeds max_recoveries=1
+        faults = WorkerFaultInjector([WorkerFaultPlan(CRASH, 0, 2),
+                                      WorkerFaultPlan(CRASH, 0, 2)])
+        from repro.dist import Coordinator
+        from repro.core.config import KMeansConfig
+
+        cfg = KMeansConfig(n_clusters=K, n_workers=2, seed=3, max_iter=6)
+        coord = Coordinator(cfg, worker_faults=faults, max_recoveries=1)
+        y0 = x[:K].copy()
+        with pytest.raises(WorkerCrash):
+            coord.fit(x, y0)
+
+    def test_reused_checkpoint_dir_never_leaks_old_fit(self, x, tmp_path):
+        # a crash in fit B must not restore fit A's snapshots
+        fit(x, checkpoint_every=2, checkpoint_dir=tmp_path)
+        rng = np.random.default_rng(9)
+        x2 = rng.random((M, N_FEATURES), dtype=np.float64).astype(np.float32)
+        clean = fit(x2, checkpoint_every=2)
+        crashed = fit(x2, checkpoint_every=2, checkpoint_dir=tmp_path,
+                      worker_faults=WorkerFaultInjector.crash_at(0, 1))
+        assert np.array_equal(crashed.cluster_centers_,
+                              clean.cluster_centers_)
+
+    def test_multi_crash_counters_are_monotonic(self, x):
+        faults = WorkerFaultInjector([WorkerFaultPlan(CRASH, 0, 3),
+                                      WorkerFaultPlan(CRASH, 1, 6)])
+        clean = fit(x, checkpoint_every=2)
+        crashed = fit(x, checkpoint_every=2, worker_faults=faults)
+        assert crashed.dist_recoveries_ == 2
+        assert crashed.counters_.worker_crashes == 2
+        assert crashed.counters_.checkpoint_restores == 2
+        assert np.array_equal(crashed.cluster_centers_,
+                              clean.cluster_centers_)
+
+    def test_fault_tallies_survive_a_later_restore(self, x):
+        # a stall + corrupt fire at iteration 3 (committed), a crash at
+        # iteration 4 restores the iteration-2 checkpoint: the one-shot
+        # faults never replay, so their tallies must not vanish with
+        # the restored counter snapshot
+        from repro.dist.faults import CORRUPT_PARTIAL, STALL
+        from repro.gpusim.faults import FaultPlan
+
+        seu = FaultPlan(step=0, row_frac=0.5, col_frac=0.5, bit=55)
+        faults = WorkerFaultInjector([
+            WorkerFaultPlan(STALL, 0, 3, stall_s=0.001),
+            WorkerFaultPlan(CORRUPT_PARTIAL, 1, 3, seu=seu),
+            WorkerFaultPlan(CRASH, 1, 4),
+        ])
+        km = fit(x, checkpoint_every=2, worker_faults=faults)
+        assert km.counters_.worker_stalls == 1
+        assert km.counters_.errors_injected >= 1
+        assert km.counters_.errors_detected >= 1
+        assert km.counters_.errors_corrected >= 1
+        assert km.counters_.worker_crashes == 1
+
+    def test_counters_describe_committed_trajectory_only(self, x):
+        # rolled-back iterations must not double-count work
+        clean = fit(x, checkpoint_every=2)
+        crashed = fit(x, checkpoint_every=2,
+                      worker_faults=WorkerFaultInjector.crash_at(1, 3))
+        assert (crashed.counters_.checksum_tests
+                == clean.counters_.checksum_tests)

@@ -1,0 +1,131 @@
+"""sample_weight: bit-exact weighted accumulation, shard merges, and
+equivalence with sample duplication."""
+
+import numpy as np
+import pytest
+
+from repro import FTKMeans
+from repro.core.accumulate import (
+    StreamedAccumulator,
+    accumulate_oneshot,
+    accumulate_streamed,
+)
+
+
+@pytest.fixture(scope="module")
+def wdata():
+    rng = np.random.default_rng(5)
+    x = rng.random((3000, 16)).astype(np.float32)
+    labels = rng.integers(0, 9, 3000)
+    w = rng.random(3000)
+    return x, labels, w
+
+
+class TestWeightedAccumulation:
+    @pytest.mark.parametrize("feed_rows", [1, 7, 128, 1000, 5000])
+    def test_streamed_matches_oneshot_bitwise(self, wdata, feed_rows):
+        x, labels, w = wdata
+        ref = accumulate_oneshot(x, labels, 9, sample_weight=w)
+        got = accumulate_streamed(x, labels, 9, feed_rows=feed_rows,
+                                  sample_weight=w)
+        assert np.array_equal(got, ref)
+
+    def test_unit_weights_equal_unweighted_bitwise(self, wdata):
+        x, labels, _ = wdata
+        ref = accumulate_oneshot(x, labels, 9)
+        got = accumulate_oneshot(x, labels, 9,
+                                 sample_weight=np.ones(x.shape[0]))
+        assert np.array_equal(got, ref)
+
+    def test_shard_merge_continuation_is_bit_exact(self, wdata):
+        # feeding shard slices into one accumulator == the sequential
+        # one-shot pass, no matter where the shard boundaries fall —
+        # the coordinator's merge contract
+        x, labels, w = wdata
+        ref = accumulate_oneshot(x, labels, 9, sample_weight=w)
+        for bounds in ([0, 1000, 3000], [0, 256, 512, 2048, 3000]):
+            acc = StreamedAccumulator(9, x.shape[1])
+            acc.bind_weights(w)
+            for lo, hi in zip(bounds, bounds[1:]):
+                acc.feed(x[lo:hi], labels[lo:hi])
+            assert np.array_equal(acc.packed(), ref)
+
+    def test_feed_past_bound_weights_raises(self, wdata):
+        x, labels, w = wdata
+        acc = StreamedAccumulator(9, x.shape[1])
+        acc.bind_weights(w[:100])
+        with pytest.raises(ValueError, match="past bound weights"):
+            acc.feed(x[:200], labels[:200])
+
+
+class TestWeightedEstimator:
+    def test_weighted_sharded_fit_bit_identical(self, wdata):
+        x, _, w = wdata
+        ref = FTKMeans(n_clusters=6, seed=0, max_iter=8).fit(
+            x, sample_weight=w)
+        km = FTKMeans(n_clusters=6, seed=0, max_iter=8, n_workers=3).fit(
+            x, sample_weight=w)
+        assert np.array_equal(km.cluster_centers_, ref.cluster_centers_)
+        assert np.array_equal(km.labels_, ref.labels_)
+        assert km.inertia_ == ref.inertia_
+
+    def test_integer_weights_equivalent_to_duplication(self):
+        rng = np.random.default_rng(2)
+        x = rng.random((400, 8))
+        w = rng.integers(1, 4, 400).astype(np.float64)
+        xd = np.repeat(x, w.astype(int), axis=0)
+        kw = dict(n_clusters=5, dtype="float64", use_tf32=False, seed=0,
+                  max_iter=10, init_centroids=x[:5].copy())
+        a = FTKMeans(**kw).fit(x, sample_weight=w)
+        b = FTKMeans(**kw).fit(xd)
+        # association differs (w*x vs repeated adds): allclose, not
+        # bitwise
+        np.testing.assert_allclose(a.cluster_centers_, b.cluster_centers_,
+                                   rtol=1e-9, atol=1e-12)
+
+    def test_weighted_inertia_is_weighted_sum(self, wdata):
+        x, _, w = wdata
+        x64 = x.astype(np.float64)
+        c0 = x64[:6].copy()
+        km = FTKMeans(n_clusters=6, dtype="float64", use_tf32=False,
+                      seed=0, max_iter=1, init_centroids=c0).fit(
+            x64, sample_weight=w)
+        # one iteration: inertia_ is the weighted assignment against c0
+        d2 = np.sum((x64 - c0[km.labels_]) ** 2, axis=1)
+        manual = float(np.sum(w * np.maximum(d2, 0)))
+        assert km.inertia_ == pytest.approx(manual, rel=1e-9)
+
+    def test_weighted_counts_are_float(self, wdata):
+        x, _, w = wdata
+        km = FTKMeans(n_clusters=6, seed=0, max_iter=3).fit(
+            x, sample_weight=w)
+        assert km.cluster_counts_.dtype == np.float64
+        assert km.cluster_counts_.sum() == pytest.approx(w.sum())
+
+    def test_partial_fit_weighted_stream(self, wdata):
+        x, _, w = wdata
+        km = FTKMeans(n_clusters=4, seed=0)
+        for lo in range(0, 1024, 256):
+            km.partial_fit(x[lo:lo + 256], sample_weight=w[lo:lo + 256])
+        assert km.n_batches_seen_ == 4
+        assert km.cluster_counts_.dtype == np.float64
+
+    def test_zero_weights_drop_samples_from_sums(self):
+        rng = np.random.default_rng(3)
+        x = rng.random((200, 4)).astype(np.float32)
+        w = np.ones(200)
+        w[100:] = 0.0
+        labels = np.zeros(200, dtype=np.int64)
+        sums = accumulate_oneshot(x, labels, 1, sample_weight=w)
+        ref = accumulate_oneshot(x[:100], labels[:100], 1)
+        np.testing.assert_allclose(sums, ref, rtol=1e-12)
+
+    def test_rejects_bad_weights(self, wdata):
+        x, _, _ = wdata
+        km = FTKMeans(n_clusters=4, seed=0)
+        with pytest.raises(ValueError, match="sample_weight"):
+            km.fit(x, sample_weight=np.ones(10))
+        with pytest.raises(ValueError, match="negative"):
+            km.fit(x, sample_weight=-np.ones(x.shape[0]))
+        with pytest.raises(ValueError, match="NaN"):
+            km.fit(x, sample_weight=np.full(x.shape[0], np.nan))

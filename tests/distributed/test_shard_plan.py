@@ -1,0 +1,59 @@
+"""ShardPlan: coverage, alignment, balance, clamping."""
+
+import pytest
+
+from repro.core.engine import GEMM_UNIT_ROWS, unit_rows_for_tile
+from repro.core.tensorop import default_tensorop_tile
+from repro.dist import ShardPlan
+
+
+class TestBuild:
+    def test_covers_all_rows_contiguously(self):
+        plan = ShardPlan.build(100_000, 4, 256)
+        assert plan.shards[0].lo == 0
+        assert plan.shards[-1].hi == 100_000
+        for a, b in zip(plan.shards, plan.shards[1:]):
+            assert a.hi == b.lo
+
+    @pytest.mark.parametrize("m", [256, 257, 1000, 4096, 100_001])
+    @pytest.mark.parametrize("workers", [1, 2, 3, 7])
+    def test_interior_boundaries_unit_aligned(self, m, workers):
+        plan = ShardPlan.build(m, workers, 256)
+        for shard in plan.shards[:-1]:
+            assert shard.hi % 256 == 0
+        assert sum(plan.shard_sizes()) == m
+        assert all(s.rows > 0 for s in plan.shards)
+
+    def test_balanced_in_units(self):
+        plan = ShardPlan.build(10 * 256, 4, 256)
+        # 10 units over 4 workers -> 3,3,2,2
+        assert plan.shard_sizes() == (3 * 256, 3 * 256, 2 * 256, 2 * 256)
+
+    def test_clamps_workers_to_units(self):
+        plan = ShardPlan.build(300, 8, 256)   # only 2 whole units
+        assert plan.n_workers == 2
+        assert plan.shard_sizes() == (256, 44)
+
+    def test_single_worker_single_shard(self):
+        plan = ShardPlan.build(1000, 1, 256)
+        assert plan.n_workers == 1
+        assert plan.shards[0].slice == slice(0, 1000)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            ShardPlan.build(0, 2, 256)
+        with pytest.raises(ValueError):
+            ShardPlan.build(100, 0, 256)
+        with pytest.raises(ValueError):
+            ShardPlan.build(100, 2, 0)
+
+
+class TestUnitRows:
+    def test_matches_engine_unit(self):
+        tile = default_tensorop_tile("float32")
+        unit = unit_rows_for_tile(tile)
+        assert unit % tile.tb.m == 0
+        assert unit >= GEMM_UNIT_ROWS - tile.tb.m + 1
+
+    def test_none_tile_uses_default(self):
+        assert unit_rows_for_tile(None) == GEMM_UNIT_ROWS

@@ -34,7 +34,8 @@ def _relative_links(path: Path) -> list[str]:
 
 def test_docs_tree_exists():
     """The README-advertised documentation subsystem is present."""
-    for name in ("architecture.md", "streaming.md", "api.md"):
+    for name in ("architecture.md", "streaming.md", "distributed.md",
+                 "api.md"):
         assert (REPO_ROOT / "docs" / name).is_file(), f"docs/{name} missing"
 
 
@@ -52,14 +53,18 @@ def test_relative_links_resolve(doc):
 
 
 def test_docs_cross_reference_each_other():
-    """The three docs form a navigable set (each links the others)."""
+    """The docs form a navigable set (each links its companions)."""
     docs = {p.name: p.read_text() for p in (REPO_ROOT / "docs").glob("*.md")}
     assert "streaming.md" in docs["architecture.md"]
     assert "architecture.md" in docs["streaming.md"]
     assert "api.md" in docs["architecture.md"]
+    assert "distributed.md" in docs["architecture.md"]
+    assert "architecture.md" in docs["distributed.md"]
+    assert "streaming.md" in docs["distributed.md"]
 
 
 def test_readme_links_docs():
     text = (REPO_ROOT / "README.md").read_text()
-    for name in ("docs/architecture.md", "docs/streaming.md", "docs/api.md"):
+    for name in ("docs/architecture.md", "docs/streaming.md",
+                 "docs/distributed.md", "docs/api.md"):
         assert name in text, f"README does not link {name}"
