@@ -16,6 +16,13 @@ against the clean sharded fit — the ``recovery`` record carries the
 extra seconds, the relative overhead and the recovered-bit-identical
 flag.
 
+An **elastic run** measures the shrink-recovery path: a worker stalls
+past the round deadline mid-fit (process executor, so the detector
+really terminates the child) and the coordinator re-shards onto the
+survivors instead of respawning — the ``elastic`` record carries the
+detection + shrink overhead, the post-shrink worker count and the
+bit-identity flag against the uninterrupted fit.
+
 Each run appends one record to ``BENCH_dist.json``::
 
     python -m repro.bench.dist                # full grid
@@ -42,7 +49,8 @@ __all__ = ["run_dist_bench", "run_smoke", "DEFAULT_RESULT_PATH", "main"]
 #: BENCH_fastpath.json, resolved against the working directory)
 DEFAULT_RESULT_PATH = Path("BENCH_dist.json")
 
-SCHEMA = "dist_scaling/v1"
+#: v2 added the ``elastic`` stall-then-shrink record
+SCHEMA = "dist_scaling/v2"
 
 #: full grid (CI-feasible, a few minutes)
 FULL_SHAPE = dict(m_grid=(60_000, 120_000), n_features=64, n_clusters=64,
@@ -54,14 +62,16 @@ SMOKE_SHAPE = dict(m_grid=(16_384,), n_features=32, n_clusters=16, iters=3,
 
 
 def _fit_once(x, y0, *, n_clusters, iters, workers, executor, seed,
-              checkpoint_every=0, worker_faults=None):
+              checkpoint_every=0, worker_faults=None, elastic=False,
+              round_timeout=None):
     """One timed sharded (or single-worker) fit; returns (model, wall)."""
     km = FTKMeans(n_clusters=n_clusters, variant="tensorop", mode="fast",
                   n_workers=workers,
                   executor=executor if workers > 1 else "serial",
                   checkpoint_every=checkpoint_every if workers > 1 else 0,
                   max_iter=iters, tol=0.0, seed=seed, init_centroids=y0,
-                  worker_faults=worker_faults)
+                  worker_faults=worker_faults, elastic=elastic,
+                  round_timeout=round_timeout)
     t0 = time.perf_counter()
     km.fit(x)
     return km, time.perf_counter() - t0
@@ -73,8 +83,11 @@ def run_dist_bench(m_grid=FULL_SHAPE["m_grid"],
                    iters: int = FULL_SHAPE["iters"], *,
                    workers_grid=FULL_SHAPE["workers_grid"],
                    executor: str = "thread", dtype: str = "float32",
-                   seed: int = 0, checkpoint_every: int = 2) -> dict:
-    """One workers × M scaling run + recovery overhead; JSON record."""
+                   seed: int = 0, checkpoint_every: int = 2,
+                   round_timeout: float = 1.5) -> dict:
+    """One workers × M scaling run + recovery + elastic overhead; JSON
+    record.  ``round_timeout`` bounds the elastic run's stall detection
+    (the stalled child sleeps far past it and is terminated)."""
     if iters < 1:
         raise ValueError(f"iters must be >= 1, got {iters}")
     m_grid = tuple(int(v) for v in m_grid)
@@ -152,6 +165,42 @@ def run_dist_bench(m_grid=FULL_SHAPE["m_grid"],
                            clean.cluster_centers_)),
     }
 
+    # -- elastic shrink: stall one worker past the round deadline -----
+    # process executor so the detector really terminates the child; the
+    # stall sleeps far past the deadline, i.e. it would hang forever
+    # without detection
+    stall_it = crash_it
+    el_clean, el_clean_wall = _fit_once(
+        x, y0, n_clusters=n_clusters, iters=iters, workers=rec_workers,
+        executor="process", seed=seed, checkpoint_every=checkpoint_every,
+        elastic=True, round_timeout=round_timeout)
+    stalled, stall_wall = _fit_once(
+        x, y0, n_clusters=n_clusters, iters=iters, workers=rec_workers,
+        executor="process", seed=seed, checkpoint_every=checkpoint_every,
+        elastic=True, round_timeout=round_timeout,
+        worker_faults=WorkerFaultInjector.stall_at(0, stall_it,
+                                                   stall_s=600.0))
+    elastic = {
+        "workers": rec_workers,
+        "m": x.shape[0],
+        "executor": "process",
+        "round_timeout": round_timeout,
+        "checkpoint_every": checkpoint_every,
+        "stall_iteration": stall_it,
+        "clean_wall_s": el_clean_wall,
+        "stall_wall_s": stall_wall,
+        "shrink_overhead_s": stall_wall - el_clean_wall,
+        "shrink_overhead_frac": (stall_wall - el_clean_wall)
+        / max(1e-12, el_clean_wall),
+        "recoveries": stalled.dist_recoveries_,
+        "stall_recoveries": stalled.dist_stall_recoveries_,
+        "shrinks": stalled.dist_shrinks_,
+        "workers_after_shrink": stalled.n_workers_,
+        "recovered_bit_identical": bool(
+            np.array_equal(stalled.cluster_centers_,
+                           el_clean.cluster_centers_)),
+    }
+
     return {
         "bench": "dist_scaling",
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -162,9 +211,11 @@ def run_dist_bench(m_grid=FULL_SHAPE["m_grid"],
             "n_clusters": n_clusters, "iters": iters, "dtype": dtype,
             "executor": executor, "workers_grid": list(workers_grid),
             "seed": seed, "checkpoint_every": checkpoint_every,
+            "round_timeout": round_timeout,
         },
         "grid": grid,
         "recovery": recovery,
+        "elastic": elastic,
     }
 
 
@@ -196,6 +247,13 @@ def _summarise(record: dict) -> str:
         f" ({rec['recovery_overhead_frac']:.1%}) over "
         f"{rec['clean_wall_s']:.3f} s clean, recovered-bit-identical "
         f"{rec['recovered_bit_identical']}")
+    el = record["elastic"]
+    lines.append(
+        f"  elastic (stall@{el['stall_iteration']}, "
+        f"deadline={el['round_timeout']} s): "
+        f"+{el['shrink_overhead_s']:.3f} s ({el['shrink_overhead_frac']:.1%})"
+        f", {el['workers']} -> {el['workers_after_shrink']} workers, "
+        f"recovered-bit-identical {el['recovered_bit_identical']}")
     return "\n".join(lines)
 
 
@@ -212,6 +270,9 @@ def main(argv=None) -> dict:
                         help="comma-separated workers grid, e.g. 1,2,4")
     parser.add_argument("--executor", default="thread",
                         choices=("serial", "thread", "process"))
+    parser.add_argument("--round-timeout", type=float, default=1.5,
+                        help="stall-detection deadline (s) of the elastic "
+                             "shrink-recovery run")
     parser.add_argument("--out", default=str(DEFAULT_RESULT_PATH),
                         help="trajectory JSON to append to ('-' to skip)")
     args = parser.parse_args(argv)
@@ -226,7 +287,8 @@ def main(argv=None) -> dict:
     if args.workers:
         kwargs["workers_grid"] = tuple(
             int(v) for v in args.workers.split(","))
-    record = run_dist_bench(executor=args.executor, **kwargs)
+    record = run_dist_bench(executor=args.executor,
+                            round_timeout=args.round_timeout, **kwargs)
     print(_summarise(record))
     if args.out != "-":
         path = write_record(record, args.out, schema=SCHEMA)

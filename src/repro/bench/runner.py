@@ -6,8 +6,8 @@ reproductions and prints them in paper order.
 ``python -m repro.bench.runner --smoke`` instead runs the wall-clock
 gating benchmarks — the fast-path run (appending to
 ``BENCH_fastpath.json``) followed by a tiny 2-worker sharded scaling +
-recovery run (appending to ``BENCH_dist.json``) — suitable as a tier-1
-perf canary.  Unrecognised arguments after ``--smoke`` are forwarded to
+crash-recovery + elastic stall-then-shrink run (appending to
+``BENCH_dist.json``) — suitable as a tier-1 perf canary.  Unrecognised arguments after ``--smoke`` are forwarded to
 :mod:`repro.bench.fastpath` (e.g. ``--m 2000 --iters 1`` for an even
 quicker shape); the sharded smoke keeps its fixed tiny shape and is
 skipped entirely with ``--dist-out -``.

@@ -88,7 +88,9 @@ class FTKMeans:
     ``cluster_counts_``, ``fault_trace_``.
 
     Sharded-fit attributes (after a ``n_workers > 1`` fit):
-    ``n_workers_``, ``dist_recoveries_``, ``dist_trace_``.
+    ``n_workers_`` (the *final* effective worker count — smaller than
+    requested after an elastic shrink), ``dist_recoveries_``,
+    ``dist_stall_recoveries_``, ``dist_shrinks_``, ``dist_trace_``.
     """
 
     def __init__(self, n_clusters: int = 8, *, variant: str = "tensorop",
@@ -99,6 +101,7 @@ class FTKMeans:
                  update_mode: str = "auto", batch_size: int | None = None,
                  n_workers: int = 1, executor: str = "serial",
                  checkpoint_every: int = 0,
+                 round_timeout: float | None = None, elastic: bool = False,
                  reassignment_mode: str = "deterministic",
                  reassignment_ratio: float = 0.01,
                  init: str = "k-means++", max_iter: int = 50,
@@ -113,6 +116,7 @@ class FTKMeans:
             update_mode=update_mode, batch_size=batch_size,
             n_workers=n_workers, executor=executor,
             checkpoint_every=checkpoint_every,
+            round_timeout=round_timeout, elastic=elastic,
             reassignment_mode=reassignment_mode,
             reassignment_ratio=reassignment_ratio,
             init=init, max_iter=max_iter, tol=tol, seed=seed)
@@ -269,6 +273,8 @@ class FTKMeans:
         self.counters_ = res.counters
         self.n_workers_ = res.plan.n_workers
         self.dist_recoveries_ = res.recoveries
+        self.dist_stall_recoveries_ = res.stall_recoveries
+        self.dist_shrinks_ = res.shrinks
         self.dist_trace_ = res.trace
         # predict/score run single-pass through an ordinary assigner
         self._assigner = build_assignment(cfg, m, k, rng)

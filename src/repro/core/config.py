@@ -103,6 +103,25 @@ class KMeansConfig:
         every this many iterations, so a crashed worker resumes from
         the last checkpoint instead of iteration 0.  0 disables
         periodic checkpoints (recovery then restarts the fit).
+    round_timeout:
+        With ``n_workers > 1``: seconds each coordinator round may take
+        before unanswered workers are classified stalled (terminated
+        where the backend allows, then recovered like a crash).  None
+        (default) disables the deadline — a stalled-but-alive worker
+        then blocks the fit, exactly like a real straggler with no
+        failure detector.  Size it well above an honest round's wall
+        time — including post-shrink rounds under ``elastic=True``,
+        where one survivor may hold every shard (worker boot is already
+        excluded: the process backend handshakes at spawn).  An
+        undersized deadline turns healthy-but-slow workers into
+        phantom stalls.
+    elastic:
+        With ``n_workers > 1``: recover from a worker loss by
+        re-sharding the lost rows onto the surviving workers
+        (shrink-and-continue) instead of respawning the full worker
+        set.  The re-plan keeps shard boundaries on the same GEMM-unit
+        grid and shards in row order, so the fit stays bit-identical to
+        ``n_workers=1`` for any membership history.
     reassignment_mode:
         Empty-cluster policy of the online/mini-batch update step:
         'deterministic' (clusters with zero running weight take the
@@ -136,6 +155,8 @@ class KMeansConfig:
     n_workers: int = 1
     executor: str = "serial"
     checkpoint_every: int = 0
+    round_timeout: float | None = None
+    elastic: bool = False
     reassignment_mode: str = "deterministic"
     reassignment_ratio: float = 0.01
     init: str = "k-means++"
@@ -190,6 +211,12 @@ class KMeansConfig:
         if self.checkpoint_every < 0:
             raise ValueError(
                 f"checkpoint_every must be >= 0, got {self.checkpoint_every}")
+        if self.round_timeout is not None:
+            self.round_timeout = float(self.round_timeout)
+            if self.round_timeout <= 0:
+                raise ValueError(
+                    f"round_timeout must be > 0, got {self.round_timeout}")
+        self.elastic = bool(self.elastic)
         if self.reassignment_mode not in REASSIGNMENT_MODES:
             raise ValueError(
                 f"unknown reassignment_mode {self.reassignment_mode!r}; "

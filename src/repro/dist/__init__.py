@@ -9,16 +9,18 @@ the failure class orthogonal to the paper's in-device SEUs.
 * executors — ``serial`` / ``thread`` / ``process`` backends behind one
   round protocol (:func:`make_executor`);
 * :class:`Coordinator` — map-reduce Lloyd with a sequential-continuation
-  merge (bit-identical to single-worker for any shard count), an ABFT
-  checksum over the merged partials, and checkpoint/restart recovery;
+  merge (bit-identical to single-worker for any shard count *and any
+  membership history*), an ABFT checksum over the merged partials,
+  checkpoint/restart recovery, round-deadline stall detection
+  (:class:`WorkerStall`) and elastic shrink-onto-survivors recovery;
 * :class:`CheckpointStore` — atomic in-memory or on-disk snapshots;
 * :class:`WorkerFaultInjector` — crash / stall / corrupt-partial
   injection for the recovery tests and benchmarks.
 
 Usually reached through the estimator::
 
-    FTKMeans(n_clusters=64, n_workers=4, executor="thread",
-             checkpoint_every=5).fit(x)
+    FTKMeans(n_clusters=64, n_workers=4, executor="process",
+             checkpoint_every=5, round_timeout=30.0, elastic=True).fit(x)
 
 but every piece is public for direct composition.  The contract lives
 in ``docs/distributed.md``.
@@ -37,6 +39,7 @@ from repro.dist.faults import (
     WorkerCrash,
     WorkerFaultInjector,
     WorkerFaultPlan,
+    WorkerStall,
 )
 from repro.dist.plan import Shard, ShardPlan
 from repro.dist.worker import RoundResult, ShardWorker
@@ -55,6 +58,7 @@ __all__ = [
     "DistFitResult",
     "CheckpointStore",
     "WorkerCrash",
+    "WorkerStall",
     "WorkerFaultPlan",
     "WorkerFaultInjector",
 ]

@@ -14,15 +14,24 @@ Two storage modes behind one API:
   store object.  Pickling is kept even here so a restore always yields
   fresh objects — the live fit state can never alias a snapshot.
 * **directory-backed** (``directory=...``): snapshots persist as
-  ``ckpt_<iteration>.pkl`` files written atomically (tmp + ``os.replace``)
-  so a crash mid-write never corrupts the newest restorable state.
-  Only the ``keep`` newest files are retained.
+  ``ckpt_<iteration>.pkl`` files written atomically — a uniquely-named
+  tmp file is written, fsynced, then ``os.replace``\\ d into place — so
+  a crash mid-write never corrupts the newest restorable state.  A
+  crash *between* write and replace can still strand the tmp file, so
+  stray ``*.tmp`` files are swept on construction and by :meth:`clear`.
+  The sweep spares tmp files younger than ``TMP_SWEEP_AGE_S`` — unique
+  names stop writers colliding with *each other*, but only the age
+  guard stops a glob-based sweep from unlinking a concurrent writer's
+  live tmp (a healthy save holds its tmp for milliseconds).  Only the
+  ``keep`` newest files are retained.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import tempfile
+import time
 from pathlib import Path
 
 __all__ = ["CheckpointStore"]
@@ -30,6 +39,11 @@ __all__ = ["CheckpointStore"]
 
 class CheckpointStore:
     """Iteration-keyed snapshot store (in-memory or directory-backed)."""
+
+    #: tmp files younger than this are presumed to be a concurrent
+    #: writer's live tmp and spared by the sweep; stranded files age
+    #: past it and get collected by the next construction / clear()
+    TMP_SWEEP_AGE_S = 60.0
 
     def __init__(self, directory: str | os.PathLike | None = None, *,
                  keep: int = 2):
@@ -39,11 +53,26 @@ class CheckpointStore:
         self.directory = Path(directory) if directory is not None else None
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
+            self._sweep_tmp()
         self._mem: dict[int, bytes] = {}
 
     # ------------------------------------------------------------------
     def _path(self, iteration: int) -> Path:
         return self.directory / f"ckpt_{iteration:08d}.pkl"
+
+    def _sweep_tmp(self) -> None:
+        """Remove tmp files stranded by a crash between write and
+        replace (they are unreachable by any restore path, but neither
+        pruning nor the iteration glob would ever touch them).  Recent
+        tmp files are spared — they may belong to a concurrent writer
+        mid-save on a shared directory."""
+        cutoff = time.time() - self.TMP_SWEEP_AGE_S
+        for p in self.directory.glob("*.tmp"):
+            try:
+                if p.stat().st_mtime <= cutoff:
+                    p.unlink(missing_ok=True)
+            except OSError:
+                continue
 
     def save(self, iteration: int, state: dict) -> None:
         """Snapshot ``state`` under ``iteration`` (atomic on disk)."""
@@ -55,9 +84,21 @@ class CheckpointStore:
             for it in sorted(self._mem)[:-self.keep]:
                 del self._mem[it]
             return
-        tmp = self._path(iteration).with_suffix(".tmp")
-        tmp.write_bytes(blob)
-        os.replace(tmp, self._path(iteration))
+        # unique tmp name (two writers on one directory can never step
+        # on each other's half-written blob) + fsync before the rename,
+        # so the renamed file is durably the full snapshot
+        fd, tmp = tempfile.mkstemp(dir=self.directory,
+                                   prefix=f"ckpt_{iteration:08d}.",
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                f.write(blob)
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp, self._path(iteration))
+        except BaseException:
+            Path(tmp).unlink(missing_ok=True)
+            raise
         for it in self.iterations[:-self.keep]:
             self._path(it).unlink(missing_ok=True)
 
@@ -93,3 +134,4 @@ class CheckpointStore:
         if self.directory is not None:
             for it in self.iterations:
                 self._path(it).unlink(missing_ok=True)
+            self._sweep_tmp()

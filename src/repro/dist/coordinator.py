@@ -33,6 +33,23 @@ factory) and replays.  The Lloyd step is deterministic given ``(x, y)``
 and worker SEU streams are keyed by ``(seed, worker, iteration)``, so
 the replayed trajectory — and the final centroids — are bit-identical
 to an uninterrupted run.
+
+**Failure detection and elastic membership.**  ``round_timeout`` arms
+the executors' round deadline: a worker that has not answered in time
+is terminated and surfaces as a typed :class:`WorkerStall` (counted in
+``PerfCounters.worker_stalls``) instead of hanging the fit forever —
+the stalled-but-alive failure mode a blocking ``recv()`` could never
+escape.  With ``elastic=True`` the coordinator recovers by *shrinking*:
+it asks the :class:`ShardPlan` to re-plan the lost rows onto the
+surviving workers (boundaries stay on the same GEMM-unit grid, shards
+stay in row order), restores the newest checkpoint and continues with
+fewer workers — no respawn of the dead.  Because per-row outputs are
+shard-geometry-independent and the merge is a sequential continuation
+in row order, the post-shrink trajectory stays bit-identical to
+``n_workers=1`` for **any membership history**.  The same
+:meth:`ShardPlan.replan` re-expands onto a larger member set when a
+replacement spawns.  With ``elastic=False`` (default) recovery respawns
+the full original worker set, as before.
 """
 
 from __future__ import annotations
@@ -82,8 +99,11 @@ class DistFitResult:
     clock: SimClock
     recoveries: int
     trace: list[dict] = field(default_factory=list)
-    plan: ShardPlan | None = None
+    plan: ShardPlan | None = None        # final plan (post-shrink)
     executor: str = "serial"
+    crash_recoveries: int = 0            # workers lost to death
+    stall_recoveries: int = 0            # workers lost to the deadline
+    shrinks: int = 0                     # elastic re-plans performed
 
 
 class Coordinator:
@@ -113,6 +133,14 @@ class Coordinator:
         :class:`WorkerCrash` to the caller.
     partial_tol : float
         Relative threshold of the merged-partials checksum test.
+    elastic : bool, optional
+        Recover from a worker loss by re-sharding onto the survivors
+        instead of respawning the full set; defaults to ``cfg.elastic``.
+    round_timeout : float, optional
+        Seconds each executor round may take before unanswered workers
+        are classified stalled (:class:`WorkerStall`); defaults to
+        ``cfg.round_timeout`` (None = no deadline, the legacy blocking
+        behaviour).
     """
 
     def __init__(self, cfg: KMeansConfig, *,
@@ -122,7 +150,9 @@ class Coordinator:
                  checkpoint_every: int | None = None,
                  worker_faults: WorkerFaultInjector | None = None,
                  max_recoveries: int = 8,
-                 partial_tol: float = PARTIAL_CHECK_RTOL):
+                 partial_tol: float = PARTIAL_CHECK_RTOL,
+                 elastic: bool | None = None,
+                 round_timeout: float | None = None):
         if cfg.mode != "fast":
             raise ValueError("sharded execution requires mode='fast'")
         self.cfg = cfg
@@ -137,6 +167,15 @@ class Coordinator:
         self.faults = worker_faults
         self.max_recoveries = int(max_recoveries)
         self.partial_tol = float(partial_tol)
+        self.elastic = bool(cfg.elastic if elastic is None else elastic)
+        round_timeout = (cfg.round_timeout if round_timeout is None
+                         else round_timeout)
+        if round_timeout is not None and round_timeout <= 0:
+            raise ValueError(
+                f"round_timeout must be > 0, got {round_timeout}")
+        self.round_timeout = (None if round_timeout is None
+                              else float(round_timeout))
+        self.executor.round_timeout = self.round_timeout
 
     # ------------------------------------------------------------------
     def _worker_cfg(self, m: int, k: int) -> KMeansConfig:
@@ -177,10 +216,16 @@ class Coordinator:
         base_seed = cfg.seed if cfg.seed is not None else 0
 
         # functools.partial of a module-level function: picklable, so
-        # the process executor can ship it under any start method
-        factory = partial(build_worker, x=x, plan=plan, cfg=worker_cfg,
-                          n_clusters=n_clusters, sample_weight=sample_weight,
-                          base_seed=base_seed)
+        # the process executor can ship it under any start method.  The
+        # plan is baked in, so every membership change builds a fresh
+        # factory for the executor restart.
+        def make_factory(p: ShardPlan):
+            return partial(build_worker, x=x, plan=p, cfg=worker_cfg,
+                           n_clusters=n_clusters,
+                           sample_weight=sample_weight,
+                           base_seed=base_seed)
+
+        factory = make_factory(plan)
 
         updater = UpdateStage(cfg.device, cfg.dtype, dmr=cfg.dmr_update,
                               update_mode=cfg.resolved_update_mode())
@@ -195,6 +240,9 @@ class Coordinator:
         counters = PerfCounters()
         trace: list[dict] = []
         recoveries = 0
+        crash_workers_lost = 0
+        stall_workers_lost = 0
+        shrinks = 0
         converged = False
         upd = None
         # coordinator-level fault events are one-shot: a checkpoint
@@ -225,8 +273,16 @@ class Coordinator:
                     results = self.executor.run_round(y, it, directives)
                 except WorkerCrash as crash:
                     recoveries += 1
-                    trace.append({"kind": "crash", "worker": crash.worker_id,
-                                  "iteration": it, "reason": crash.reason})
+                    crash_workers_lost += len(crash.crashed_ids)
+                    stall_workers_lost += len(crash.stalled_ids)
+                    for wid in crash.crashed_ids:
+                        trace.append({"kind": "crash", "worker": wid,
+                                      "iteration": it,
+                                      "reason": crash.reason})
+                    for wid in crash.stalled_ids:
+                        trace.append({"kind": "stall_timeout", "worker": wid,
+                                      "iteration": it,
+                                      "round_timeout": self.round_timeout})
                     if recoveries > self.max_recoveries:
                         raise
                     loaded = self.store.load_latest()
@@ -239,7 +295,25 @@ class Coordinator:
                     counters = state["counters"]
                     trace.append({"kind": "restore",
                                   "iteration": restored_it})
-                    self.executor.restart()
+                    survivors = tuple(w for w in plan.worker_ids
+                                      if w not in crash.failed_ids)
+                    if self.elastic and survivors:
+                        # shrink: the lost rows re-shard onto the
+                        # survivors (same unit grid, same row order, so
+                        # the merge bits never move); only survivors
+                        # respawn
+                        plan = plan.replan(survivors)
+                        factory = make_factory(plan)
+                        shrinks += 1
+                        trace.append({"kind": "shrink", "iteration": it,
+                                      "lost": sorted(crash.failed_ids),
+                                      "survivors": list(plan.worker_ids),
+                                      "n_workers": plan.n_workers})
+                        self.executor.restart(factory, plan.worker_ids)
+                    else:
+                        # non-elastic (or every member lost at once):
+                        # respawn the current membership in full
+                        self.executor.restart()
                     it = restored_it + 1
                     continue
 
@@ -282,10 +356,12 @@ class Coordinator:
         finally:
             self.executor.shutdown()
 
-        # fold the restore-proof tallies into the final counter totals
-        counters.worker_crashes = recoveries
+        # fold the restore-proof tallies into the final counter totals:
+        # crashes and deadline-tripped stalls count the workers lost,
+        # tolerated (sub-deadline) stall directives count as stragglers
+        counters.worker_crashes = crash_workers_lost
+        counters.worker_stalls += stall_workers_lost + faults_seen["stalls"]
         counters.checkpoint_restores = recoveries
-        counters.worker_stalls += faults_seen["stalls"]
         counters.errors_injected += faults_seen["injected"]
         counters.errors_detected += faults_seen["detected"]
         counters.errors_corrected += faults_seen["corrected"]
@@ -297,7 +373,9 @@ class Coordinator:
             inertia_history=list(monitor.history), n_iter=n_iter,
             converged=converged, counters=counters, clock=clock,
             recoveries=recoveries, trace=trace, plan=plan,
-            executor=getattr(self.executor, "name", "custom"))
+            executor=getattr(self.executor, "name", "custom"),
+            crash_recoveries=crash_workers_lost,
+            stall_recoveries=stall_workers_lost, shrinks=shrinks)
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -20,30 +20,79 @@ All three return round results **in worker order**, so the coordinator's
 merge order — and therefore every accumulated bit — is
 executor-independent.  A crashed worker surfaces as
 :class:`~repro.dist.faults.WorkerCrash` from :meth:`run_round`;
-``restart()`` rebuilds the full worker set from the factory the
-coordinator registered with :meth:`start`.
+``restart()`` rebuilds the worker set from the factory the coordinator
+registered with :meth:`start` — or from a *new* (factory, worker set)
+when the coordinator re-shards elastically after a loss.
+
+**Failure detection.**  Every backend honours ``round_timeout`` (seconds
+per round, None = wait forever): a worker that has not answered when the
+deadline expires is classified *stalled* and surfaces as a typed
+:class:`~repro.dist.faults.WorkerStall`.  How hard the detector can act
+differs by backend:
+
+* ``process`` — the real detector: ``Connection``\\ s are polled against
+  the deadline and an expired worker is escalated (terminate, then
+  kill), so a stalled-but-alive child can never hang the fit.  Child
+  boot is excluded from the deadline by a spawn-time ready handshake;
+* ``thread`` — futures time out at the deadline; the stalled thread
+  cannot be killed, so recovery *abandons* it (thread + worker are
+  dropped, reclaimed when the stall runs dry) rather than joining —
+  the fit's wall time stays bounded, at the cost of a leaked thread
+  for the stall's duration;
+* ``serial`` — no preemption is possible in-process; the stall is
+  detected *retroactively* from the worker's wall time (useful for
+  deterministic recovery tests).
+
+A round collects **every** failure before raising — after the first
+dead pipe the remaining connections are drained under per-connection
+deadlines, so a second crashed or stalled worker in the same round can
+never turn recovery into a hang.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import threading
+import time
 from abc import ABC, abstractmethod
-from concurrent.futures import ThreadPoolExecutor
+from multiprocessing.connection import wait as conn_wait
 
-from repro.dist.faults import WorkerCrash
+from repro.dist.faults import WorkerCrash, WorkerStall
 from repro.dist.worker import RoundResult, ShardWorker
 
 __all__ = ["BaseExecutor", "SerialExecutor", "ThreadExecutor",
            "ProcessExecutor", "make_executor"]
 
 
+def _round_failure(iteration: int, crashed: list[int], stalled: list[int],
+                   crash_reason: str = "worker died") -> WorkerCrash:
+    """One typed exception for everything a round lost.
+
+    Crash outranks stall (any dead worker makes it a
+    :class:`WorkerCrash`, stalled ids riding along); a stall-only round
+    raises the :class:`WorkerStall` subtype so the coordinator can
+    classify and count the two failure kinds separately.
+    """
+    if crashed:
+        return WorkerCrash(crashed[0], iteration, reason=crash_reason,
+                           crashed_ids=tuple(crashed),
+                           stalled_ids=tuple(stalled))
+    return WorkerStall(stalled[0], iteration, stalled_ids=tuple(stalled))
+
+
 class BaseExecutor(ABC):
-    """Round-based execution of a fixed worker set."""
+    """Round-based execution of a (re-startable) worker set.
+
+    ``round_timeout`` — seconds each round may take before unanswered
+    workers are classified stalled (None = no deadline); the coordinator
+    sets it from the fit configuration.
+    """
 
     def __init__(self) -> None:
         self._factory = None
         self._worker_ids: tuple[int, ...] = ()
+        self.round_timeout: float | None = None
 
     def start(self, factory, worker_ids) -> None:
         """Build one worker per id via ``factory(worker_id)``."""
@@ -51,10 +100,20 @@ class BaseExecutor(ABC):
         self._worker_ids = tuple(worker_ids)
         self._spawn()
 
-    def restart(self) -> None:
-        """Tear down every worker and rebuild from the factory (crash
-        recovery; surviving workers restart too so the whole round
-        replays from a clean slate)."""
+    def restart(self, factory=None, worker_ids=None) -> None:
+        """Tear down every worker and rebuild (crash recovery).
+
+        With no arguments the original worker set respawns from the
+        registered factory; passing a new ``factory`` / ``worker_ids``
+        re-registers them first — the elastic path, where the
+        coordinator re-shards onto the survivors and restarts only
+        those.  Surviving workers restart too either way, so the whole
+        round replays from a clean slate.
+        """
+        if factory is not None:
+            self._factory = factory
+        if worker_ids is not None:
+            self._worker_ids = tuple(worker_ids)
         self._teardown()
         self._spawn()
 
@@ -93,46 +152,122 @@ class SerialExecutor(BaseExecutor):
         self._workers = {}
 
     def run_round(self, y, iteration, directives) -> list[RoundResult]:
-        return [self._workers[wid].run_round(y, iteration,
-                                             directives.get(wid))
-                for wid in self._worker_ids]
+        results, crashed, stalled = [], [], []
+        for wid in self._worker_ids:
+            t0 = time.monotonic()
+            try:
+                res = self._workers[wid].run_round(y, iteration,
+                                                   directives.get(wid))
+            except WorkerCrash:
+                # keep going: the round collects every failure (a crash
+                # must not drop stalls already detected, or still to
+                # come, from the classification)
+                crashed.append(wid)
+                continue
+            results.append(res)
+            # in-process, sequential: preemption is impossible, so the
+            # deadline is enforced retroactively on the worker's wall
+            # time (the round's results are discarded by recovery)
+            if (self.round_timeout is not None
+                    and time.monotonic() - t0 > self.round_timeout):
+                stalled.append(wid)
+        if crashed or stalled:
+            raise _round_failure(iteration, crashed, stalled,
+                                 crash_reason="injected")
+        return results
+
+
+class _RoundTask:
+    """One worker's round on a daemon thread (a poor man's future).
+
+    Daemon on purpose: ``ThreadPoolExecutor`` threads are non-daemon
+    and joined by an atexit hook, so an *unbounded* stall abandoned in
+    a pool would block interpreter exit — the hang this layer exists to
+    prevent, resurfacing one layer down.  A daemon thread just dies
+    with the process.
+    """
+
+    def __init__(self, fn, args):
+        self.result = None
+        self.exc: BaseException | None = None
+        self.done = threading.Event()
+        self.thread = threading.Thread(target=self._run, args=(fn, args),
+                                       daemon=True)
+        self.thread.start()
+
+    def _run(self, fn, args):
+        try:
+            self.result = fn(*args)
+        except BaseException as exc:
+            self.exc = exc
+        finally:
+            self.done.set()
 
 
 class ThreadExecutor(BaseExecutor):
-    """One thread per worker; rounds join before returning."""
+    """One daemon thread per worker per round; rounds join before
+    returning."""
 
     name = "thread"
 
     def _spawn(self) -> None:
         self._workers = {wid: self._factory(wid) for wid in self._worker_ids}
-        self._pool = ThreadPoolExecutor(
-            max_workers=max(1, len(self._worker_ids)))
+        self._inflight: dict[int, _RoundTask] = {}
 
     def _teardown(self) -> None:
-        pool = getattr(self, "_pool", None)
-        if pool is not None:
-            pool.shutdown(wait=True)
-            self._pool = None
-        for w in getattr(self, "_workers", {}).values():
-            w.close()
+        # a stalled thread cannot be killed, and joining it would block
+        # recovery for the whole stall — abandon it instead: its worker
+        # is left un-closed (the thread still owns it; engine caches are
+        # reclaimed by GC once the round finishes, and the daemon thread
+        # never blocks process exit)
+        running = {wid for wid, task in getattr(self, "_inflight",
+                                                {}).items()
+                   if not task.done.is_set()}
+        for wid, w in getattr(self, "_workers", {}).items():
+            if wid not in running:
+                w.close()
         self._workers = {}
+        self._inflight = {}
 
     def run_round(self, y, iteration, directives) -> list[RoundResult]:
-        futures = [
-            self._pool.submit(self._workers[wid].run_round, y, iteration,
-                              directives.get(wid))
-            for wid in self._worker_ids]
-        results, crash = [], None
-        # drain every future before raising: no worker may still be
-        # writing when the coordinator starts recovery
-        for fut in futures:
-            try:
-                results.append(fut.result())
-            except WorkerCrash as exc:
-                crash = crash or exc
-        if crash is not None:
-            raise crash
-        return results
+        deadline = (None if self.round_timeout is None
+                    else time.monotonic() + self.round_timeout)
+        tasks = {wid: _RoundTask(self._workers[wid].run_round,
+                                 (y, iteration, directives.get(wid)))
+                 for wid in self._worker_ids}
+        self._inflight = tasks
+        results: dict[int, RoundResult] = {}
+        crashed, stalled = [], []
+        # drain every task before raising: no worker may still be
+        # writing when the coordinator starts recovery.  All workers run
+        # concurrently, so one absolute deadline doubles as the
+        # per-task deadline.
+        for wid, task in tasks.items():
+            if deadline is None:
+                task.done.wait()
+            elif not task.done.wait(max(0.0,
+                                        deadline - time.monotonic())):
+                # a thread cannot be killed: mark it stalled; teardown
+                # abandons it (thread + worker reclaimed when the stall
+                # runs dry) so recovery never waits the stall out
+                stalled.append(wid)
+                continue
+            if isinstance(task.exc, WorkerCrash):
+                crashed.append(wid)
+            elif task.exc is not None:
+                raise task.exc
+            else:
+                results[wid] = task.result
+        if crashed or stalled:
+            raise _round_failure(iteration, crashed, stalled,
+                                 crash_reason="injected")
+        return [results[wid] for wid in self._worker_ids]
+
+
+#: spawn handshake sentinel: the child sends it once its worker is
+#: built, so boot cost (interpreter + shard unpickling under 'spawn')
+#: never counts against a round deadline
+_READY = "__worker_ready__"
 
 
 def _child_main(conn, factory, worker_id: int) -> None:
@@ -143,6 +278,7 @@ def _child_main(conn, factory, worker_id: int) -> None:
     like: a broken pipe.
     """
     worker = factory(worker_id)
+    conn.send(_READY)
     try:
         while True:
             try:
@@ -172,6 +308,32 @@ class ProcessExecutor(BaseExecutor):
 
     name = "process"
 
+    #: recv bound (seconds) for the *remaining* connections once a round
+    #: has already lost a worker and no round deadline is configured: a
+    #: second stalled worker must never turn a crash into a hang.  On
+    #: expiry the pending children are abandoned, not killed — without a
+    #: configured deadline nothing licenses classifying them stalled —
+    #: and the recovery restart's teardown reaps them.
+    DRAIN_TIMEOUT = 5.0
+
+    #: seconds teardown waits for a child to exit after the shutdown
+    #: message before escalating to terminate (abandoned or stalled
+    #: children ignore the message and eat the whole wait)
+    JOIN_TIMEOUT = 5.0
+
+    #: seconds each child gets to finish booting and send its ready
+    #: handshake at (re)spawn.  Keeping boot out of the round protocol
+    #: means a round deadline measures compute + IPC only — a slow
+    #: cold start (interpreter boot, numpy import, shard unpickling
+    #: under 'spawn') can never be misread as a stall.
+    SPAWN_TIMEOUT = 120.0
+
+    #: per-send floor (seconds) under an expired round deadline.  Send
+    #: is pure IPC — a healthy child drains its pipe in microseconds —
+    #: so after one wedged worker eats the whole round budget, later
+    #: sends still get this grace instead of being condemned unsent.
+    SEND_GRACE = 0.25
+
     def __init__(self, start_method: str | None = None):
         super().__init__()
         if start_method is None:
@@ -191,6 +353,22 @@ class ProcessExecutor(BaseExecutor):
             child.close()
             self._procs[wid] = proc
             self._conns[wid] = parent
+        # collect every child's ready handshake before the first round:
+        # a worker that cannot even boot is not recoverable by respawn,
+        # so this raises (after cleaning up the brood) instead of
+        # letting run_round misclassify the boot as a stall
+        for wid in self._worker_ids:
+            conn = self._conns[wid]
+            msg = None
+            try:
+                if conn.poll(self.SPAWN_TIMEOUT):
+                    msg = conn.recv()
+            except (EOFError, OSError):
+                msg = None
+            if msg != _READY:
+                self._teardown()
+                raise WorkerCrash(wid, 0,
+                                  reason="worker failed to start")
 
     def _teardown(self) -> None:
         for wid, conn in getattr(self, "_conns", {}).items():
@@ -200,30 +378,139 @@ class ProcessExecutor(BaseExecutor):
                 pass
             conn.close()
         for proc in getattr(self, "_procs", {}).values():
-            proc.join(timeout=5.0)
+            proc.join(timeout=self.JOIN_TIMEOUT)
             if proc.is_alive():
                 proc.terminate()
                 proc.join(timeout=5.0)
         self._procs = {}
         self._conns = {}
 
-    def run_round(self, y, iteration, directives) -> list[RoundResult]:
-        for wid in self._worker_ids:
+    def _kill_worker(self, wid: int) -> None:
+        """Escalated removal of a stalled child: terminate, then kill.
+
+        The worker is dropped from the live maps so teardown/respawn
+        never touches the corpse again.
+        """
+        proc = self._procs.pop(wid, None)
+        conn = self._conns.pop(wid, None)
+        if proc is not None and proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=1.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=5.0)
+        if conn is not None:
             try:
-                self._conns[wid].send((y, iteration, directives.get(wid)))
+                conn.close()
+            except OSError:
+                pass
+
+    def _send_bounded(self, wid: int, payload, deadline: float) -> str:
+        """Broadcast to one worker under the round deadline.
+
+        A healthy child sits in ``recv()`` between rounds, draining its
+        pipe — but a wedged one leaves the buffer full, and a payload
+        larger than the OS pipe buffer then blocks ``send()`` *before*
+        the recv deadline ever starts.  Shipping from a helper thread
+        bounds it: on expiry the child is killed, which breaks the pipe
+        and unblocks the writer.  Returns 'ok' / 'crashed' / 'stalled'.
+        """
+        conn = self._conns[wid]
+        outcome: list = []
+
+        def ship():
+            try:
+                conn.send(payload)
+                outcome.append("ok")
             except (BrokenPipeError, OSError):
-                raise WorkerCrash(wid, iteration, reason="send failed")
-        results, crash = [], None
+                outcome.append("crashed")
+            except BaseException as exc:     # e.g. a pickling TypeError
+                outcome.append(exc)
+
+        t = threading.Thread(target=ship, daemon=True)
+        t.start()
+        t.join(max(self.SEND_GRACE, deadline - time.monotonic()))
+        if t.is_alive():
+            # deadline hit mid-send: the child is not draining its pipe
+            self._kill_worker(wid)       # EPIPE unblocks the writer
+            t.join(timeout=5.0)
+            return "stalled"
+        got = outcome[0] if outcome else "crashed"
+        if isinstance(got, BaseException):
+            # a non-IPC failure (bad payload) is the caller's bug, not a
+            # worker fault: surface it instead of spinning recovery
+            raise got
+        return got
+
+    def run_round(self, y, iteration, directives) -> list[RoundResult]:
+        crashed, stalled = [], []
+        deadline = (None if self.round_timeout is None
+                    else time.monotonic() + self.round_timeout)
         for wid in self._worker_ids:
-            try:
-                results.append(self._conns[wid].recv())
-            except (EOFError, OSError):
-                # the child is gone: a real (or injected-hard-exit) death
-                crash = crash or WorkerCrash(wid, iteration,
-                                             reason="worker process died")
-        if crash is not None:
-            raise crash
-        return results
+            if deadline is None:
+                try:
+                    self._conns[wid].send((y, iteration,
+                                           directives.get(wid)))
+                except (BrokenPipeError, OSError):
+                    crashed.append(wid)
+            else:
+                sent = self._send_bounded(
+                    wid, (y, iteration, directives.get(wid)), deadline)
+                if sent == "crashed":
+                    crashed.append(wid)
+                elif sent == "stalled":
+                    stalled.append(wid)
+        # per-phase budget: the broadcast above was bounded on its own
+        # deadline, so the answer deadline starts only now — a wedged
+        # send (killed above) can never condemn the other workers'
+        # compute time.  A worst-case faulty round is therefore bounded
+        # by ~2x round_timeout, never unbounded.
+        deadline = (None if self.round_timeout is None
+                    else time.monotonic() + self.round_timeout)
+        results: dict[int, RoundResult] = {}
+        # workers killed at send time are already out of _conns
+        pending = {self._conns[wid]: wid for wid in self._worker_ids
+                   if wid not in crashed and wid in self._conns}
+        while pending:
+            if deadline is not None:
+                timeout = max(0.0, deadline - time.monotonic())
+            elif crashed or stalled:
+                # the round already lost a worker: bound the remaining
+                # recv()s so a second stalled worker cannot hang recovery
+                timeout = self.DRAIN_TIMEOUT
+            else:
+                timeout = None       # wait forever (legacy behaviour)
+            ready = conn_wait(list(pending), timeout)
+            if not ready:
+                if deadline is not None:
+                    # the configured deadline expired with answers still
+                    # missing: every pending child is stalled-but-alive
+                    # — escalate
+                    for conn, wid in list(pending.items()):
+                        self._kill_worker(wid)
+                        stalled.append(wid)
+                else:
+                    # drain bound hit with *no* deadline configured: the
+                    # user never opted into stall detection, so pending
+                    # children may just be slow — abandon their answers
+                    # (the round is discarded by recovery anyway) without
+                    # killing or evicting them; the recovery restart's
+                    # teardown reaps them, escalating only if they
+                    # ignore it
+                    pass
+                pending.clear()
+                break
+            for conn in ready:
+                wid = pending.pop(conn)
+                try:
+                    results[wid] = conn.recv()
+                except (EOFError, OSError):
+                    # the child is gone: real (or injected-hard-exit) death
+                    crashed.append(wid)
+        if crashed or stalled:
+            raise _round_failure(iteration, crashed, stalled,
+                                 crash_reason="worker process died")
+        return [results[wid] for wid in self._worker_ids]
 
 
 def make_executor(name: str) -> BaseExecutor:

@@ -40,7 +40,8 @@ import numpy as np
 from repro.gpusim.faults import FaultPlan
 
 __all__ = ["CRASH", "STALL", "CORRUPT_PARTIAL", "WORKER_FAULT_KINDS",
-           "WorkerCrash", "WorkerFaultPlan", "WorkerFaultInjector"]
+           "WorkerCrash", "WorkerStall", "WorkerFaultPlan",
+           "WorkerFaultInjector"]
 
 CRASH = "crash"
 STALL = "stall"
@@ -52,17 +53,53 @@ class WorkerCrash(RuntimeError):
     """A worker died (injected or real) during a round.
 
     The coordinator catches this, restores the last checkpoint and
-    restarts the executor; it propagates only when recovery is
-    exhausted (``max_recoveries``).
+    restarts (or elastically re-shards) the executor; it propagates only
+    when recovery is exhausted (``max_recoveries``).
+
+    A round can lose more than one worker: executors collect *every*
+    failure of the round before raising (a second dead or stalled worker
+    must never turn recovery into a hang), so the exception carries the
+    full classification — ``crashed_ids`` (workers observed dead) and
+    ``stalled_ids`` (workers that blew the round deadline and were
+    terminated).  ``worker_id`` stays the first failure for
+    backward-compatible messages and traces.
     """
 
     def __init__(self, worker_id: int, iteration: int,
-                 reason: str = "injected"):
+                 reason: str = "injected", *,
+                 crashed_ids=None, stalled_ids=None):
         super().__init__(
             f"worker {worker_id} crashed at iteration {iteration} ({reason})")
         self.worker_id = worker_id
         self.iteration = iteration
         self.reason = reason
+        self.crashed_ids = (tuple(crashed_ids) if crashed_ids is not None
+                            else (worker_id,))
+        self.stalled_ids = tuple(stalled_ids or ())
+
+    @property
+    def failed_ids(self) -> tuple:
+        """Every worker lost this round (crashed then stalled)."""
+        return self.crashed_ids + self.stalled_ids
+
+
+class WorkerStall(WorkerCrash):
+    """A worker blew the round deadline (stalled-but-alive).
+
+    Raised by executors whose ``round_timeout`` expired while one or
+    more workers had not answered.  A subclass of :class:`WorkerCrash`
+    so every existing recovery path applies; the coordinator classifies
+    it separately (``worker_stalls`` vs ``worker_crashes``) and, with
+    ``elastic=True``, re-shards onto the survivors instead of
+    respawning the stalled worker.
+    """
+
+    def __init__(self, worker_id: int, iteration: int,
+                 reason: str = "stalled past round deadline", *,
+                 stalled_ids=None):
+        super().__init__(worker_id, iteration, reason, crashed_ids=(),
+                         stalled_ids=(stalled_ids if stalled_ids is not None
+                                      else (worker_id,)))
 
 
 @dataclass(frozen=True)

@@ -16,6 +16,14 @@ each worker receives ``U // W`` units and the first ``U % W`` workers one
 extra.  When there are fewer units than requested workers, the plan
 clamps to one shard per unit (the effective worker count the coordinator
 then uses).
+
+**Elastic membership.**  :meth:`ShardPlan.replan` re-partitions the same
+``[0, m)`` rows onto an arbitrary member set — the surviving workers
+after a loss, or a grown set when replacements spawn.  The re-plan keeps
+the two invariants the merge depends on: boundaries stay on the same
+unit grid, and shards stay in ascending row order (members sorted by
+id), so the coordinator's sequential-continuation merge over the new
+shards carries exactly the same bits as before the membership change.
 """
 
 from __future__ import annotations
@@ -25,6 +33,24 @@ from dataclasses import dataclass
 from repro.utils.arrays import ceil_div
 
 __all__ = ["Shard", "ShardPlan"]
+
+
+def _partition(m: int, unit_rows: int, worker_ids) -> tuple["Shard", ...]:
+    """Balanced unit-aligned shards over ``[0, m)``, one per worker id,
+    assigned in the given id order (ascending row ranges)."""
+    ids = list(worker_ids)
+    n_units = ceil_div(m, unit_rows)
+    eff = min(len(ids), n_units)
+    base, extra = divmod(n_units, eff)
+    shards = []
+    lo = 0
+    for i in range(eff):
+        units = base + (1 if i < extra else 0)
+        hi = min(lo + units * unit_rows, m)
+        shards.append(Shard(worker_id=ids[i], lo=lo, hi=hi))
+        lo = hi
+    assert lo == m, "shard plan does not cover all rows"
+    return tuple(shards)
 
 
 @dataclass(frozen=True)
@@ -73,18 +99,33 @@ class ShardPlan:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         if unit_rows < 1:
             raise ValueError(f"unit_rows must be >= 1, got {unit_rows}")
-        n_units = ceil_div(m, unit_rows)
-        eff = min(n_workers, n_units)
-        base, extra = divmod(n_units, eff)
-        shards = []
-        lo = 0
-        for wid in range(eff):
-            units = base + (1 if wid < extra else 0)
-            hi = min(lo + units * unit_rows, m)
-            shards.append(Shard(worker_id=wid, lo=lo, hi=hi))
-            lo = hi
-        assert lo == m, "shard plan does not cover all rows"
-        return cls(m=m, unit_rows=unit_rows, shards=tuple(shards))
+        return cls(m=m, unit_rows=unit_rows,
+                   shards=_partition(m, unit_rows, range(n_workers)))
+
+    def replan(self, member_ids) -> "ShardPlan":
+        """The same rows, re-balanced onto ``member_ids`` (elastic).
+
+        Used by the coordinator to shrink onto the survivors after a
+        worker loss — or to re-expand when replacements spawn.  Members
+        are sorted by id and assigned shards in row order, boundaries
+        stay on the original unit grid, and the member count clamps to
+        the unit count exactly like :meth:`build`; the merge order (and
+        therefore every merged bit) is unchanged by any membership
+        history.
+        """
+        members = sorted({int(w) for w in member_ids})
+        if not members:
+            raise ValueError("replan needs at least one member")
+        return ShardPlan(m=self.m, unit_rows=self.unit_rows,
+                         shards=_partition(self.m, self.unit_rows, members))
+
+    def shard_of(self, worker_id: int) -> Shard:
+        """The shard owned by ``worker_id`` (ids are sparse after a
+        re-plan, so positional indexing does not apply)."""
+        for shard in self.shards:
+            if shard.worker_id == worker_id:
+                return shard
+        raise KeyError(f"worker {worker_id} owns no shard in this plan")
 
     @property
     def n_workers(self) -> int:

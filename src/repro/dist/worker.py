@@ -148,9 +148,11 @@ def build_worker(worker_id: int, *, x: np.ndarray, plan, cfg,
 
     Slices the worker's shard out of the full arrays via the
     :class:`~repro.dist.plan.ShardPlan`, so one factory serves the
-    initial spawn and every post-crash respawn alike.
+    initial spawn and every post-crash respawn alike.  Lookup is by
+    worker id, not position: after an elastic re-plan the surviving ids
+    are sparse.
     """
-    shard = plan.shards[worker_id]
+    shard = plan.shard_of(worker_id)
     w = (None if sample_weight is None
          else sample_weight[shard.lo:shard.hi])
     return ShardWorker(worker_id, x[shard.lo:shard.hi], cfg, n_clusters,

@@ -86,8 +86,9 @@ class TestSmokeGate:
 
 class TestDistSmokeGate:
     """`runner --smoke` also exercises the sharded layer: a tiny
-    2-worker scaling + recovery record must land in BENCH_dist.json
-    with the bit-identity and recovery columns intact."""
+    2-worker scaling + crash-recovery + elastic stall-then-shrink
+    record must land in BENCH_dist.json with the bit-identity,
+    recovery and shrink columns intact."""
 
     def test_runner_smoke_records_dist_scaling(self, tmp_path):
         fp_out = tmp_path / "fastpath.json"
@@ -96,7 +97,7 @@ class TestDistSmokeGate:
                      "--dist-out", str(dist_out),
                      "--m", "1024", "--iters", "1"])
         doc = json.loads(dist_out.read_text())
-        assert doc["schema"] == "dist_scaling/v1"
+        assert doc["schema"] == "dist_scaling/v2"
         (record,) = doc["entries"]
         workers = [row["workers"] for row in record["grid"]]
         assert workers == record["config"]["workers_grid"] == [1, 2]
@@ -109,6 +110,17 @@ class TestDistSmokeGate:
         for key in ("clean_wall_s", "crash_wall_s", "recovery_overhead_s",
                     "recovery_overhead_frac", "crash_iteration"):
             assert key in rec, key
+        # the stall-then-shrink gate: the stalled worker sleeps far past
+        # the deadline, so this record existing at all proves no hang
+        el = record["elastic"]
+        assert el["stall_recoveries"] == 1
+        assert el["shrinks"] == 1
+        assert el["workers_after_shrink"] == el["workers"] - 1
+        assert el["recovered_bit_identical"] is True
+        for key in ("round_timeout", "stall_iteration", "clean_wall_s",
+                    "stall_wall_s", "shrink_overhead_s",
+                    "shrink_overhead_frac"):
+            assert key in el, key
 
     def test_dist_bench_cli_direct(self, tmp_path):
         from repro.bench import dist as dist_bench

@@ -171,8 +171,10 @@ class TestChunkedEquivalence:
                          float(np.sum(best.astype(np.float64)))))
         (l1, b1, i1), (l2, b2, i2) = outs
         assert np.array_equal(l1, l2)
-        assert np.array_equal(b1, b2)
-        assert i1 == i2
+        # compare raw bit patterns: an injected flip can make a distance
+        # NaN, and the invariant is bit-identity, not float equality
+        assert np.array_equal(b1.view(np.uint32), b2.view(np.uint32))
+        assert i1 == i2 or (np.isnan(i1) and np.isnan(i2))
 
 
 class TestMemoryBudget:

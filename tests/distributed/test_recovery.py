@@ -63,6 +63,48 @@ class TestCheckpointStore:
         store.clear()
         assert store.load_latest() is None
 
+    @staticmethod
+    def _strand_tmp(tmp_path, name):
+        """A tmp file aged past the live-writer grace window."""
+        import os
+        import time
+
+        p = tmp_path / name
+        p.write_bytes(b"partial")
+        old = time.time() - 2 * CheckpointStore.TMP_SWEEP_AGE_S
+        os.utime(p, (old, old))
+        return p
+
+    def test_stray_tmp_swept_on_init(self, tmp_path):
+        # a crash between write and replace strands a tmp file the
+        # pruning glob can never touch; a fresh store sweeps it
+        self._strand_tmp(tmp_path, "ckpt_00000003.abc123.tmp")
+        store = CheckpointStore(tmp_path)
+        assert not list(tmp_path.glob("*.tmp"))
+        assert store.load_latest() is None   # tmp never restorable
+
+    def test_clear_sweeps_tmp_files(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(1, {"v": 1})
+        self._strand_tmp(tmp_path, "ckpt_00000009.dead.tmp")
+        store.clear()
+        assert not list(tmp_path.iterdir())
+
+    def test_sweep_spares_a_live_writers_tmp(self, tmp_path):
+        # fresh tmp files may be a concurrent writer mid-save on a
+        # shared directory: the age guard must leave them alone
+        live = tmp_path / "ckpt_00000004.live.tmp"
+        live.write_bytes(b"mid-save")
+        CheckpointStore(tmp_path)
+        assert live.exists()
+
+    def test_save_leaves_no_tmp_behind(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        for it in range(4):
+            store.save(it, {"v": it})
+        assert not list(tmp_path.glob("*.tmp"))
+        assert store.iterations == [2, 3]
+
 
 class TestCrashRecovery:
     @pytest.mark.parametrize("crash_it", [1, 5, 9])

@@ -48,6 +48,49 @@ class TestBuild:
             ShardPlan.build(100, 2, 0)
 
 
+class TestReplan:
+    """Elastic membership: the same rows, any member set, same grid."""
+
+    def test_shrink_covers_rows_and_keeps_alignment(self):
+        plan = ShardPlan.build(10 * 256 + 17, 4, 256)
+        shrunk = plan.replan([0, 2, 3])          # worker 1 lost
+        assert shrunk.n_workers == 3
+        assert shrunk.shards[0].lo == 0
+        assert shrunk.shards[-1].hi == plan.m
+        for a, b in zip(shrunk.shards, shrunk.shards[1:]):
+            assert a.hi == b.lo
+        for shard in shrunk.shards[:-1]:
+            assert shard.hi % 256 == 0
+
+    def test_members_sorted_into_row_order(self):
+        plan = ShardPlan.build(8 * 256, 4, 256)
+        shrunk = plan.replan([3, 0, 2])
+        assert shrunk.worker_ids == (0, 2, 3)    # ascending ids, row order
+        assert [s.lo for s in shrunk.shards] == sorted(
+            s.lo for s in shrunk.shards)
+
+    def test_regrow_onto_more_members(self):
+        plan = ShardPlan.build(8 * 256, 2, 256)
+        grown = plan.replan([0, 1, 4, 5])
+        assert grown.n_workers == 4
+        assert grown.shard_sizes() == (2 * 256,) * 4
+
+    def test_replan_clamps_to_units(self):
+        plan = ShardPlan.build(300, 2, 256)      # 2 whole units
+        assert plan.replan([5, 6, 7]).n_workers == 2
+
+    def test_replan_rejects_empty_members(self):
+        with pytest.raises(ValueError):
+            ShardPlan.build(1000, 2, 256).replan([])
+
+    def test_shard_of_sparse_ids(self):
+        plan = ShardPlan.build(4 * 256, 4, 256).replan([1, 3])
+        assert plan.shard_of(3).worker_id == 3
+        assert plan.shard_of(1).rows == 2 * 256
+        with pytest.raises(KeyError):
+            plan.shard_of(0)
+
+
 class TestUnitRows:
     def test_matches_engine_unit(self):
         tile = default_tensorop_tile("float32")
