@@ -23,6 +23,14 @@ survivors instead of respawning — the ``elastic`` record carries the
 detection + shrink overhead, the post-shrink worker count and the
 bit-identity flag against the uninterrupted fit.
 
+A **checkpoint run** measures the per-round checkpoint overhead of the
+synchronous write path against the asynchronous background writer
+(``checkpoint_sync``): three otherwise identical disk-backed fits —
+no checkpoints, ``checkpoint_every=1`` synchronous, and
+``checkpoint_every=1`` asynchronous — with the coordinator's own
+in-loop save cost (``dist_checkpoint_save_s_``) and the async flush
+barrier recorded alongside the wall-clock deltas.
+
 Each run appends one record to ``BENCH_dist.json``::
 
     python -m repro.bench.dist                # full grid
@@ -34,6 +42,7 @@ from __future__ import annotations
 
 import argparse
 import platform
+import tempfile
 import time
 from pathlib import Path
 
@@ -49,8 +58,9 @@ __all__ = ["run_dist_bench", "run_smoke", "DEFAULT_RESULT_PATH", "main"]
 #: BENCH_fastpath.json, resolved against the working directory)
 DEFAULT_RESULT_PATH = Path("BENCH_dist.json")
 
-#: v2 added the ``elastic`` stall-then-shrink record
-SCHEMA = "dist_scaling/v2"
+#: v2 added the ``elastic`` stall-then-shrink record; v3 the
+#: ``checkpoint`` sync-vs-async overhead record
+SCHEMA = "dist_scaling/v3"
 
 #: full grid (CI-feasible, a few minutes)
 FULL_SHAPE = dict(m_grid=(60_000, 120_000), n_features=64, n_clusters=64,
@@ -63,7 +73,8 @@ SMOKE_SHAPE = dict(m_grid=(16_384,), n_features=32, n_clusters=16, iters=3,
 
 def _fit_once(x, y0, *, n_clusters, iters, workers, executor, seed,
               checkpoint_every=0, worker_faults=None, elastic=False,
-              round_timeout=None):
+              round_timeout=None, checkpoint_sync=False,
+              checkpoint_dir=None):
     """One timed sharded (or single-worker) fit; returns (model, wall)."""
     km = FTKMeans(n_clusters=n_clusters, variant="tensorop", mode="fast",
                   n_workers=workers,
@@ -71,7 +82,9 @@ def _fit_once(x, y0, *, n_clusters, iters, workers, executor, seed,
                   checkpoint_every=checkpoint_every if workers > 1 else 0,
                   max_iter=iters, tol=0.0, seed=seed, init_centroids=y0,
                   worker_faults=worker_faults, elastic=elastic,
-                  round_timeout=round_timeout)
+                  round_timeout=round_timeout,
+                  checkpoint_sync=checkpoint_sync,
+                  checkpoint_dir=checkpoint_dir)
     t0 = time.perf_counter()
     km.fit(x)
     return km, time.perf_counter() - t0
@@ -201,8 +214,56 @@ def run_dist_bench(m_grid=FULL_SHAPE["m_grid"],
                            el_clean.cluster_centers_)),
     }
 
+    # -- checkpoint overhead: synchronous vs background writer --------
+    # three otherwise identical disk-backed fits at the recovery shape:
+    # the per-round cost of checkpoint_every=1 against a no-checkpoint
+    # baseline, for both write policies.  The coordinator's own in-loop
+    # save cost is the robust signal; wall-clock deltas ride along.
+    none_fit, none_wall = _fit_once(
+        x, y0, n_clusters=n_clusters, iters=iters, workers=rec_workers,
+        executor=executor, seed=seed, checkpoint_every=0)
+    with tempfile.TemporaryDirectory(prefix="bench_ckpt_sync_") as d_sync, \
+            tempfile.TemporaryDirectory(prefix="bench_ckpt_async_") as d_async:
+        sync_fit, sync_wall = _fit_once(
+            x, y0, n_clusters=n_clusters, iters=iters, workers=rec_workers,
+            executor=executor, seed=seed, checkpoint_every=1,
+            checkpoint_sync=True, checkpoint_dir=d_sync)
+        async_fit, async_wall = _fit_once(
+            x, y0, n_clusters=n_clusters, iters=iters, workers=rec_workers,
+            executor=executor, seed=seed, checkpoint_every=1,
+            checkpoint_sync=False, checkpoint_dir=d_async)
+    rounds = max(1, none_fit.n_iter_)
+    # checkpoint_every=1 saves once per round PLUS the iteration-0
+    # snapshot before the loop: normalise the save cost by the actual
+    # save count, not the round count
+    saves = rounds + 1
+    checkpoint = {
+        "workers": rec_workers,
+        "m": x.shape[0],
+        "executor": executor,
+        "checkpoint_every": 1,
+        "rounds": rounds,
+        "saves": saves,
+        "clean_wall_s": none_wall,
+        "sync_wall_s": sync_wall,
+        "async_wall_s": async_wall,
+        "sync_save_s": sync_fit.dist_checkpoint_save_s_,
+        "async_save_s": async_fit.dist_checkpoint_save_s_,
+        "async_flush_s": async_fit.dist_checkpoint_flush_s_,
+        "sync_save_per_checkpoint_s": sync_fit.dist_checkpoint_save_s_ / saves,
+        "async_save_per_checkpoint_s": async_fit.dist_checkpoint_save_s_ / saves,
+        "sync_overhead_per_round_s": (sync_wall - none_wall) / rounds,
+        "async_overhead_per_round_s": (async_wall - none_wall) / rounds,
+        "save_reduction": (sync_fit.dist_checkpoint_save_s_
+                           / max(1e-12, async_fit.dist_checkpoint_save_s_)),
+        "bit_identical_sync_vs_async": bool(
+            np.array_equal(sync_fit.cluster_centers_,
+                           async_fit.cluster_centers_)),
+    }
+
     return {
         "bench": "dist_scaling",
+        "schema": SCHEMA,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "host": platform.node(),
         "numpy": np.__version__,
@@ -216,6 +277,7 @@ def run_dist_bench(m_grid=FULL_SHAPE["m_grid"],
         "grid": grid,
         "recovery": recovery,
         "elastic": elastic,
+        "checkpoint": checkpoint,
     }
 
 
@@ -254,6 +316,14 @@ def _summarise(record: dict) -> str:
         f"+{el['shrink_overhead_s']:.3f} s ({el['shrink_overhead_frac']:.1%})"
         f", {el['workers']} -> {el['workers_after_shrink']} workers, "
         f"recovered-bit-identical {el['recovered_bit_identical']}")
+    ck = record["checkpoint"]
+    lines.append(
+        f"  checkpoint (every round, on disk): in-loop save "
+        f"{ck['sync_save_per_checkpoint_s'] * 1e3:.2f} ms/save sync vs "
+        f"{ck['async_save_per_checkpoint_s'] * 1e3:.2f} ms/save async "
+        f"({ck['save_reduction']:.1f}x off the loop; flush "
+        f"{ck['async_flush_s'] * 1e3:.2f} ms at fit end), bit-identical "
+        f"{ck['bit_identical_sync_vs_async']}")
     return "\n".join(lines)
 
 

@@ -46,17 +46,27 @@ from repro.gpusim.counters import PerfCounters
 from repro.gpusim.device import get_device
 
 __all__ = ["run_fastpath_bench", "run_smoke", "write_record",
-           "DEFAULT_RESULT_PATH", "main"]
+           "DEFAULT_RESULT_PATH", "SCHEMA", "main"]
 
 #: perf-trajectory file, resolved against the working directory (the
 #: repository root when run from a checkout; installs pass --out)
 DEFAULT_RESULT_PATH = Path("BENCH_fastpath.json")
+
+#: v2 added the fault-free fast lane: ``engine.batched_chunks``, the
+#: operand-cache configuration and the per-unit-path bit-identity check
+SCHEMA = "fastpath_walltime/v2"
 
 #: shape of the acceptance benchmark (paper-scale-ish, CI-feasible)
 FULL_SHAPE = dict(m=200_000, n_features=64, n_clusters=64, iters=8)
 
 #: shape of the smoke/gating run (< 60 s wall clock including baseline)
 SMOKE_SHAPE = dict(m=60_000, n_features=64, n_clusters=64, iters=3)
+
+#: operand-cache byte budget of the bench engine: the bench measures
+#: the fault-free fast lane, so the fit-lifetime operand caches are
+#: admitted regardless of the problem size (recorded in the config;
+#: pass --operand-cache to measure other policies)
+BENCH_OPERAND_CACHE = 1 << 30
 
 
 def _divide(sums: np.ndarray, dtype) -> np.ndarray:
@@ -111,15 +121,16 @@ def _lloyd_fused(x, y0, n_clusters, iters, engine):
     acc = StreamedAccumulator(n_clusters, x.shape[1])
     y = y0.copy()
     fused_s, tail_s = [], []
-    labels = first_labels = None
+    labels = first_labels = first_best = None
     t_all = time.perf_counter()
     for it in range(iters):
         acc.reset()
         t0 = time.perf_counter()
-        labels, _ = engine.assign(x, y, PerfCounters(), accumulator=acc)
+        labels, best = engine.assign(x, y, PerfCounters(), accumulator=acc)
         fused_s.append(time.perf_counter() - t0)
         if it == 0:
             first_labels = labels.copy()
+            first_best = best.copy()
         t0 = time.perf_counter()
         y = _divide(acc.packed(), x.dtype)
         tail_s.append(time.perf_counter() - t0)
@@ -129,6 +140,7 @@ def _lloyd_fused(x, y0, n_clusters, iters, engine):
         "per_iter_s": fused_s,
         "update_tail_per_iter_s": tail_s,
         "first_labels": first_labels,
+        "first_best": first_best,
         "labels": labels.copy(),
     }
 
@@ -165,6 +177,7 @@ def run_fastpath_bench(m: int = FULL_SHAPE["m"],
                        iters: int = FULL_SHAPE["iters"], *,
                        dtype="float32", device="a100",
                        chunk_bytes: int | None = None, workers: int = 1,
+                       operand_cache=BENCH_OPERAND_CACHE,
                        seed: int = 0, include_unchunked: bool = True) -> dict:
     """One wall-clock comparison run; returns the JSON-ready record."""
     if iters < 1:
@@ -178,7 +191,8 @@ def run_fastpath_bench(m: int = FULL_SHAPE["m"],
     tf32 = dt == np.dtype(np.float32)
 
     engine = FastPathEngine(dev, dt, tile=tile, tf32=tf32,
-                            chunk_bytes=chunk_bytes, workers=workers)
+                            chunk_bytes=chunk_bytes, workers=workers,
+                            operand_cache=operand_cache)
 
     def engine_assign(xa, ya):
         return engine.assign(xa, ya, PerfCounters())
@@ -189,13 +203,35 @@ def run_fastpath_bench(m: int = FULL_SHAPE["m"],
         # snapshot before the diagnostic split run doubles the counters:
         # the recorded stats must describe ONE fit, comparably across PRs
         fit_stats = (engine.stats.chunks_run, engine.stats.gemm_calls,
-                     engine.stats.update_chunks_fed)
+                     engine.stats.update_chunks_fed,
+                     engine.stats.batched_chunks)
+        hoisted = (engine._cache.x_rounded is not None,
+                   engine._cache.x_t is not None)
         split = _lloyd_split(x, y0, n_clusters, iters, engine_assign)
     finally:
         engine.end_fit()
 
+    # fast lane vs per-unit fault lane: one reference pass through an
+    # engine forced onto the legacy path (no operand caches, explicit
+    # unit walk) must agree bit-for-bit on first-iteration centroids
+    ref_engine = FastPathEngine(dev, dt, tile=tile, tf32=tf32,
+                                chunk_bytes=chunk_bytes, workers=workers,
+                                operand_cache="off", batch_chunks=False)
+    try:
+        ref_engine.begin_fit(x, n_clusters)
+        ref_labels, ref_best = ref_engine.assign(x, y0, PerfCounters())
+        unit_mismatch = float(np.mean(fused["first_labels"] != ref_labels))
+        unit_bit_identical = bool(
+            np.array_equal(fused["first_best"].view(np.uint32 if dt.itemsize == 4
+                                                    else np.uint64),
+                           ref_best.view(np.uint32 if dt.itemsize == 4
+                                         else np.uint64)))
+    finally:
+        ref_engine.end_fit()
+
     record = {
         "bench": "fastpath_walltime",
+        "schema": SCHEMA,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "host": platform.node(),
         "numpy": np.__version__,
@@ -203,6 +239,7 @@ def run_fastpath_bench(m: int = FULL_SHAPE["m"],
             "m": m, "n_features": n_features, "n_clusters": n_clusters,
             "iters": iters, "dtype": str(dt), "device": dev.name,
             "chunk_bytes": engine.chunk_bytes, "workers": workers,
+            "operand_cache": operand_cache,
             "seed": seed,
         },
         "engine": {
@@ -212,8 +249,14 @@ def run_fastpath_bench(m: int = FULL_SHAPE["m"],
             "chunks_run": fit_stats[0],
             "gemm_calls": fit_stats[1],
             "update_chunks_fed": fit_stats[2],
+            "batched_chunks": fit_stats[3],
+            "hoisted_rounded_operand": hoisted[0],
+            "hoisted_transposed_operand": hoisted[1],
             "peak_scratch_bytes": engine.stats.peak_scratch_bytes,
         },
+        # the fast lane's bit-identity contract, re-asserted per run
+        "unit_path_label_mismatch_frac": unit_mismatch,
+        "unit_path_bit_identical": unit_bit_identical,
         "stages": {
             "assign_per_iter_s": split["assign_per_iter_s"],
             "update_streamed_per_iter_s": split["update_streamed_per_iter_s"],
@@ -268,7 +311,7 @@ def run_smoke(**overrides) -> dict:
 
 
 def write_record(record: dict, path: Path | str = DEFAULT_RESULT_PATH, *,
-                 schema: str = "fastpath_walltime/v1") -> Path:
+                 schema: str = SCHEMA) -> Path:
     """Append one record to a perf-trajectory file.
 
     Shared by every wall-clock bench (``schema`` names the trajectory
@@ -304,6 +347,13 @@ def _summarise(record: dict) -> str:
         f"  chunk_bytes={cfg['chunk_bytes']} workers={cfg['workers']} "
         f"chunks/pass={record['engine']['chunks_run'] // max(1, cfg['iters'])} "
         f"peak_scratch={record['engine']['peak_scratch_bytes']} B",
+        f"  fast lane      : batched_chunks="
+        f"{record['engine']['batched_chunks']}"
+        f"/{record['engine']['chunks_run']} hoisted(rounded="
+        f"{record['engine']['hoisted_rounded_operand']}, transposed="
+        f"{record['engine']['hoisted_transposed_operand']}) "
+        f"unit-path bit-identical {record['unit_path_bit_identical']} "
+        f"(mismatch {record['unit_path_label_mismatch_frac']:.2e})",
         f"  engine (fused) : {record['engine']['wall_s']:.3f} s",
         f"  stages/iter    : assign {np.mean(st['assign_per_iter_s']):.4f} s"
         f" | update streamed {np.mean(st['update_streamed_per_iter_s']):.4f} s"
@@ -331,6 +381,10 @@ def main(argv=None) -> dict:
     parser.add_argument("--iters", type=int, default=None)
     parser.add_argument("--chunk-bytes", type=int, default=None)
     parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--operand-cache", default=None,
+                        help="operand-cache policy: 'auto', 'off' or a "
+                             "byte budget (default: the bench's "
+                             "fast-lane budget)")
     parser.add_argument("--dtype", default="float32")
     parser.add_argument("--out", default=str(DEFAULT_RESULT_PATH),
                         help="trajectory JSON to append to ('-' to skip)")
@@ -341,8 +395,14 @@ def main(argv=None) -> dict:
                      ("n_clusters", args.clusters), ("iters", args.iters)):
         if val is not None:
             kwargs[key] = val
+    operand_cache = BENCH_OPERAND_CACHE
+    if args.operand_cache is not None:
+        operand_cache = (args.operand_cache
+                         if args.operand_cache in ("auto", "off")
+                         else int(args.operand_cache))
     record = run_fastpath_bench(chunk_bytes=args.chunk_bytes,
                                 workers=args.workers, dtype=args.dtype,
+                                operand_cache=operand_cache,
                                 **kwargs)
     print(_summarise(record))
     if args.out != "-":

@@ -11,18 +11,76 @@ crash-recovery + elastic stall-then-shrink run (appending to
 :mod:`repro.bench.fastpath` (e.g. ``--m 2000 --iters 1`` for an even
 quicker shape); the sharded smoke keeps its fixed tiny shape and is
 skipped entirely with ``--dist-out -``.
+
+The smoke run doubles as a **perf regression gate**: the fresh
+fast-path record is compared against the best prior entry of the same
+problem shape in the trajectory file, and the run fails loudly
+(non-zero exit) when the fresh engine wall exceeds the best prior by
+more than the slack factor — wall-clock noise across hosts is expected,
+a genuine hot-loop regression is not.  ``--regression-slack`` tunes the
+factor; ``--no-regression-check`` disables the gate.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+from pathlib import Path
 
 import numpy as np
 
 from repro.bench import figures
 from repro.bench.tables import print_figure
 
-__all__ = ["all_figures", "main"]
+__all__ = ["all_figures", "check_fastpath_regression", "main"]
+
+#: fresh engine wall may exceed the best prior same-shape entry by at
+#: most this factor before the smoke gate fails (hosts differ; real
+#: regressions are well past this)
+REGRESSION_SLACK = 1.5
+
+#: config keys that must match for two records to be comparable —
+#: the problem shape AND the perf-relevant engine configuration (a
+#: deliberately slower config, e.g. --operand-cache off, must never be
+#: judged against the fast-lane best)
+_SHAPE_KEYS = ("m", "n_features", "n_clusters", "iters", "dtype",
+               "workers", "chunk_bytes", "operand_cache")
+
+
+def check_fastpath_regression(record: dict, path, *,
+                              slack: float = REGRESSION_SLACK) -> str:
+    """Compare a fresh fast-path record against the trajectory's best.
+
+    Scans ``path`` for prior entries from the **same host** whose
+    problem shape and perf-relevant config match ``record`` (excluding
+    the freshly appended entry itself), takes the best (smallest) prior
+    engine wall and raises :class:`SystemExit` when the fresh wall
+    exceeds ``slack`` times it.  Entries recorded on other machines are
+    never compared — cross-host wall clocks would fail honest runs on
+    slower hardware.  Returns a human-readable verdict line otherwise.
+    """
+    path = Path(path)
+    try:
+        entries = json.loads(path.read_text()).get("entries", [])
+    except (OSError, json.JSONDecodeError):
+        return "regression check skipped: no readable trajectory"
+    shape = {k: record["config"][k] for k in _SHAPE_KEYS}
+    prior = [e for e in entries[:-1]
+             if e.get("host") == record.get("host")
+             and all(e.get("config", {}).get(k) == v
+                     for k, v in shape.items())]
+    if not prior:
+        return ("regression check skipped: no prior same-host entry at "
+                "this shape/config")
+    best = min(p["engine"]["wall_s"] for p in prior)
+    fresh = record["engine"]["wall_s"]
+    if fresh > slack * best:
+        raise SystemExit(
+            f"PERF REGRESSION: fresh engine wall {fresh:.3f} s exceeds "
+            f"{slack:.2f}x the best prior same-shape entry ({best:.3f} s) "
+            f"in {path.name}")
+    return (f"regression check ok: engine wall {fresh:.3f} s vs best "
+            f"prior {best:.3f} s ({best / max(1e-12, fresh):.2f}x)")
 
 
 def all_figures() -> list:
@@ -60,14 +118,24 @@ def main(argv=None) -> None:
                         help="with --smoke: sharded-scaling trajectory JSON "
                              "(defaults to ./BENCH_dist.json; '-' skips the "
                              "sharded smoke run)")
+    parser.add_argument("--regression-slack", type=float,
+                        default=REGRESSION_SLACK,
+                        help="with --smoke: allowed factor over the best "
+                             "prior same-shape engine wall")
+    parser.add_argument("--no-regression-check", action="store_true",
+                        help="with --smoke: skip the perf regression gate")
     args, extra = parser.parse_known_args(argv)
     if args.smoke:
         from repro.bench import dist as dist_bench
         from repro.bench import fastpath
 
-        fastpath.main(["--smoke"]
-                      + (["--out", args.out] if args.out else [])
-                      + extra)
+        record = fastpath.main(["--smoke"]
+                               + (["--out", args.out] if args.out else [])
+                               + extra)
+        out = args.out or str(fastpath.DEFAULT_RESULT_PATH)
+        if out != "-" and not args.no_regression_check:
+            print("  " + check_fastpath_regression(
+                record, out, slack=args.regression_slack))
         if args.dist_out != "-":
             dist_bench.main(
                 ["--smoke"]

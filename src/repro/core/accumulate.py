@@ -50,6 +50,17 @@ to the one-shot ``np.add.at(sums, labels, x64 * w[:, None])`` — and the
 weighted *counts* ride the same continuation trick as the sums, so
 weighted accumulation stays bit-identical to the sequential one-shot
 pass for any feed granularity, shard boundary or worker count.
+
+Hoisted transpose operand: the per-feed ``x_chunk.T`` staging copy is a
+strided gather that dominates the accumulation wall at large M.
+:meth:`StreamedAccumulator.bind_source_t` attaches a fit-lifetime
+``(n_features, total_rows)`` transposed copy of the exact stream this
+accumulator will be fed (the engine's operand cache, or the
+coordinator's merge operand); ``feed`` then reads contiguous feature
+rows at its running sample offset instead of transposing the chunk.
+The float64 conversion — and, with weights, the float64 product —
+happens per element exactly as before, so the accumulated bits are
+identical with or without the binding.
 """
 
 from __future__ import annotations
@@ -112,6 +123,7 @@ class StreamedAccumulator:
         self._ext_l: np.ndarray | None = None     # labels staging
         self._xt: np.ndarray | None = None        # float64 transpose staging
         self._weights: np.ndarray | None = None   # bound per-sample weights
+        self._src_t: np.ndarray | None = None     # bound transposed stream
         #: rows per internal sub-feed: staging stays under STAGING_BYTES
         self.feed_rows = max(MIN_FEED_ROWS,
                              STAGING_BYTES // (8 * self.n_features))
@@ -158,6 +170,27 @@ class StreamedAccumulator:
                 f"sample_weight must be 1-D, got shape {w.shape}")
         self._weights = w
 
+    def bind_source_t(self, source_t: np.ndarray | None) -> None:
+        """Attach (or detach, with None) a transposed copy of the stream.
+
+        ``source_t`` must be ``(n_features, total_rows)`` and hold, per
+        feature, exactly the values of the chunks this accumulator will
+        be fed in order — ``feed`` reads
+        ``source_t[:, samples_seen : samples_seen + rows]`` for each
+        in-order chunk instead of transposing the chunk itself (the
+        caller still passes ``x_chunk`` for its row count and dtype
+        contract).  Like a bound weight vector, the binding survives
+        ``reset`` and covers the whole stream up to the next rebind.
+        """
+        if source_t is None:
+            self._src_t = None
+            return
+        if source_t.ndim != 2 or source_t.shape[0] != self.n_features:
+            raise ValueError(
+                f"source_t must be (n_features={self.n_features}, rows), "
+                f"got shape {source_t.shape}")
+        self._src_t = source_t
+
     def reset(self) -> None:
         """Zero the running sums/counts (start of a Lloyd iteration).
 
@@ -178,7 +211,10 @@ class StreamedAccumulator:
             self._ext_l[:self.n_clusters] = self._cluster_ids
             self._record_alloc("accumulator_staging",
                                self._ext_w.nbytes + self._ext_l.nbytes)
-        if self._xt is None or self._xt.shape[1] < rows:
+        if (self._src_t is None
+                and (self._xt is None or self._xt.shape[1] < rows)):
+            # the float64 transpose staging only exists on the unbound
+            # path: a bound source is read per feature row directly
             self._xt = np.empty((self.n_features, rows), dtype=np.float64)
             self._record_alloc("accumulator_staging", self._xt.nbytes)
         return self._ext_w, self._ext_l
@@ -216,31 +252,48 @@ class StreamedAccumulator:
     def _feed_one(self, x_chunk: np.ndarray, labels_chunk: np.ndarray) -> None:
         rows = x_chunk.shape[0]
         n = self.n_clusters
+        off = self.samples_seen
         w, lbl = self._staging(rows)
         lbl[n:n + rows] = labels_chunk
         ext_l = lbl[:n + rows]
-        # transposed float64 staging (pooled): one contiguous column per
-        # feature; the conversion is value-exact, so the bits match the
-        # seed's x.astype(np.float64)
-        xt = self._xt[:, :rows]
-        np.copyto(xt, x_chunk.T)
         w_s = None
         if self._weights is not None:
-            off = self.samples_seen
             if off + rows > self._weights.shape[0]:
                 raise ValueError(
                     f"feed past bound weights: offset {off} + {rows} rows "
                     f"> {self._weights.shape[0]} weights")
             w_s = self._weights[off: off + rows]
-            # weighted products formed in float64, value-identical to the
-            # one-shot x64 * w[:, None]
-            xt *= w_s[None, :]
+        src = None
+        if self._src_t is not None:
+            if off + rows > self._src_t.shape[1]:
+                raise ValueError(
+                    f"feed past bound source: offset {off} + {rows} rows "
+                    f"> {self._src_t.shape[1]} source columns")
+            src = self._src_t[:, off: off + rows]
+        else:
+            # transposed float64 staging (pooled): one contiguous column
+            # per feature; the conversion is value-exact, so the bits
+            # match the seed's x.astype(np.float64)
+            xt = self._xt[:, :rows]
+            np.copyto(xt, x_chunk.T)
+            if w_s is not None:
+                # weighted products formed in float64, value-identical to
+                # the one-shot x64 * w[:, None]
+                xt *= w_s[None, :]
         for j in range(self.n_features):
             # continuation trick: the running sums ride along as one
             # pseudo-sample per cluster, so the per-bin association stays
             # exactly sequential across feed boundaries
             w[:n] = self._sums_t[j]
-            w[n:n + rows] = xt[j]
+            if src is not None:
+                # contiguous feature row off the bound transpose: same
+                # float64 conversion (and weighted product) per element
+                # as the staging path, without the strided gather
+                np.copyto(w[n:n + rows], src[j])
+                if w_s is not None:
+                    w[n:n + rows] *= w_s
+            else:
+                w[n:n + rows] = xt[j]
             self._sums_t[j] = np.bincount(ext_l, weights=w[:n + rows],
                                           minlength=n)
         if w_s is None:

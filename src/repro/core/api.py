@@ -90,7 +90,11 @@ class FTKMeans:
     Sharded-fit attributes (after a ``n_workers > 1`` fit):
     ``n_workers_`` (the *final* effective worker count — smaller than
     requested after an elastic shrink), ``dist_recoveries_``,
-    ``dist_stall_recoveries_``, ``dist_shrinks_``, ``dist_trace_``.
+    ``dist_stall_recoveries_``, ``dist_shrinks_``, ``dist_trace_``,
+    plus the checkpoint-overhead split ``dist_checkpoint_save_s_``
+    (in-loop save cost: full writes when ``checkpoint_sync=True``,
+    snapshot+enqueue when async) and ``dist_checkpoint_flush_s_`` (the
+    end-of-fit flush barrier of the async writer).
     """
 
     def __init__(self, n_clusters: int = 8, *, variant: str = "tensorop",
@@ -98,10 +102,11 @@ class FTKMeans:
                  tile=None, abft="none", p_inject: float = 0.0,
                  dmr_update: bool = True, use_tf32: bool = True,
                  chunk_bytes: int | None = None, engine_workers: int = 1,
+                 operand_cache="auto",
                  update_mode: str = "auto", batch_size: int | None = None,
                  n_workers: int = 1, executor: str = "serial",
-                 checkpoint_every: int = 0,
-                 round_timeout: float | None = None, elastic: bool = False,
+                 checkpoint_every: int = 0, checkpoint_sync: bool = False,
+                 round_timeout=None, elastic: bool = False,
                  reassignment_mode: str = "deterministic",
                  reassignment_ratio: float = 0.01,
                  init: str = "k-means++", max_iter: int = 50,
@@ -113,9 +118,11 @@ class FTKMeans:
             device=device, mode=mode, tile=tile, abft=abft,
             p_inject=p_inject, dmr_update=dmr_update, use_tf32=use_tf32,
             chunk_bytes=chunk_bytes, engine_workers=engine_workers,
+            operand_cache=operand_cache,
             update_mode=update_mode, batch_size=batch_size,
             n_workers=n_workers, executor=executor,
             checkpoint_every=checkpoint_every,
+            checkpoint_sync=checkpoint_sync,
             round_timeout=round_timeout, elastic=elastic,
             reassignment_mode=reassignment_mode,
             reassignment_ratio=reassignment_ratio,
@@ -257,7 +264,9 @@ class FTKMeans:
 
         coord = Coordinator(
             cfg, executor=cfg.executor,
-            checkpoint=CheckpointStore(self._checkpoint_dir),
+            checkpoint=CheckpointStore(
+                self._checkpoint_dir,
+                sync=True if cfg.checkpoint_sync else None),
             worker_faults=self._worker_faults)
         res = coord.fit(x, y0, sample_weight=w)
 
@@ -276,6 +285,8 @@ class FTKMeans:
         self.dist_stall_recoveries_ = res.stall_recoveries
         self.dist_shrinks_ = res.shrinks
         self.dist_trace_ = res.trace
+        self.dist_checkpoint_save_s_ = res.checkpoint_save_s
+        self.dist_checkpoint_flush_s_ = res.checkpoint_flush_s
         # predict/score run single-pass through an ordinary assigner
         self._assigner = build_assignment(cfg, m, k, rng)
         return self

@@ -70,6 +70,21 @@ class KMeansConfig:
         Worker threads the engine may dispatch independent sample-chunks
         across (the per-chunk budget divides accordingly, so the total
         scratch footprint stays under ``chunk_bytes``).
+    operand_cache:
+        Budget policy of the engine's fit-lifetime operand caches — the
+        hoisted TF32-rounded sample matrix and the transposed update
+        -feed operand, which move per-iteration rounding/transpose work
+        out of the Lloyd loop with bit-identical results.  'auto'
+        (default) budgets them against ``chunk_bytes``; an int is an
+        explicit byte budget — set one to admit the fast lane on fits
+        whose sample matrix outgrows the chunk budget; 'off' disables
+        hoisting (the legacy per-iteration path).  The budget is
+        **cumulative** across both caches (each is one more copy of
+        ``x``, so both hoist only when the budget covers
+        ``2 * x.nbytes``) and the rounded matrix claims it first; an
+        operand that does not fit simply stays on the per-iteration
+        path.  The same policy gates the coordinator's merge-operand
+        hoist in sharded fits.
     update_mode:
         Centroid-update accumulation implementation.  'oneshot' is the
         seed ``np.add.at`` scatter pass; 'streamed' is the chunked
@@ -103,18 +118,30 @@ class KMeansConfig:
         every this many iterations, so a crashed worker resumes from
         the last checkpoint instead of iteration 0.  0 disables
         periodic checkpoints (recovery then restarts the fit).
+    checkpoint_sync:
+        With ``n_workers > 1`` and a ``checkpoint_dir``: True writes
+        each snapshot synchronously on the round loop (the legacy
+        behaviour); False (default) hands the pickled snapshot to a
+        background writer so the fsync cost leaves the hot loop.  Reads
+        (and recovery restores) flush the writer first, and each write
+        keeps the atomic tmp+fsync+replace protocol, so crash
+        consistency and bit-exact recovery are identical either way.
     round_timeout:
         With ``n_workers > 1``: seconds each coordinator round may take
         before unanswered workers are classified stalled (terminated
         where the backend allows, then recovered like a crash).  None
         (default) disables the deadline — a stalled-but-alive worker
         then blocks the fit, exactly like a real straggler with no
-        failure detector.  Size it well above an honest round's wall
-        time — including post-shrink rounds under ``elastic=True``,
-        where one survivor may hold every shard (worker boot is already
-        excluded: the process backend handshakes at spawn).  An
-        undersized deadline turns healthy-but-slow workers into
-        phantom stalls.
+        failure detector.  ``"auto"`` sizes the deadline adaptively as
+        a multiple of a trailing median of observed round times (no
+        deadline until enough rounds have been observed), so the
+        detector tracks the workload instead of needing a hand-tuned
+        budget.  With a fixed float, size it well above an honest
+        round's wall time — including post-shrink rounds under
+        ``elastic=True``, where one survivor may hold every shard
+        (worker boot is already excluded: the process backend
+        handshakes at spawn).  An undersized deadline turns
+        healthy-but-slow workers into phantom stalls.
     elastic:
         With ``n_workers > 1``: recover from a worker loss by
         re-sharding the lost rows onto the surviving workers
@@ -150,12 +177,14 @@ class KMeansConfig:
     use_tf32: bool = True
     chunk_bytes: int | None = None
     engine_workers: int = 1
+    operand_cache: str | int = "auto"
     update_mode: str = "auto"
     batch_size: int | None = None
     n_workers: int = 1
     executor: str = "serial"
     checkpoint_every: int = 0
-    round_timeout: float | None = None
+    checkpoint_sync: bool = False
+    round_timeout: float | str | None = None
     elastic: bool = False
     reassignment_mode: str = "deterministic"
     reassignment_ratio: float = 0.01
@@ -189,6 +218,17 @@ class KMeansConfig:
         if self.engine_workers < 1:
             raise ValueError(
                 f"engine_workers must be >= 1, got {self.engine_workers}")
+        if isinstance(self.operand_cache, str):
+            if self.operand_cache not in ("auto", "off"):
+                raise ValueError(
+                    f"operand_cache must be 'auto', 'off' or a byte "
+                    f"budget, got {self.operand_cache!r}")
+        else:
+            self.operand_cache = int(self.operand_cache)
+            if self.operand_cache < 0:
+                raise ValueError(
+                    f"operand_cache byte budget must be >= 0, "
+                    f"got {self.operand_cache}")
         if self.update_mode not in UPDATE_MODES:
             raise ValueError(
                 f"unknown update_mode {self.update_mode!r}; "
@@ -211,7 +251,13 @@ class KMeansConfig:
         if self.checkpoint_every < 0:
             raise ValueError(
                 f"checkpoint_every must be >= 0, got {self.checkpoint_every}")
-        if self.round_timeout is not None:
+        self.checkpoint_sync = bool(self.checkpoint_sync)
+        if isinstance(self.round_timeout, str):
+            if self.round_timeout != "auto":
+                raise ValueError(
+                    f"round_timeout must be a positive number, 'auto' or "
+                    f"None, got {self.round_timeout!r}")
+        elif self.round_timeout is not None:
             self.round_timeout = float(self.round_timeout)
             if self.round_timeout <= 0:
                 raise ValueError(

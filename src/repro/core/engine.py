@@ -42,6 +42,32 @@ Independent chunks can optionally be dispatched across worker threads
 by the worker count so the total scratch footprint stays bounded by
 ``chunk_bytes``.
 
+Fault-free fast lane: when no fault plan targets a chunk's blocks the
+engine dispatches that chunk's whole unit grid as **one** stacked
+``np.matmul`` over a ``(units, unit_rows, K)`` view — numpy's gufunc
+loop then issues the identical sequence of per-unit BLAS GEMMs the
+explicit Python walk would have issued, so the result is bit-identical
+by construction (a *flat* chunk-sized GEMM would not be: BLAS results
+are not row-batching-invariant in general).  The unit grid is only
+walked in Python when fault plans actually intersect the chunk, keeping
+the fault lane's replay semantics byte-for-byte untouched.  Two
+fit-lifetime **operand caches** (gated by ``operand_cache`` and charged
+to the allocation tracker) hoist per-iteration work out of the loop:
+
+* the TF32-rounded sample matrix — today's code re-rounds every inner
+  unit every iteration; rounding is elementwise, so the hoisted copy is
+  bit-identical and pays the rounding cost once per fit;
+* a transposed copy of the samples for the fused update accumulator —
+  the per-feed ``x_chunk.T`` staging copy dominates the accumulation
+  wall (strided gather); the accumulator reads contiguous feature rows
+  from the bound transpose instead (:meth:`StreamedAccumulator.bind_source_t`),
+  feeding bincount the identical float64 values.
+
+Either cache falls back to the legacy per-iteration path when it does
+not fit the operand budget (``operand_cache='auto'`` budgets them
+against ``chunk_bytes``; pass an explicit byte budget to let large fits
+hoist, or ``'off'`` to disable).
+
 Fused centroid-update accumulation: ``assign`` optionally takes a
 :class:`repro.core.accumulate.StreamedAccumulator` and feeds it each
 chunk's (rows, labels) right after the chunk's argmin — the update
@@ -74,7 +100,9 @@ from repro.utils.bits import flip_bit
 __all__ = [
     "GEMM_UNIT_ROWS",
     "DEFAULT_CHUNK_BYTES",
+    "OPERAND_CACHE_MODES",
     "unit_rows_for_tile",
+    "resolve_operand_budget",
     "BlockMap",
     "FitCache",
     "EngineStats",
@@ -88,6 +116,31 @@ GEMM_UNIT_ROWS = 256
 
 #: memory budget when neither ``chunk_bytes`` nor a device is given
 DEFAULT_CHUNK_BYTES = 8 << 20
+
+#: string modes of the ``operand_cache`` knob (an int is an explicit
+#: byte budget for the fit-lifetime operand caches)
+OPERAND_CACHE_MODES = ("auto", "off")
+
+
+def resolve_operand_budget(operand_cache, chunk_bytes: int) -> int:
+    """Byte budget for fit-lifetime hoisted operand caches.
+
+    ``'auto'`` budgets them against ``chunk_bytes`` (an operand cache
+    never exceeds what the caller already allows per assignment pass);
+    an int is an explicit byte budget — set it to admit the fast lane's
+    hoists on fits whose sample matrix outgrows the chunk budget;
+    ``'off'`` (or 0) disables hoisting entirely.
+    """
+    if operand_cache == "auto":
+        return int(chunk_bytes)
+    if operand_cache == "off":
+        return 0
+    budget = int(operand_cache)
+    if budget < 0:
+        raise ValueError(
+            f"operand_cache must be 'auto', 'off' or a byte budget >= 0, "
+            f"got {operand_cache!r}")
+    return budget
 
 
 def unit_rows_for_tile(tile: TileConfig | None) -> int:
@@ -166,6 +219,10 @@ class FitCache:
     chunks: list[tuple[int, int]] | None = None
     workers: int = 1             # effective worker count for this geometry
     block_map: BlockMap | None = None
+    x_rounded: np.ndarray | None = None  # hoisted TF32-rounded operand
+    x_t: np.ndarray | None = None        # hoisted transposed update operand
+    x_t_failed: bool = False             # transpose hoist known over budget
+    operand_bytes: int = 0               # operand-cache bytes charged
 
 
 @dataclass
@@ -175,7 +232,8 @@ class EngineStats:
     assigns: int = 0
     cache_hits: int = 0
     chunks_run: int = 0
-    gemm_calls: int = 0
+    gemm_calls: int = 0          # inner (BLAS-level) unit GEMMs issued
+    batched_chunks: int = 0      # chunks dispatched as one stacked matmul
     update_chunks_fed: int = 0   # chunks fed to a fused update accumulator
     scratch_bytes: int = 0       # scratch currently held (pooled)
     peak_scratch_bytes: int = 0
@@ -206,6 +264,17 @@ class FastPathEngine:
     workers:
         Worker threads for independent chunks; the per-chunk budget is
         ``chunk_bytes // workers`` so the total stays bounded.
+    operand_cache:
+        Budget policy of the fit-lifetime operand caches (the hoisted
+        TF32-rounded matrix and the transposed update-feed operand):
+        'auto' (default) budgets them against ``chunk_bytes``, an int is
+        an explicit byte budget, 'off' disables hoisting.  An operand
+        that does not fit falls back to the legacy per-iteration path —
+        hoisted or not, the produced bits are identical.
+    batch_chunks:
+        Dispatch a fault-free chunk's unit grid as one stacked matmul
+        (default).  False forces the per-unit Python walk everywhere —
+        the reference path the fast lane is bit-compared against.
     alloc_hook:
         Optional callable ``(name, nbytes)`` invoked for every scratch /
         buffer allocation the engine makes (allocation-tracking tests).
@@ -215,7 +284,8 @@ class FastPathEngine:
                  tile: TileConfig | None = None, tf32: bool = False,
                  injector=None, scheme: AbftScheme = NONE,
                  safety: float = 4.0, chunk_bytes: int | None = None,
-                 workers: int = 1, alloc_hook=None):
+                 workers: int = 1, operand_cache="auto",
+                 batch_chunks: bool = True, alloc_hook=None):
         self.device = device
         self.dtype = np.dtype(dtype)
         self.tile = tile
@@ -233,6 +303,10 @@ class FastPathEngine:
         if int(workers) < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = int(workers)
+        self.operand_cache = operand_cache
+        self.operand_budget = resolve_operand_budget(operand_cache,
+                                                     self.chunk_bytes)
+        self.batch_chunks = bool(batch_chunks)
         self.alloc_hook = alloc_hook
         self.stats = EngineStats()
         self._cache: FitCache | None = None
@@ -273,6 +347,7 @@ class FastPathEngine:
     def begin_fit(self, x: np.ndarray, n_clusters: int | None = None) -> FitCache:
         """Hoist fit-invariants for ``x``; reused by every assign() on it."""
         self._cache = self._build_cache(x, n_clusters)
+        self._hoist_rounded(self._cache)
         return self._cache
 
     def end_fit(self) -> None:
@@ -330,6 +405,58 @@ class FastPathEngine:
         cache.chunks, cache.workers = self._plan_chunks(cache.x.shape[0], n, k)
         cache.block_map = (BlockMap.for_shape(cache.x.shape[0], n, k, self.tile)
                            if self.tile is not None else None)
+
+    # -- fit-lifetime operand caches ------------------------------------
+    def _operand_fits(self, cache: FitCache, nbytes: int) -> bool:
+        return cache.operand_bytes + nbytes <= self.operand_budget
+
+    def _hoist_rounded(self, cache: FitCache) -> None:
+        """Hoist the TF32-rounded sample matrix (fit caches only).
+
+        Rounding is elementwise, so the hoisted copy carries exactly the
+        bits the per-unit ``round_tf32`` calls would produce — it only
+        moves the rounding cost out of the Lloyd loop.  Over budget the
+        engine keeps re-rounding per unit, as before.
+        """
+        if not self.tf32 or cache.x_rounded is not None:
+            return
+        nbytes = cache.x.nbytes
+        if not self._operand_fits(cache, nbytes):
+            return
+        cache.x_rounded = self._round_blocked(cache.x)
+        cache.operand_bytes += nbytes
+        self._record_alloc("operand_cache_rounded", nbytes)
+
+    @staticmethod
+    def _round_blocked(x: np.ndarray) -> np.ndarray:
+        """``round_tf32`` row block by row block into one preallocated
+        copy: elementwise rounding is blocking-invariant, and the blocks
+        keep the rounder's temporaries cache-sized instead of three
+        matrix-sized allocations."""
+        out = np.empty_like(x)
+        step = max(1, (4 << 20) // max(1, x.shape[1] * x.itemsize))
+        for lo in range(0, x.shape[0], step):
+            out[lo:lo + step] = round_tf32(x[lo:lo + step])
+        return out
+
+    def _ensure_update_operand(self, cache: FitCache) -> np.ndarray | None:
+        """Hoist the transposed update-feed operand (fit caches only).
+
+        A contiguous ``(K_features, M)`` copy of the samples: the fused
+        accumulator then reads contiguous feature rows instead of
+        re-transposing every chunk every iteration.  The float64
+        conversion happens at the same element granularity either way,
+        so the accumulated bits never move.
+        """
+        if cache.x_t is None and not cache.x_t_failed:
+            nbytes = cache.x.nbytes
+            if self._operand_fits(cache, nbytes):
+                cache.x_t = np.ascontiguousarray(cache.x.T)
+                cache.operand_bytes += nbytes
+                self._record_alloc("operand_cache_transpose", nbytes)
+            else:
+                cache.x_t_failed = True
+        return cache.x_t
 
     # -- scratch pool ---------------------------------------------------
     def _record_alloc(self, name: str, nbytes: int) -> None:
@@ -450,6 +577,12 @@ class FastPathEngine:
             self.stats.cache_hits += 1
         else:
             cache = self._build_cache(x)
+        if accumulator is not None:
+            # the hoisted transpose only describes the *fit* array; any
+            # other pass must feed (and unbind) the legacy staging path
+            x_t = (self._ensure_update_operand(cache)
+                   if cache is self._cache else None)
+            accumulator.bind_source_t(x_t)
         x = cache.x
         if y.dtype != self.dtype:
             y = y.astype(self.dtype)
@@ -475,15 +608,16 @@ class FastPathEngine:
         if not chunks:  # m == 0: nothing to assign
             return cache.labels, cache.best
         self.stats.chunks_run += len(chunks)
-        self.stats.gemm_calls += sum(ceil_div(hi - lo, self.unit_rows)
-                                     for lo, hi in chunks)
 
         if cache.workers == 1 or len(chunks) == 1:
             scratch = self._take_scratch(min(chunks[0][1] - chunks[0][0], m), n)
             try:
                 for lo, hi in chunks:
-                    self._run_chunk(lo, hi, x, yr_t, yy, cache, plans,
-                                    policy, counters, scratch)
+                    calls, batched = self._run_chunk(lo, hi, x, yr_t, yy,
+                                                     cache, plans, policy,
+                                                     counters, scratch)
+                    self.stats.gemm_calls += calls
+                    self.stats.batched_chunks += batched
                     if accumulator is not None:
                         # fused update accumulation: the chunk's rows are
                         # still cache-hot from the GEMM/argmin above
@@ -517,6 +651,7 @@ class FastPathEngine:
         max_rows = max(hi - lo for lo, hi in chunks)
         locals_ = threading.local()
         partials: list[PerfCounters | None] = [None] * len(chunks)
+        gemms: list[tuple[int, bool]] = [(0, False)] * len(chunks)
         held: list[np.ndarray] = []
         done = [False] * len(chunks)
         commit = {"next": 0}
@@ -531,8 +666,8 @@ class FastPathEngine:
                     held.append(scr)
             local_counters = PerfCounters()
             lo, hi = chunks[idx]
-            self._run_chunk(lo, hi, x, yr_t, yy, cache, plans, policy,
-                            local_counters, scr)
+            gemms[idx] = self._run_chunk(lo, hi, x, yr_t, yy, cache, plans,
+                                         policy, local_counters, scr)
             partials[idx] = local_counters
             if accumulator is not None:
                 with commit_lock:
@@ -558,41 +693,86 @@ class FastPathEngine:
         for part in partials:
             if part is not None:
                 counters.merge(part)
+        for calls, batched in gemms:
+            self.stats.gemm_calls += calls
+            self.stats.batched_chunks += batched
+
+    def _chunk_plans(self, lo: int, hi: int, cache: FitCache,
+                     plans: dict) -> list:
+        """The drawn fault plans whose blocks fall inside rows [lo, hi)."""
+        if not plans:
+            return []
+        bmap = cache.block_map
+        hits = []
+        for bm in bmap.blocks_for_rows(lo, hi):
+            for bn in range(bmap.grid_n):
+                plan = plans.get((bm, bn))
+                if plan is not None:
+                    hits.append((bm, bn, plan))
+        return hits
 
     def _run_chunk(self, lo: int, hi: int, x, yr_t, yy, cache: FitCache,
                    plans: dict, policy, counters: PerfCounters,
-                   scratch: np.ndarray) -> None:
+                   scratch: np.ndarray) -> tuple[int, bool]:
+        """One chunk's GEMM + fault replay + epilogue.
+
+        Returns ``(inner_gemm_calls, batched)`` for the stats.  The
+        fault-free fast lane dispatches the whole unit grid as one
+        stacked matmul (same per-unit BLAS GEMM sequence, so the bits
+        match the walk exactly); chunks a fault plan targets — and
+        TF32 chunks without a hoisted rounded operand — walk the units
+        in Python as before.
+        """
         rows = hi - lo
         acc = scratch[:rows]
         # inner GEMMs on the fixed unit grid (globally aligned: lo is a
         # unit multiple), so the call sequence is chunking-invariant
         unit = self.unit_rows
-        for u0 in range(lo, hi, unit):
-            u1 = min(u0 + unit, hi)
-            xa = x[u0:u1]
-            if self.tf32:
-                xa = round_tf32(xa)
-            np.matmul(xa, yr_t, out=acc[u0 - lo:u1 - lo])
-        if plans:
-            bmap = cache.block_map
-            for bm in bmap.blocks_for_rows(lo, hi):
-                for bn in range(bmap.grid_n):
-                    plan = plans.get((bm, bn))
-                    if plan is not None:
-                        self._replay_fault(acc, lo, bm, bn, plan, bmap,
-                                           policy, counters)
+        chunk_plans = self._chunk_plans(lo, hi, cache, plans)
+        xsrc = cache.x_rounded if (self.tf32
+                                   and cache.x_rounded is not None) else x
+        rounded = not self.tf32 or cache.x_rounded is not None
+        batched = (self.batch_chunks and not chunk_plans and rounded
+                   and xsrc.flags.c_contiguous)
+        if batched:
+            k = xsrc.shape[1]
+            q, rem = divmod(rows, unit)
+            calls = q + (1 if rem else 0)
+            if q:
+                np.matmul(xsrc[lo:lo + q * unit].reshape(q, unit, k), yr_t,
+                          out=acc[:q * unit].reshape(q, unit, -1))
+            if rem:
+                np.matmul(xsrc[lo + q * unit:hi], yr_t,
+                          out=acc[q * unit:rows])
+        else:
+            calls = 0
+            for u0 in range(lo, hi, unit):
+                u1 = min(u0 + unit, hi)
+                xa = xsrc[u0:u1]
+                if not rounded:
+                    xa = round_tf32(xa)
+                np.matmul(xa, yr_t, out=acc[u0 - lo:u1 - lo])
+                calls += 1
+        bmap = cache.block_map
+        for bm, bn, plan in chunk_plans:
+            self._replay_fault(acc, lo, bm, bn, plan, bmap, policy,
+                               counters)
         # fuse the norm terms in place: acc becomes the distance tile
         acc *= -2.0
         acc += cache.x_norms[lo:hi, None]
         acc += yy[None, :]
         lbl = np.argmin(acc, axis=1)
         cache.labels[lo:hi] = lbl
-        best = acc[np.arange(rows), lbl]
+        # take_along_axis instead of acc[arange(rows), lbl]: same
+        # selection bits, without materialising a row-index array in
+        # the hot loop
+        best = np.take_along_axis(acc, lbl[:, None], axis=1)[:, 0]
         # the norm identity can cancel below zero on offset-heavy data;
         # squared distances are floored so inertia/score/worst-fit
         # ordering stay meaningful (labels keep the raw argmin)
         np.maximum(best, 0, out=best)
         cache.best[lo:hi] = best
+        return calls, batched
 
 
 def unchunked_assign(x: np.ndarray, y: np.ndarray, *, dtype,

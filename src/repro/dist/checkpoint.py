@@ -24,6 +24,24 @@ Two storage modes behind one API:
   guard stops a glob-based sweep from unlinking a concurrent writer's
   live tmp (a healthy save holds its tmp for milliseconds).  Only the
   ``keep`` newest files are retained.
+
+**Asynchronous writes.**  Directory-backed stores default to a
+background writer (``sync=False``): :meth:`save` pickles the state in
+the calling thread — the snapshot is consistent at call time, and the
+caller may keep mutating the live objects — then hands the blob to a
+daemon writer over a bounded queue, moving the write+fsync cost off the
+coordinator's round loop.  The durability contract is preserved by a
+**flush barrier**: every read (:attr:`iterations`, :meth:`load_latest`)
+and :meth:`clear` drain the queue first, so a recovery restore can
+never observe a snapshot that was saved but not yet durable, and the
+coordinator flushes once more when the fit ends.  Each write still uses
+the same tmp+fsync+replace protocol, so a crash at any point — of the
+writer thread or the whole process — leaves only complete, restorable
+checkpoint files behind (an interrupted write strands at most a tmp
+file the sweep collects later).  A failed background write is re-raised
+at the next ``save``/``flush``.  ``sync=True`` keeps every write on the
+calling thread (the legacy behaviour, and the default for in-memory
+stores, where there is no I/O to hide).
 """
 
 from __future__ import annotations
@@ -31,22 +49,42 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import threading
 import time
+from collections import deque
 from pathlib import Path
 
 __all__ = ["CheckpointStore"]
 
 
 class CheckpointStore:
-    """Iteration-keyed snapshot store (in-memory or directory-backed)."""
+    """Iteration-keyed snapshot store (in-memory or directory-backed).
+
+    Parameters
+    ----------
+    directory : path-like, optional
+        Back the store with atomic per-iteration files; None (default)
+        keeps snapshots in memory.
+    keep : int
+        Newest snapshots retained; older ones are pruned.
+    sync : bool, optional
+        True writes every snapshot on the calling thread; False hands
+        the pickled blob to a background writer (bounded queue, flush
+        barrier on reads).  None (default) resolves to synchronous for
+        in-memory stores and asynchronous for directory-backed ones.
+    """
 
     #: tmp files younger than this are presumed to be a concurrent
     #: writer's live tmp and spared by the sweep; stranded files age
     #: past it and get collected by the next construction / clear()
     TMP_SWEEP_AGE_S = 60.0
 
+    #: bounded write queue: a saver that outruns the disk blocks here
+    #: instead of buffering unbounded snapshot blobs
+    QUEUE_MAX = 4
+
     def __init__(self, directory: str | os.PathLike | None = None, *,
-                 keep: int = 2):
+                 keep: int = 2, sync: bool | None = None):
         if keep < 1:
             raise ValueError(f"keep must be >= 1, got {keep}")
         self.keep = int(keep)
@@ -54,7 +92,21 @@ class CheckpointStore:
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
             self._sweep_tmp()
+        self.sync = (self.directory is None) if sync is None else bool(sync)
         self._mem: dict[int, bytes] = {}
+        # background-writer state (directory-backed async stores only)
+        self._cond = threading.Condition()
+        self._pending: deque[tuple[int, bytes]] = deque()
+        self._writer: threading.Thread | None = None
+        # lock-guarded liveness flag: the writer clears it under the
+        # condition lock in the same critical section where it decides
+        # to exit, so a saver can never observe a dying-but-alive
+        # thread and skip the respawn (Thread.is_alive() could — the
+        # thread stays alive for a window after its exit decision,
+        # which would orphan the saver's freshly queued blob)
+        self._writer_live = False
+        self._writing = False
+        self._error: BaseException | None = None
 
     # ------------------------------------------------------------------
     def _path(self, iteration: int) -> Path:
@@ -75,7 +127,13 @@ class CheckpointStore:
                 continue
 
     def save(self, iteration: int, state: dict) -> None:
-        """Snapshot ``state`` under ``iteration`` (atomic on disk)."""
+        """Snapshot ``state`` under ``iteration`` (atomic on disk).
+
+        The state is pickled before ``save`` returns, so the snapshot
+        is consistent at call time even when the write itself happens
+        on the background writer; a previously failed background write
+        is re-raised here.
+        """
         if iteration < 0:
             raise ValueError(f"iteration must be >= 0, got {iteration}")
         blob = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
@@ -84,6 +142,67 @@ class CheckpointStore:
             for it in sorted(self._mem)[:-self.keep]:
                 del self._mem[it]
             return
+        if self.sync:
+            self._write_blob(iteration, blob)
+            self._prune()
+            return
+        with self._cond:
+            if self._error is not None:
+                err, self._error = self._error, None
+                raise err
+            while len(self._pending) >= self.QUEUE_MAX:
+                self._cond.wait()
+            self._pending.append((iteration, blob))
+            if not self._writer_live:
+                self._writer_live = True
+                self._writer = threading.Thread(
+                    target=self._drain, name="checkpoint-writer",
+                    daemon=True)
+                self._writer.start()
+            self._cond.notify_all()
+
+    def flush(self) -> None:
+        """Barrier: return only when every queued snapshot is durably
+        written (and re-raise a background write failure).  No-op for
+        synchronous and in-memory stores."""
+        if self.directory is None or self.sync:
+            return
+        with self._cond:
+            while self._pending or self._writing:
+                self._cond.wait()
+            if self._error is not None:
+                err, self._error = self._error, None
+                raise err
+
+    def _drain(self) -> None:
+        """Background writer: pop-write-prune until the queue runs dry
+        (the thread exits when idle and is respawned by the next save)."""
+        while True:
+            with self._cond:
+                if not self._pending:
+                    # exit decision and liveness clear are atomic under
+                    # the lock: any save() arriving after this sees a
+                    # dead writer and spawns a fresh one
+                    self._writer_live = False
+                    self._writing = False
+                    self._cond.notify_all()
+                    return
+                iteration, blob = self._pending.popleft()
+                self._writing = True
+                self._cond.notify_all()
+            try:
+                self._write_blob(iteration, blob)
+                self._prune()
+            except BaseException as exc:
+                with self._cond:
+                    self._error = exc
+                    self._pending.clear()
+                    self._writer_live = False
+                    self._writing = False
+                    self._cond.notify_all()
+                return
+
+    def _write_blob(self, iteration: int, blob: bytes) -> None:
         # unique tmp name (two writers on one directory can never step
         # on each other's half-written blob) + fsync before the rename,
         # so the renamed file is durably the full snapshot
@@ -99,12 +218,12 @@ class CheckpointStore:
         except BaseException:
             Path(tmp).unlink(missing_ok=True)
             raise
-        for it in self.iterations[:-self.keep]:
+
+    def _prune(self) -> None:
+        for it in self._list_iterations()[:-self.keep]:
             self._path(it).unlink(missing_ok=True)
 
-    @property
-    def iterations(self) -> list[int]:
-        """Checkpointed iterations, oldest first."""
+    def _list_iterations(self) -> list[int]:
         if self.directory is None:
             return sorted(self._mem)
         its = []
@@ -115,11 +234,19 @@ class CheckpointStore:
                 continue
         return sorted(its)
 
+    @property
+    def iterations(self) -> list[int]:
+        """Checkpointed iterations, oldest first (flushes the writer
+        first, so the listing reflects every completed ``save``)."""
+        self.flush()
+        return self._list_iterations()
+
     def load_latest(self) -> tuple[int, dict] | None:
         """Newest ``(iteration, state)`` snapshot, or None when empty.
 
-        The returned state is freshly unpickled — mutating it never
-        touches the stored snapshot.
+        Flushes the background writer first — a restore never races a
+        write — and the returned state is freshly unpickled: mutating it
+        never touches the stored snapshot.
         """
         its = self.iterations
         if not its:
@@ -132,6 +259,12 @@ class CheckpointStore:
     def clear(self) -> None:
         self._mem.clear()
         if self.directory is not None:
-            for it in self.iterations:
+            try:
+                self.flush()
+            except Exception:
+                # a failed pending write is moot: everything it could
+                # have produced is being deleted anyway
+                pass
+            for it in self._list_iterations():
                 self._path(it).unlink(missing_ok=True)
             self._sweep_tmp()

@@ -34,12 +34,32 @@ and worker SEU streams are keyed by ``(seed, worker, iteration)``, so
 the replayed trajectory — and the final centroids — are bit-identical
 to an uninterrupted run.
 
+**Double-buffered rounds.**  On backends whose workers genuinely
+compute between a send and a collect (thread, process), the coordinator
+pipelines: as soon as round *t*'s merge produces the new centroids it
+broadcasts round *t+1*, then performs round *t*'s off-critical tail —
+the ABFT partial check, inertia/convergence bookkeeping and the
+checkpoint snapshot — while the workers are already computing.  Only
+the gather → sequential-continuation merge → update divide stays on the
+critical path.  The pipeline computes exactly the rounds the sequential
+loop would (the one speculative round in flight when convergence lands
+is collected and discarded), so results stay bit-identical; it arms
+only on fault-free fits (no ``worker_faults``), keeping every
+fault-injection schedule's semantics byte-for-byte unchanged, and any
+*real* worker loss in an overlapped round surfaces at collect time and
+runs the ordinary recovery path.
+
 **Failure detection and elastic membership.**  ``round_timeout`` arms
 the executors' round deadline: a worker that has not answered in time
 is terminated and surfaces as a typed :class:`WorkerStall` (counted in
 ``PerfCounters.worker_stalls``) instead of hanging the fit forever —
 the stalled-but-alive failure mode a blocking ``recv()`` could never
-escape.  With ``elastic=True`` the coordinator recovers by *shrinking*:
+escape.  ``round_timeout="auto"`` sizes the deadline adaptively:
+before each round the executor deadline is re-armed to
+``ADAPTIVE_MULT`` × the median of the last ``ADAPTIVE_WINDOW`` observed
+round times (floored at ``ADAPTIVE_FLOOR_S``); until
+``ADAPTIVE_MIN_SAMPLES`` rounds have been observed no deadline is
+armed, so a cold start can never be misread as a stall.  With ``elastic=True`` the coordinator recovers by *shrinking*:
 it asks the :class:`ShardPlan` to re-plan the lost rows onto the
 surviving workers (boundaries stay on the same GEMM-unit grid, shards
 stay in row order), restores the newest checkpoint and continues with
@@ -55,6 +75,9 @@ the full original worker set, as before.
 from __future__ import annotations
 
 import pickle
+import sys
+import time
+from collections import deque
 from dataclasses import dataclass, field, replace
 from functools import partial
 
@@ -63,6 +86,7 @@ import numpy as np
 from repro.core.accumulate import StreamedAccumulator
 from repro.core.config import KMeansConfig
 from repro.core.convergence import ConvergenceMonitor
+from repro.core.engine import resolve_operand_budget
 from repro.core.update import UpdateStage
 from repro.core.variants import _resolve_tile, build_assignment
 from repro.dist.checkpoint import CheckpointStore
@@ -104,6 +128,8 @@ class DistFitResult:
     crash_recoveries: int = 0            # workers lost to death
     stall_recoveries: int = 0            # workers lost to the deadline
     shrinks: int = 0                     # elastic re-plans performed
+    checkpoint_save_s: float = 0.0       # in-loop checkpoint save cost
+    checkpoint_flush_s: float = 0.0      # end-of-fit async flush barrier
 
 
 class Coordinator:
@@ -136,12 +162,33 @@ class Coordinator:
     elastic : bool, optional
         Recover from a worker loss by re-sharding onto the survivors
         instead of respawning the full set; defaults to ``cfg.elastic``.
-    round_timeout : float, optional
+    round_timeout : float or "auto", optional
         Seconds each executor round may take before unanswered workers
         are classified stalled (:class:`WorkerStall`); defaults to
         ``cfg.round_timeout`` (None = no deadline, the legacy blocking
-        behaviour).
+        behaviour).  ``"auto"`` re-arms the deadline each round from a
+        trailing median of observed round times (see the class
+        ``ADAPTIVE_*`` attributes).
+    overlap_rounds : bool
+        Allow the double-buffered round pipeline on executors that
+        support it (default True; fault-injecting fits always run the
+        sequential loop).
     """
+
+    #: adaptive deadline = ADAPTIVE_MULT x trailing-median round time
+    ADAPTIVE_MULT = 8.0
+    #: never arm an adaptive deadline tighter than this (seconds)
+    ADAPTIVE_FLOOR_S = 0.5
+    #: trailing window of observed round times fed to the median
+    ADAPTIVE_WINDOW = 8
+    #: observed rounds required before any adaptive deadline is armed
+    ADAPTIVE_MIN_SAMPLES = 2
+
+    #: recv bound (seconds) for draining a speculative round whose
+    #: results are being discarded (convergence landed first) when no
+    #: round deadline is configured — a worker that wedges during that
+    #: round must not hang a fit whose result already exists
+    DISCARD_TIMEOUT = 5.0
 
     def __init__(self, cfg: KMeansConfig, *,
                  executor: str | BaseExecutor | None = None,
@@ -152,7 +199,8 @@ class Coordinator:
                  max_recoveries: int = 8,
                  partial_tol: float = PARTIAL_CHECK_RTOL,
                  elastic: bool | None = None,
-                 round_timeout: float | None = None):
+                 round_timeout: float | str | None = None,
+                 overlap_rounds: bool = True):
         if cfg.mode != "fast":
             raise ValueError("sharded execution requires mode='fast'")
         self.cfg = cfg
@@ -168,8 +216,12 @@ class Coordinator:
         self.max_recoveries = int(max_recoveries)
         self.partial_tol = float(partial_tol)
         self.elastic = bool(cfg.elastic if elastic is None else elastic)
+        self.overlap_rounds = bool(overlap_rounds)
         round_timeout = (cfg.round_timeout if round_timeout is None
                          else round_timeout)
+        self.adaptive_timeout = round_timeout == "auto"
+        if self.adaptive_timeout:
+            round_timeout = None  # armed per round from observed times
         if round_timeout is not None and round_timeout <= 0:
             raise ValueError(
                 f"round_timeout must be > 0, got {round_timeout}")
@@ -231,6 +283,15 @@ class Coordinator:
                               update_mode=cfg.resolved_update_mode())
         merge_acc = StreamedAccumulator(n_clusters, k)
         merge_acc.bind_weights(sample_weight)
+        # merge-operand hoist: one transposed copy of x lets every
+        # round's sequential-continuation re-feed read contiguous
+        # feature rows instead of re-transposing all of x (identical
+        # bits; same budget policy as the engine's operand caches)
+        chunk_budget = (cfg.chunk_bytes if cfg.chunk_bytes is not None
+                        else cfg.device.fastpath_chunk_bytes())
+        if x.nbytes <= resolve_operand_budget(cfg.operand_cache,
+                                              chunk_budget):
+            merge_acc.bind_source_t(np.ascontiguousarray(x.T))
         labels = np.empty(m, dtype=np.int64)
         best = np.empty(m, dtype=cfg.dtype)
 
@@ -259,30 +320,52 @@ class Coordinator:
         # a reused store (e.g. a checkpoint_dir shared across fits) must
         # not leak a previous fit's snapshots into this one's recovery
         self.store.clear()
+        ckpt_save_s = 0.0
+        ckpt_flush_s = 0.0
         if self.checkpoint_every:
+            t0 = time.perf_counter()
             self.store.save(0, self._snapshot(0, y, monitor, clock, counters))
+            ckpt_save_s += time.perf_counter() - t0
+
+        # the double-buffered round pipeline: only on backends whose
+        # workers compute between send and collect, and only on
+        # fault-free fits — an injected fault schedule must see exactly
+        # the sequential loop's rounds (a converged fit never draws the
+        # next round's directives)
+        overlap = (self.overlap_rounds and self.faults is None
+                   and getattr(self.executor, "supports_overlap", False))
+        round_times: deque[float] = deque(maxlen=self.ADAPTIVE_WINDOW)
 
         self.executor.start(factory, plan.worker_ids)
         n_iter = 0
+        pending: tuple[int, dict, float] | None = None  # round in flight
         try:
             it = 1
             while it <= cfg.max_iter:
-                directives = (self.faults.directives_for_round(
-                    it, plan.worker_ids) if self.faults is not None else {})
+                if pending is None:
+                    self._arm_deadline(round_times)
+                    directives = (self.faults.directives_for_round(
+                        it, plan.worker_ids)
+                        if self.faults is not None else {})
+                    t_send = time.monotonic()
+                    self.executor.send_round(y, it, directives)
+                    pending = (it, directives, t_send)
                 try:
-                    results = self.executor.run_round(y, it, directives)
+                    results = self.executor.collect_round()
                 except WorkerCrash as crash:
+                    pending = None
                     recoveries += 1
                     crash_workers_lost += len(crash.crashed_ids)
                     stall_workers_lost += len(crash.stalled_ids)
                     for wid in crash.crashed_ids:
                         trace.append({"kind": "crash", "worker": wid,
-                                      "iteration": it,
+                                      "iteration": crash.iteration,
                                       "reason": crash.reason})
                     for wid in crash.stalled_ids:
                         trace.append({"kind": "stall_timeout", "worker": wid,
-                                      "iteration": it,
-                                      "round_timeout": self.round_timeout})
+                                      "iteration": crash.iteration,
+                                      "round_timeout":
+                                          self.executor.round_timeout})
                     if recoveries > self.max_recoveries:
                         raise
                     loaded = self.store.load_latest()
@@ -295,6 +378,16 @@ class Coordinator:
                     counters = state["counters"]
                     trace.append({"kind": "restore",
                                   "iteration": restored_it})
+                    # the adaptive deadline's history describes the
+                    # pre-recovery membership: after an elastic shrink
+                    # the surviving shards are larger and an honest
+                    # round is legitimately slower, so the median must
+                    # re-warm (deadline disarmed for the warm-up
+                    # rounds) instead of condemning healthy survivors
+                    # as phantom stalls round after round
+                    if self.adaptive_timeout:
+                        round_times.clear()
+                        self.executor.round_timeout = None
                     survivors = tuple(w for w in plan.worker_ids
                                       if w not in crash.failed_ids)
                     if self.elastic and survivors:
@@ -305,7 +398,8 @@ class Coordinator:
                         plan = plan.replan(survivors)
                         factory = make_factory(plan)
                         shrinks += 1
-                        trace.append({"kind": "shrink", "iteration": it,
+                        trace.append({"kind": "shrink",
+                                      "iteration": crash.iteration,
                                       "lost": sorted(crash.failed_ids),
                                       "survivors": list(plan.worker_ids),
                                       "n_workers": plan.n_workers})
@@ -316,6 +410,9 @@ class Coordinator:
                         self.executor.restart()
                     it = restored_it + 1
                     continue
+                cur, directives, t_send = pending
+                pending = None
+                round_times.append(time.monotonic() - t_send)
 
                 # -- gather (worker order == sample order) -------------
                 for res, shard in zip(results, plan.shards):
@@ -323,16 +420,12 @@ class Coordinator:
                     best[shard.lo:shard.hi] = res.best
                     counters.merge(res.counters)
                 self._charge_round(clock, results)
-                self._count_directives(faults_seen, trace, directives, it)
 
                 # -- sequential-continuation merge (bit-exact) ---------
                 merge_acc.reset()
                 for shard in plan.shards:
                     merge_acc.feed(x[shard.slice], labels[shard.slice])
                 merged = merge_acc.packed()
-                counters.checksum_tests += 1
-                self._check_partials(merged, results, plan, x, labels,
-                                     sample_weight, faults_seen, trace, it)
 
                 # -- the exact single-device update + convergence ------
                 upd = updater.update(x, labels, best, y, counters,
@@ -341,20 +434,64 @@ class Coordinator:
                 for label, t in upd.timings:
                     clock.charge(label, t)
                 y = upd.centroids
+
+                # -- double buffering: the next round's broadcast leaves
+                # as soon as the centroids exist; everything below
+                # overlaps the workers' compute.  The send is
+                # speculative against convergence — at most one round is
+                # computed and discarded, at the very end of the fit.
+                if overlap and cur < cfg.max_iter:
+                    self._arm_deadline(round_times)
+                    t_send = time.monotonic()
+                    self.executor.send_round(y, cur + 1, {})
+                    pending = (cur + 1, {}, t_send)
+
+                # -- off-critical tail ---------------------------------
+                self._count_directives(faults_seen, trace, directives, cur)
+                counters.checksum_tests += 1
+                self._check_partials(merged, results, plan, x, labels,
+                                     sample_weight, faults_seen, trace, cur)
                 best64 = best.astype(np.float64)
                 inertia = float(np.sum(best64 * sample_weight)
                                 if sample_weight is not None
                                 else np.sum(best64))
-                n_iter = it
+                n_iter = cur
                 converged = monitor.update(inertia, upd.shift)
-                if self.checkpoint_every and it % self.checkpoint_every == 0:
-                    self.store.save(it, self._snapshot(it, y, monitor, clock,
-                                                       counters))
+                if (self.checkpoint_every
+                        and cur % self.checkpoint_every == 0):
+                    t0 = time.perf_counter()
+                    self.store.save(cur, self._snapshot(cur, y, monitor,
+                                                        clock, counters))
+                    ckpt_save_s += time.perf_counter() - t0
                 if converged:
                     break
-                it += 1
+                it = cur + 1
         finally:
+            if pending is not None:
+                # a speculative round was in flight when the fit ended
+                # (convergence, or an error): collect and discard it so
+                # no worker is still computing at teardown.  The drain
+                # is always bounded — with no configured deadline a
+                # worker that wedges during this already-discarded
+                # round would otherwise hang a finished fit forever
+                if self.executor.round_timeout is None:
+                    self.executor.round_timeout = self.DISCARD_TIMEOUT
+                try:
+                    self.executor.collect_round()
+                except Exception:
+                    pass
             self.executor.shutdown()
+            # flush barrier: every snapshot of this fit is durable
+            # before fit() returns (or propagates its error)
+            t0 = time.perf_counter()
+            if sys.exc_info()[0] is None:
+                self.store.flush()
+            else:
+                try:
+                    self.store.flush()
+                except Exception:
+                    pass
+            ckpt_flush_s = time.perf_counter() - t0
 
         # fold the restore-proof tallies into the final counter totals:
         # crashes and deadline-tripped stalls count the workers lost,
@@ -375,9 +512,25 @@ class Coordinator:
             recoveries=recoveries, trace=trace, plan=plan,
             executor=getattr(self.executor, "name", "custom"),
             crash_recoveries=crash_workers_lost,
-            stall_recoveries=stall_workers_lost, shrinks=shrinks)
+            stall_recoveries=stall_workers_lost, shrinks=shrinks,
+            checkpoint_save_s=ckpt_save_s, checkpoint_flush_s=ckpt_flush_s)
 
     # ------------------------------------------------------------------
+    def _arm_deadline(self, round_times: deque) -> None:
+        """Re-arm the executor deadline under ``round_timeout='auto'``.
+
+        A multiple of the trailing median of observed round times; no
+        deadline until enough rounds have been observed (a cold start
+        must never be misread as a stall), and never tighter than the
+        floor.
+        """
+        if not self.adaptive_timeout:
+            return
+        if len(round_times) >= self.ADAPTIVE_MIN_SAMPLES:
+            self.executor.round_timeout = max(
+                self.ADAPTIVE_FLOOR_S,
+                self.ADAPTIVE_MULT * float(np.median(round_times)))
+
     @staticmethod
     def _charge_round(clock: SimClock, results: list[RoundResult]) -> None:
         """Charge the slowest worker's modelled kernel times: shards run

@@ -47,6 +47,19 @@ A round collects **every** failure before raising — after the first
 dead pipe the remaining connections are drained under per-connection
 deadlines, so a second crashed or stalled worker in the same round can
 never turn recovery into a hang.
+
+**Split-phase rounds.**  ``run_round`` is also available as an explicit
+``send_round`` / ``collect_round`` pair: the coordinator broadcasts the
+next round as soon as the new centroids exist, runs the previous
+round's off-critical bookkeeping (ABFT partial check, convergence,
+checkpoint snapshot) while the workers compute, and only then collects
+— the double-buffered round pipeline.  Backends whose workers genuinely
+compute between send and collect advertise ``supports_overlap``; the
+serial backend computes inside the round itself, so its split-phase
+form simply stashes the arguments and runs at collect time.  For the
+deadline-armed backends the answer deadline starts at ``collect_round``
+(exactly where the legacy combined round started its recv phase), so
+overlapped coordinator work can never eat a worker's round budget.
 """
 
 from __future__ import annotations
@@ -86,13 +99,20 @@ class BaseExecutor(ABC):
 
     ``round_timeout`` — seconds each round may take before unanswered
     workers are classified stalled (None = no deadline); the coordinator
-    sets it from the fit configuration.
+    sets it from the fit configuration (and re-arms it per round under
+    the adaptive deadline).
     """
+
+    #: True when workers genuinely compute between ``send_round`` and
+    #: ``collect_round`` — the coordinator only overlaps bookkeeping
+    #: with an in-flight round on such backends
+    supports_overlap = False
 
     def __init__(self) -> None:
         self._factory = None
         self._worker_ids: tuple[int, ...] = ()
         self.round_timeout: float | None = None
+        self._stashed_round: tuple | None = None
 
     def start(self, factory, worker_ids) -> None:
         """Build one worker per id via ``factory(worker_id)``."""
@@ -135,6 +155,23 @@ class BaseExecutor(ABC):
         real); the surviving results of that round are discarded by the
         coordinator's recovery path.
         """
+
+    def send_round(self, y, iteration: int,
+                   directives: dict[int, dict]) -> None:
+        """Broadcast one round; its results come from the next
+        :meth:`collect_round`.  The base implementation stashes the
+        arguments and runs the whole round synchronously at collect
+        time (no overlap — see ``supports_overlap``)."""
+        self._stashed_round = (y, iteration, directives)
+
+    def collect_round(self) -> list[RoundResult]:
+        """Results of the round last sent with :meth:`send_round`, in
+        worker order; raises exactly like :meth:`run_round`."""
+        if self._stashed_round is None:
+            raise RuntimeError("collect_round without a sent round")
+        y, iteration, directives = self._stashed_round
+        self._stashed_round = None
+        return self.run_round(y, iteration, directives)
 
 
 class SerialExecutor(BaseExecutor):
@@ -209,10 +246,12 @@ class ThreadExecutor(BaseExecutor):
     returning."""
 
     name = "thread"
+    supports_overlap = True
 
     def _spawn(self) -> None:
         self._workers = {wid: self._factory(wid) for wid in self._worker_ids}
         self._inflight: dict[int, _RoundTask] = {}
+        self._round_it: int | None = None
 
     def _teardown(self) -> None:
         # a stalled thread cannot be killed, and joining it would block
@@ -229,13 +268,23 @@ class ThreadExecutor(BaseExecutor):
         self._workers = {}
         self._inflight = {}
 
-    def run_round(self, y, iteration, directives) -> list[RoundResult]:
+    def send_round(self, y, iteration, directives) -> None:
+        self._round_it = iteration
+        self._inflight = {wid: _RoundTask(self._workers[wid].run_round,
+                                          (y, iteration,
+                                           directives.get(wid)))
+                          for wid in self._worker_ids}
+
+    def collect_round(self) -> list[RoundResult]:
+        if self._round_it is None:
+            raise RuntimeError("collect_round without a sent round")
+        iteration, self._round_it = self._round_it, None
+        # the answer deadline starts at collect: workers have been
+        # computing since send, so overlapped coordinator work only ever
+        # extends their budget, never shrinks it
         deadline = (None if self.round_timeout is None
                     else time.monotonic() + self.round_timeout)
-        tasks = {wid: _RoundTask(self._workers[wid].run_round,
-                                 (y, iteration, directives.get(wid)))
-                 for wid in self._worker_ids}
-        self._inflight = tasks
+        tasks = self._inflight
         results: dict[int, RoundResult] = {}
         crashed, stalled = [], []
         # drain every task before raising: no worker may still be
@@ -262,6 +311,10 @@ class ThreadExecutor(BaseExecutor):
             raise _round_failure(iteration, crashed, stalled,
                                  crash_reason="injected")
         return [results[wid] for wid in self._worker_ids]
+
+    def run_round(self, y, iteration, directives) -> list[RoundResult]:
+        self.send_round(y, iteration, directives)
+        return self.collect_round()
 
 
 #: spawn handshake sentinel: the child sends it once its worker is
@@ -307,6 +360,7 @@ class ProcessExecutor(BaseExecutor):
     """
 
     name = "process"
+    supports_overlap = True
 
     #: recv bound (seconds) for the *remaining* connections once a round
     #: has already lost a worker and no round deadline is configured: a
@@ -342,6 +396,7 @@ class ProcessExecutor(BaseExecutor):
         self._ctx = mp.get_context(start_method)
 
     def _spawn(self) -> None:
+        self._round_state: tuple | None = None
         self._procs: dict[int, mp.Process] = {}
         self._conns: dict[int, object] = {}
         for wid in self._worker_ids:
@@ -442,7 +497,7 @@ class ProcessExecutor(BaseExecutor):
             raise got
         return got
 
-    def run_round(self, y, iteration, directives) -> list[RoundResult]:
+    def send_round(self, y, iteration, directives) -> None:
         crashed, stalled = [], []
         deadline = (None if self.round_timeout is None
                     else time.monotonic() + self.round_timeout)
@@ -460,11 +515,20 @@ class ProcessExecutor(BaseExecutor):
                     crashed.append(wid)
                 elif sent == "stalled":
                     stalled.append(wid)
-        # per-phase budget: the broadcast above was bounded on its own
+        self._round_state = (iteration, crashed, stalled)
+
+    def collect_round(self) -> list[RoundResult]:
+        if self._round_state is None:
+            raise RuntimeError("collect_round without a sent round")
+        iteration, crashed, stalled = self._round_state
+        self._round_state = None
+        # per-phase budget: the broadcast was bounded on its own
         # deadline, so the answer deadline starts only now — a wedged
-        # send (killed above) can never condemn the other workers'
-        # compute time.  A worst-case faulty round is therefore bounded
-        # by ~2x round_timeout, never unbounded.
+        # send (killed at send time) can never condemn the other
+        # workers' compute time, and overlapped coordinator work between
+        # send and collect never shrinks a worker's budget.  A
+        # worst-case faulty round is therefore bounded by
+        # ~2x round_timeout, never unbounded.
         deadline = (None if self.round_timeout is None
                     else time.monotonic() + self.round_timeout)
         results: dict[int, RoundResult] = {}
@@ -511,6 +575,10 @@ class ProcessExecutor(BaseExecutor):
             raise _round_failure(iteration, crashed, stalled,
                                  crash_reason="worker process died")
         return [results[wid] for wid in self._worker_ids]
+
+    def run_round(self, y, iteration, directives) -> list[RoundResult]:
+        self.send_round(y, iteration, directives)
+        return self.collect_round()
 
 
 def make_executor(name: str) -> BaseExecutor:

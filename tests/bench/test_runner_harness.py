@@ -56,8 +56,9 @@ class TestSmokeGate:
         runner.main(["--smoke", "--out", str(out), "--dist-out", "-",
                      "--m", "1024", "--iters", "1"])
         doc = json.loads(out.read_text())
-        assert doc["schema"] == "fastpath_walltime/v1"
+        assert doc["schema"] == "fastpath_walltime/v2"
         (record,) = doc["entries"]
+        assert record["schema"] == "fastpath_walltime/v2"
         assert record["config"]["m"] == 1024
         # the per-stage split the streamed-update PR added
         stages = record["stages"]
@@ -70,6 +71,12 @@ class TestSmokeGate:
         assert record["unchunked"]["update_per_iter_s"]
         assert record["label_mismatch_frac"] <= 1e-3
         assert record["engine"]["update_chunks_fed"] >= 1
+        # the fast-lane columns of schema v2
+        assert record["engine"]["batched_chunks"] >= 1
+        assert record["engine"]["hoisted_rounded_operand"] is True
+        assert record["engine"]["hoisted_transposed_operand"] is True
+        assert record["unit_path_label_mismatch_frac"] == 0.0
+        assert record["unit_path_bit_identical"] is True
 
     def test_runner_smoke_appends_to_trajectory(self, tmp_path):
         out = tmp_path / "bench.json"
@@ -82,6 +89,67 @@ class TestSmokeGate:
         with pytest.raises(SystemExit):
             runner.main(["--m", "1024"])
         capsys.readouterr()
+
+
+class TestRegressionGate:
+    """The smoke run compares the fresh fast-path record against the
+    best prior same-shape entry and fails loudly past the slack."""
+
+    @staticmethod
+    def _entry(wall, m=1024, host="ci", workers=1, operand_cache=1 << 30):
+        return {"host": host,
+                "config": {"m": m, "n_features": 64, "n_clusters": 64,
+                           "iters": 1, "dtype": "float32",
+                           "workers": workers, "chunk_bytes": 20971520,
+                           "operand_cache": operand_cache},
+                "engine": {"wall_s": wall}}
+
+    def test_fresh_slow_record_fails(self, tmp_path):
+        out = tmp_path / "bench.json"
+        fresh = self._entry(1.0)
+        out.write_text(json.dumps(
+            {"schema": "fastpath_walltime/v2",
+             "entries": [self._entry(0.1), fresh]}))
+        with pytest.raises(SystemExit, match="PERF REGRESSION"):
+            runner.check_fastpath_regression(fresh, out, slack=1.5)
+
+    def test_fresh_fast_record_passes(self, tmp_path):
+        out = tmp_path / "bench.json"
+        fresh = self._entry(0.09)
+        out.write_text(json.dumps(
+            {"schema": "fastpath_walltime/v2",
+             "entries": [self._entry(0.1), fresh]}))
+        verdict = runner.check_fastpath_regression(fresh, out, slack=1.5)
+        assert "ok" in verdict
+
+    def test_no_prior_shape_skips(self, tmp_path):
+        out = tmp_path / "bench.json"
+        fresh = self._entry(1.0)
+        out.write_text(json.dumps(
+            {"schema": "fastpath_walltime/v2",
+             "entries": [self._entry(0.1, m=999), fresh]}))
+        assert "skipped" in runner.check_fastpath_regression(fresh, out)
+
+    def test_cross_host_and_config_never_compared(self, tmp_path):
+        """A slow run on another machine — or a deliberately slower
+        config — must not fail against the fast-lane best."""
+        out = tmp_path / "bench.json"
+        fresh = self._entry(1.0)
+        out.write_text(json.dumps(
+            {"schema": "fastpath_walltime/v2",
+             "entries": [self._entry(0.1, host="fastbox"),
+                         self._entry(0.1, operand_cache="off"),
+                         self._entry(0.1, workers=4), fresh]}))
+        assert "skipped" in runner.check_fastpath_regression(fresh, out)
+
+    def test_smoke_gate_end_to_end(self, tmp_path, capsys):
+        """Two identical tiny smoke runs: the second sees the first as
+        its prior and passes the gate."""
+        out = tmp_path / "bench.json"
+        for _ in range(2):
+            runner.main(["--smoke", "--out", str(out), "--dist-out", "-",
+                         "--m", "1024", "--iters", "1"])
+        assert "regression check" in capsys.readouterr().out
 
 
 class TestDistSmokeGate:
@@ -97,8 +165,9 @@ class TestDistSmokeGate:
                      "--dist-out", str(dist_out),
                      "--m", "1024", "--iters", "1"])
         doc = json.loads(dist_out.read_text())
-        assert doc["schema"] == "dist_scaling/v2"
+        assert doc["schema"] == "dist_scaling/v3"
         (record,) = doc["entries"]
+        assert record["schema"] == "dist_scaling/v3"
         workers = [row["workers"] for row in record["grid"]]
         assert workers == record["config"]["workers_grid"] == [1, 2]
         for row in record["grid"]:
@@ -121,6 +190,15 @@ class TestDistSmokeGate:
                     "stall_wall_s", "shrink_overhead_s",
                     "shrink_overhead_frac"):
             assert key in el, key
+        # the checkpoint sync-vs-async overhead record of schema v3
+        ck = record["checkpoint"]
+        assert ck["bit_identical_sync_vs_async"] is True
+        assert ck["sync_save_s"] > 0 and ck["async_save_s"] > 0
+        for key in ("sync_save_per_checkpoint_s", "async_save_per_checkpoint_s",
+                    "sync_overhead_per_round_s",
+                    "async_overhead_per_round_s", "async_flush_s",
+                    "save_reduction"):
+            assert key in ck, key
 
     def test_dist_bench_cli_direct(self, tmp_path):
         from repro.bench import dist as dist_bench

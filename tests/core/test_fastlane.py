@@ -1,0 +1,296 @@
+"""Property tests of the fault-free fast lane.
+
+The contract: the hoisted operand caches (TF32-rounded matrix,
+transposed update-feed operand) and the stacked per-chunk GEMM dispatch
+are pure implementation shortcuts — labels, best-distance **bit
+patterns** and fused update sums are identical to the legacy per-unit
+path for any configuration, and under SEU injection the unit walk still
+fires for every chunk a fault plan targets.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.accumulate import StreamedAccumulator, accumulate_oneshot
+from repro.core.config import KMeansConfig
+from repro.core.engine import FastPathEngine, resolve_operand_budget
+from repro.core.tensorop import default_tensorop_tile
+from repro.gpusim.counters import PerfCounters
+from repro.gpusim.faults import FaultInjector
+
+TILE = default_tensorop_tile(np.float32)
+
+
+def _run(x, y, *, operand_cache, batch_chunks, chunk_bytes=None,
+         tf32=True, injector_seed=None, p=0.7, weights=None, workers=1):
+    """One fused assignment pass; returns everything comparable."""
+    inj = (FaultInjector(injector_seed, p, np.float32)
+           if injector_seed is not None else None)
+    eng = FastPathEngine(None, np.float32, tile=TILE, tf32=tf32,
+                         injector=inj, chunk_bytes=chunk_bytes,
+                         operand_cache=operand_cache,
+                         batch_chunks=batch_chunks, workers=workers)
+    acc = StreamedAccumulator(y.shape[0], x.shape[1])
+    acc.bind_weights(weights)
+    counters = PerfCounters()
+    try:
+        eng.begin_fit(x, y.shape[0])
+        labels, best = eng.assign(x, y, counters, accumulator=acc)
+        return {
+            "labels": labels.copy(),
+            "best_bits": best.view(np.uint32).copy(),
+            "sums_bits": acc.packed().view(np.uint64).copy(),
+            "stats": eng.stats,
+            "hoisted": (eng._cache.x_rounded is not None,
+                        eng._cache.x_t is not None),
+            "counters": counters,
+        }
+    finally:
+        eng.end_fit()
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(11)
+    x = rng.standard_normal((1500, 24)).astype(np.float32)
+    y = rng.standard_normal((10, 24)).astype(np.float32)
+    return x, y
+
+
+class TestFastLaneBitIdentity:
+    def test_hoisted_and_batched_vs_per_unit(self, data):
+        """The acceptance property: fast lane == per-unit path, bitwise."""
+        x, y = data
+        ref = _run(x, y, operand_cache="off", batch_chunks=False)
+        fast = _run(x, y, operand_cache=1 << 30, batch_chunks=True)
+        assert fast["hoisted"] == (True, True)
+        assert fast["stats"].batched_chunks == fast["stats"].chunks_run > 0
+        assert np.array_equal(ref["labels"], fast["labels"])
+        assert np.array_equal(ref["best_bits"], fast["best_bits"])
+        assert np.array_equal(ref["sums_bits"], fast["sums_bits"])
+
+    def test_hoist_only_and_batch_only(self, data):
+        """Each shortcut is independently bit-identical."""
+        x, y = data
+        ref = _run(x, y, operand_cache="off", batch_chunks=False)
+        hoist_only = _run(x, y, operand_cache=1 << 30, batch_chunks=False)
+        batch_only = _run(x, y, operand_cache="off", batch_chunks=True)
+        assert hoist_only["hoisted"] == (True, True)
+        assert hoist_only["stats"].batched_chunks == 0
+        # TF32 without a hoisted rounded operand cannot batch (the
+        # stacked dispatch would need a chunk-sized rounding scratch)
+        assert batch_only["stats"].batched_chunks == 0
+        for got in (hoist_only, batch_only):
+            assert np.array_equal(ref["labels"], got["labels"])
+            assert np.array_equal(ref["best_bits"], got["best_bits"])
+            assert np.array_equal(ref["sums_bits"], got["sums_bits"])
+
+    def test_float64_batches_without_hoist(self, data):
+        """No rounding on the float64 path: stacked dispatch fires even
+        with the operand caches off, and the bits still match."""
+        x, y = data
+        x64, y64 = x.astype(np.float64), y.astype(np.float64)
+
+        def run64(batch):
+            eng = FastPathEngine(None, np.float64, tile=TILE, tf32=False,
+                                 operand_cache="off", batch_chunks=batch,
+                                 chunk_bytes=256 * 10 * 8)
+            try:
+                eng.begin_fit(x64, y64.shape[0])
+                labels, best = eng.assign(x64, y64, PerfCounters())
+                return (labels.copy(), best.view(np.uint64).copy(),
+                        eng.stats.batched_chunks)
+            finally:
+                eng.end_fit()
+
+        l_ref, b_ref, n_ref = run64(False)
+        l_fast, b_fast, n_fast = run64(True)
+        assert n_ref == 0 and n_fast > 0
+        assert np.array_equal(l_ref, l_fast)
+        assert np.array_equal(b_ref, b_fast)
+
+    def test_weighted_sums_match_oneshot(self, data):
+        """Bound-source weighted accumulation equals the seed scatter."""
+        x, y = data
+        w = np.random.default_rng(3).random(x.shape[0])
+        fast = _run(x, y, operand_cache=1 << 30, batch_chunks=True,
+                    weights=w)
+        assert fast["hoisted"][1]
+        one = accumulate_oneshot(x, fast["labels"], y.shape[0],
+                                 sample_weight=w)
+        assert np.array_equal(one.view(np.uint64), fast["sums_bits"])
+
+    def test_threaded_dispatch_bit_identical(self, data):
+        """The fast lane composes with worker threads (in-order commit)."""
+        x, y = data
+        ref = _run(x, y, operand_cache="off", batch_chunks=False,
+                   chunk_bytes=256 * 10 * 4)
+        fast = _run(x, y, operand_cache=1 << 30, batch_chunks=True,
+                    chunk_bytes=256 * 10 * 4, workers=3)
+        assert np.array_equal(ref["labels"], fast["labels"])
+        assert np.array_equal(ref["best_bits"], fast["best_bits"])
+        assert np.array_equal(ref["sums_bits"], fast["sums_bits"])
+
+    @given(m=st.integers(40, 600), k=st.integers(2, 24),
+           n=st.integers(2, 12), chunk_kb=st.sampled_from([1, 3, 16, 1024]),
+           inject=st.booleans(), seed=st.integers(0, 2 ** 16))
+    @settings(max_examples=25, deadline=None)
+    def test_property_fast_lane_bit_identical(self, m, k, n, chunk_kb,
+                                              inject, seed):
+        """Random shapes/budgets/injection: fast lane == per-unit path
+        (labels and best-distance bit patterns)."""
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((m, k)).astype(np.float32)
+        y = rng.standard_normal((n, k)).astype(np.float32)
+        inj_seed = seed if inject else None
+        ref = _run(x, y, operand_cache="off", batch_chunks=False,
+                   chunk_bytes=chunk_kb << 10, injector_seed=inj_seed)
+        fast = _run(x, y, operand_cache=1 << 30, batch_chunks=True,
+                    chunk_bytes=chunk_kb << 10, injector_seed=inj_seed)
+        assert np.array_equal(ref["labels"], fast["labels"])
+        assert np.array_equal(ref["best_bits"], fast["best_bits"])
+        assert np.array_equal(ref["sums_bits"], fast["sums_bits"])
+        if inject:
+            assert (ref["counters"].errors_injected
+                    == fast["counters"].errors_injected)
+
+
+class TestFaultLaneStillWalks:
+    def test_planned_chunks_walk_the_unit_grid(self, data):
+        """With injection on, every chunk a plan targets must take the
+        per-unit walk; with p=1 every block draws a plan, so no chunk
+        may batch — and the bits still match the legacy path."""
+        x, y = data
+        ref = _run(x, y, operand_cache="off", batch_chunks=False,
+                   chunk_bytes=256 * 10 * 4, injector_seed=5, p=1.0)
+        fast = _run(x, y, operand_cache=1 << 30, batch_chunks=True,
+                    chunk_bytes=256 * 10 * 4, injector_seed=5, p=1.0)
+        assert fast["counters"].errors_injected > 0
+        assert fast["stats"].batched_chunks == 0  # every chunk walked
+        assert np.array_equal(ref["labels"], fast["labels"])
+        assert np.array_equal(ref["best_bits"], fast["best_bits"])
+
+    def test_sparse_plans_batch_the_clean_chunks(self, data):
+        """With sparse injection, chunks without a plan batch and
+        chunks with one walk — mixed dispatch, identical bits."""
+        x, y = data
+        fast = _run(x, y, operand_cache=1 << 30, batch_chunks=True,
+                    chunk_bytes=256 * 10 * 4, injector_seed=123, p=0.02)
+        ref = _run(x, y, operand_cache="off", batch_chunks=False,
+                   chunk_bytes=256 * 10 * 4, injector_seed=123, p=0.02)
+        stats = fast["stats"]
+        if fast["counters"].errors_injected:
+            assert stats.batched_chunks < stats.chunks_run
+        assert np.array_equal(ref["labels"], fast["labels"])
+        assert np.array_equal(ref["best_bits"], fast["best_bits"])
+
+
+class TestOperandBudget:
+    def test_over_budget_falls_back(self, data):
+        """Operands that do not fit are simply not hoisted — the run
+        stays on the legacy path and the budget is respected."""
+        x, y = data
+        got = _run(x, y, operand_cache=x.nbytes // 2, batch_chunks=True)
+        assert got["hoisted"] == (False, False)
+        ref = _run(x, y, operand_cache="off", batch_chunks=False)
+        assert np.array_equal(ref["labels"], got["labels"])
+        assert np.array_equal(ref["best_bits"], got["best_bits"])
+
+    def test_budget_admits_one_operand(self, data):
+        """A budget for exactly one x-sized operand hoists the rounded
+        matrix (built at begin_fit) and skips the transpose."""
+        x, y = data
+        got = _run(x, y, operand_cache=x.nbytes, batch_chunks=True)
+        assert got["hoisted"] == (True, False)
+
+    def test_charged_to_alloc_tracker(self, data):
+        x, y = data
+        allocs = []
+        eng = FastPathEngine(None, np.float32, tile=TILE, tf32=True,
+                             operand_cache=1 << 30,
+                             alloc_hook=lambda n, b: allocs.append((n, b)))
+        acc = StreamedAccumulator(y.shape[0], x.shape[1])
+        try:
+            eng.begin_fit(x, y.shape[0])
+            eng.assign(x, y, PerfCounters(), accumulator=acc)
+        finally:
+            eng.end_fit()
+        names = {n for n, _ in allocs}
+        assert "operand_cache_rounded" in names
+        assert "operand_cache_transpose" in names
+        charged = sum(b for n, b in allocs if n.startswith("operand_cache"))
+        assert charged == 2 * x.nbytes
+
+    def test_auto_budget_is_chunk_bytes(self):
+        assert resolve_operand_budget("auto", 123) == 123
+        assert resolve_operand_budget("off", 123) == 0
+        assert resolve_operand_budget(77, 123) == 77
+        with pytest.raises(ValueError):
+            resolve_operand_budget(-1, 123)
+
+    def test_config_validates_operand_cache(self):
+        assert KMeansConfig(operand_cache="auto").operand_cache == "auto"
+        assert KMeansConfig(operand_cache=4096).operand_cache == 4096
+        with pytest.raises(ValueError):
+            KMeansConfig(operand_cache="sometimes")
+        with pytest.raises(ValueError):
+            KMeansConfig(operand_cache=-5)
+
+    def test_transient_pass_never_hoists(self, data):
+        """predict/score-style passes on foreign data stay legacy: the
+        operand caches describe only the fitted array."""
+        x, y = data
+        eng = FastPathEngine(None, np.float32, tile=TILE, tf32=True,
+                             operand_cache=1 << 30)
+        try:
+            eng.begin_fit(x, y.shape[0])
+            other = x[:300].copy()
+            acc = StreamedAccumulator(y.shape[0], x.shape[1])
+            labels, _ = eng.assign(other, y, PerfCounters(), accumulator=acc)
+            # fed through the staging path, not the fit's bound source
+            one = accumulate_oneshot(other, labels, y.shape[0])
+            assert np.array_equal(one, acc.packed())
+        finally:
+            eng.end_fit()
+
+
+class TestBoundSourceAccumulator:
+    def test_bind_source_t_validates_shape(self):
+        acc = StreamedAccumulator(4, 8)
+        with pytest.raises(ValueError):
+            acc.bind_source_t(np.zeros((7, 100)))
+
+    def test_feed_past_bound_source_raises(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((50, 8)).astype(np.float32)
+        acc = StreamedAccumulator(4, 8)
+        acc.bind_source_t(np.ascontiguousarray(x[:30].T))
+        labels = np.zeros(50, dtype=np.int64)
+        acc.feed(x[:30], labels[:30])
+        with pytest.raises(ValueError, match="past bound source"):
+            acc.feed(x[30:], labels[30:])
+
+    def test_binding_survives_reset(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((200, 6)).astype(np.float32)
+        labels = rng.integers(0, 5, 200)
+        acc = StreamedAccumulator(5, 6)
+        acc.bind_source_t(np.ascontiguousarray(x.T))
+        for _ in range(2):
+            acc.reset()
+            for lo in range(0, 200, 64):
+                acc.feed(x[lo:lo + 64], labels[lo:lo + 64])
+            assert np.array_equal(acc.packed(),
+                                  accumulate_oneshot(x, labels, 5))
+
+    def test_unbind_restores_staging_path(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((100, 6)).astype(np.float32)
+        labels = rng.integers(0, 5, 100)
+        acc = StreamedAccumulator(5, 6)
+        acc.bind_source_t(np.ascontiguousarray(x.T))
+        acc.bind_source_t(None)
+        acc.feed(x, labels)
+        assert np.array_equal(acc.packed(), accumulate_oneshot(x, labels, 5))
