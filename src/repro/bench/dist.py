@@ -23,6 +23,15 @@ survivors instead of respawning — the ``elastic`` record carries the
 detection + shrink overhead, the post-shrink worker count and the
 bit-identity flag against the uninterrupted fit.
 
+A **selfheal run** measures the full membership-recovery loop: a
+worker is killed mid-fit with ``target_workers`` set and no spare
+ready, so the fleet shrinks onto the survivors, cold-spawns a
+replacement and re-expands back to the target before converging — the
+``selfheal`` record carries the wall overhead, the per-recovered-round
+overhead (gated by ``runner --smoke`` against the best prior same-shape
+entry), the final fleet size and the bit-identity flag against the
+single-worker fit.
+
 A **checkpoint run** measures the per-round checkpoint overhead of the
 synchronous write path against the asynchronous background writer
 (``checkpoint_sync``): three otherwise identical disk-backed fits —
@@ -59,8 +68,9 @@ __all__ = ["run_dist_bench", "run_smoke", "DEFAULT_RESULT_PATH", "main"]
 DEFAULT_RESULT_PATH = Path("BENCH_dist.json")
 
 #: v2 added the ``elastic`` stall-then-shrink record; v3 the
-#: ``checkpoint`` sync-vs-async overhead record
-SCHEMA = "dist_scaling/v3"
+#: ``checkpoint`` sync-vs-async overhead record; v4 the ``selfheal``
+#: kill → spawn → re-expand record
+SCHEMA = "dist_scaling/v4"
 
 #: full grid (CI-feasible, a few minutes)
 FULL_SHAPE = dict(m_grid=(60_000, 120_000), n_features=64, n_clusters=64,
@@ -74,7 +84,8 @@ SMOKE_SHAPE = dict(m_grid=(16_384,), n_features=32, n_clusters=16, iters=3,
 def _fit_once(x, y0, *, n_clusters, iters, workers, executor, seed,
               checkpoint_every=0, worker_faults=None, elastic=False,
               round_timeout=None, checkpoint_sync=False,
-              checkpoint_dir=None):
+              checkpoint_dir=None, target_workers=None, hot_spares=0,
+              heartbeat_interval=None):
     """One timed sharded (or single-worker) fit; returns (model, wall)."""
     km = FTKMeans(n_clusters=n_clusters, variant="tensorop", mode="fast",
                   n_workers=workers,
@@ -84,7 +95,11 @@ def _fit_once(x, y0, *, n_clusters, iters, workers, executor, seed,
                   worker_faults=worker_faults, elastic=elastic,
                   round_timeout=round_timeout,
                   checkpoint_sync=checkpoint_sync,
-                  checkpoint_dir=checkpoint_dir)
+                  checkpoint_dir=checkpoint_dir,
+                  target_workers=target_workers if workers > 1 else None,
+                  hot_spares=hot_spares if workers > 1 else 0,
+                  heartbeat_interval=(heartbeat_interval
+                                      if workers > 1 else None))
     t0 = time.perf_counter()
     km.fit(x)
     return km, time.perf_counter() - t0
@@ -261,6 +276,66 @@ def run_dist_bench(m_grid=FULL_SHAPE["m_grid"],
                            async_fit.cluster_centers_)),
     }
 
+    # -- self-healing: kill -> spawn -> re-expand -> converge ---------
+    # process executor with membership management on but no spare
+    # ready (hot_spares=0, target_workers set): the kill shrinks the
+    # fleet onto the survivors to keep making progress, then a cold
+    # spawn re-expands back to the target at the next round boundary —
+    # the most expensive self-healing path (the promote-from-spare
+    # path skips both the replan and the spawn).  Both runs carry a
+    # fault injector (the kill run's is armed) so overlap is off in
+    # both and the walls are comparable.
+    kill_it = crash_it
+    heal_clean, heal_clean_wall = _fit_once(
+        x, y0, n_clusters=n_clusters, iters=iters, workers=rec_workers,
+        executor="process", seed=seed, checkpoint_every=checkpoint_every,
+        round_timeout=round_timeout, target_workers=rec_workers,
+        heartbeat_interval=1.0,
+        worker_faults=WorkerFaultInjector())
+    healed, heal_wall = _fit_once(
+        x, y0, n_clusters=n_clusters, iters=iters, workers=rec_workers,
+        executor="process", seed=seed, checkpoint_every=checkpoint_every,
+        round_timeout=round_timeout, target_workers=rec_workers,
+        heartbeat_interval=1.0,
+        worker_faults=WorkerFaultInjector.crash_at(0, kill_it))
+    # rounds re-run after the checkpoint restore: the kill at round r
+    # restores to the last snapshot s and replays s+1..r, so the
+    # per-recovered-round overhead normalises the wall delta by that
+    # replay depth (plus the round the kill itself wasted)
+    restores = [e["iteration"] for e in healed.dist_trace_
+                if e["kind"] == "restore"]
+    kills = [e["iteration"] for e in healed.dist_trace_
+             if e["kind"] in ("crash", "stall_timeout")]
+    replayed = sum(max(1, k - r) for k, r in zip(sorted(kills),
+                                                 sorted(restores)))
+    selfheal = {
+        "workers": rec_workers,
+        "m": x.shape[0],
+        "executor": "process",
+        "target_workers": rec_workers,
+        "hot_spares": 0,
+        "heartbeat_interval": 1.0,
+        "checkpoint_every": checkpoint_every,
+        "kill_iteration": kill_it,
+        "clean_wall_s": heal_clean_wall,
+        "kill_wall_s": heal_wall,
+        "heal_overhead_s": heal_wall - heal_clean_wall,
+        "heal_overhead_frac": (heal_wall - heal_clean_wall)
+        / max(1e-12, heal_clean_wall),
+        "replayed_rounds": replayed,
+        "recovered_round_overhead_s": (heal_wall - heal_clean_wall)
+        / max(1, replayed),
+        "recoveries": healed.dist_recoveries_,
+        "promotions": healed.dist_promotions_,
+        "expands": healed.dist_expands_,
+        "heartbeat_failures": healed.dist_heartbeat_failures_,
+        "workers_after": healed.n_workers_,
+        "re_expanded": bool(healed.n_workers_ == rec_workers),
+        "recovered_bit_identical": bool(
+            np.array_equal(healed.cluster_centers_,
+                           base[0].cluster_centers_)),
+    }
+
     return {
         "bench": "dist_scaling",
         "schema": SCHEMA,
@@ -278,6 +353,7 @@ def run_dist_bench(m_grid=FULL_SHAPE["m_grid"],
         "recovery": recovery,
         "elastic": elastic,
         "checkpoint": checkpoint,
+        "selfheal": selfheal,
     }
 
 
@@ -324,6 +400,13 @@ def _summarise(record: dict) -> str:
         f"({ck['save_reduction']:.1f}x off the loop; flush "
         f"{ck['async_flush_s'] * 1e3:.2f} ms at fit end), bit-identical "
         f"{ck['bit_identical_sync_vs_async']}")
+    sh = record["selfheal"]
+    lines.append(
+        f"  selfheal (kill@{sh['kill_iteration']}, spawn+re-expand): "
+        f"+{sh['heal_overhead_s']:.3f} s ({sh['heal_overhead_frac']:.1%}), "
+        f"{sh['recovered_round_overhead_s']:.3f} s/recovered round, "
+        f"back to {sh['workers_after']}/{sh['target_workers']} workers, "
+        f"bit-identical {sh['recovered_bit_identical']}")
     return "\n".join(lines)
 
 

@@ -6,8 +6,11 @@ reproductions and prints them in paper order.
 ``python -m repro.bench.runner --smoke`` instead runs the wall-clock
 gating benchmarks — the fast-path run (appending to
 ``BENCH_fastpath.json``) followed by a tiny 2-worker sharded scaling +
-crash-recovery + elastic stall-then-shrink run (appending to
-``BENCH_dist.json``) — suitable as a tier-1 perf canary.  Unrecognised arguments after ``--smoke`` are forwarded to
+crash-recovery + elastic stall-then-shrink + kill-spawn-re-expand
+self-healing run (appending to ``BENCH_dist.json``) — suitable as a
+tier-1 perf canary.  The self-healing record's per-recovered-round
+overhead is gated against the best prior same-host, same-shape entry
+just like the fast-path wall.  Unrecognised arguments after ``--smoke`` are forwarded to
 :mod:`repro.bench.fastpath` (e.g. ``--m 2000 --iters 1`` for an even
 quicker shape); the sharded smoke keeps its fixed tiny shape and is
 skipped entirely with ``--dist-out -``.
@@ -32,7 +35,8 @@ import numpy as np
 from repro.bench import figures
 from repro.bench.tables import print_figure
 
-__all__ = ["all_figures", "check_fastpath_regression", "main"]
+__all__ = ["all_figures", "check_fastpath_regression",
+           "check_selfheal_regression", "main"]
 
 #: fresh engine wall may exceed the best prior same-shape entry by at
 #: most this factor before the smoke gate fails (hosts differ; real
@@ -46,6 +50,11 @@ REGRESSION_SLACK = 1.5
 _SHAPE_KEYS = ("m", "n_features", "n_clusters", "iters", "dtype",
                "workers", "chunk_bytes", "operand_cache")
 
+#: config keys of the dist smoke record that must match for two
+#: ``selfheal`` entries to be comparable
+_DIST_SHAPE_KEYS = ("m_grid", "n_features", "n_clusters", "iters",
+                    "dtype", "checkpoint_every")
+
 
 def check_fastpath_regression(record: dict, path, *,
                               slack: float = REGRESSION_SLACK) -> str:
@@ -57,7 +66,9 @@ def check_fastpath_regression(record: dict, path, *,
     engine wall and raises :class:`SystemExit` when the fresh wall
     exceeds ``slack`` times it.  Entries recorded on other machines are
     never compared — cross-host wall clocks would fail honest runs on
-    slower hardware.  Returns a human-readable verdict line otherwise.
+    slower hardware.  A 0.1 s noise floor keeps millisecond-scale walls
+    (tiny smoke shapes, where scheduler jitter dominates) from tripping
+    the gate.  Returns a human-readable verdict line otherwise.
     """
     path = Path(path)
     try:
@@ -74,13 +85,53 @@ def check_fastpath_regression(record: dict, path, *,
                 "this shape/config")
     best = min(p["engine"]["wall_s"] for p in prior)
     fresh = record["engine"]["wall_s"]
-    if fresh > slack * best:
+    if fresh > slack * max(best, 0.1):
         raise SystemExit(
             f"PERF REGRESSION: fresh engine wall {fresh:.3f} s exceeds "
             f"{slack:.2f}x the best prior same-shape entry ({best:.3f} s) "
             f"in {path.name}")
     return (f"regression check ok: engine wall {fresh:.3f} s vs best "
             f"prior {best:.3f} s ({best / max(1e-12, fresh):.2f}x)")
+
+
+def check_selfheal_regression(record: dict, path, *,
+                              slack: float = REGRESSION_SLACK) -> str:
+    """Gate the kill → spawn → re-expand recovery overhead.
+
+    Compares the fresh dist record's per-recovered-round selfheal
+    overhead against the best prior same-host, same-shape ``selfheal``
+    entry in ``path`` (schema v4+); raises :class:`SystemExit` when the
+    fresh overhead exceeds ``slack`` times it.  A 0.1 s noise floor
+    keeps sub-100 ms overheads — dominated by process spawn jitter —
+    from tripping the gate.  Returns a verdict line otherwise.
+    """
+    path = Path(path)
+    try:
+        entries = json.loads(path.read_text()).get("entries", [])
+    except (OSError, json.JSONDecodeError):
+        return "selfheal check skipped: no readable trajectory"
+    sh = record.get("selfheal")
+    if not sh:
+        return "selfheal check skipped: record has no selfheal entry"
+    shape = {k: record["config"][k] for k in _DIST_SHAPE_KEYS}
+    prior = [e["selfheal"] for e in entries[:-1]
+             if e.get("host") == record.get("host")
+             and e.get("selfheal")
+             and all(e.get("config", {}).get(k) == v
+                     for k, v in shape.items())
+             and e["selfheal"].get("workers") == sh["workers"]]
+    if not prior:
+        return ("selfheal check skipped: no prior same-host entry at "
+                "this shape")
+    best = min(p["recovered_round_overhead_s"] for p in prior)
+    fresh = sh["recovered_round_overhead_s"]
+    if fresh > slack * max(best, 0.1):
+        raise SystemExit(
+            f"SELFHEAL REGRESSION: recovered-round overhead {fresh:.3f} s "
+            f"exceeds {slack:.2f}x the best prior same-shape entry "
+            f"({best:.3f} s) in {path.name}")
+    return (f"selfheal check ok: recovered-round overhead {fresh:.3f} s "
+            f"vs best prior {best:.3f} s")
 
 
 def all_figures() -> list:
@@ -137,9 +188,13 @@ def main(argv=None) -> None:
             print("  " + check_fastpath_regression(
                 record, out, slack=args.regression_slack))
         if args.dist_out != "-":
-            dist_bench.main(
+            dist_record = dist_bench.main(
                 ["--smoke"]
                 + (["--out", args.dist_out] if args.dist_out else []))
+            dist_out = args.dist_out or str(dist_bench.DEFAULT_RESULT_PATH)
+            if dist_out != "-" and not args.no_regression_check:
+                print("  " + check_selfheal_regression(
+                    dist_record, dist_out, slack=args.regression_slack))
         return
     if extra:
         parser.error(f"unrecognised arguments: {' '.join(extra)}")

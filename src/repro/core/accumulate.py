@@ -350,17 +350,22 @@ def accumulate_oneshot(x: np.ndarray, labels: np.ndarray, n_clusters: int,
 
 def accumulate_streamed(x: np.ndarray, labels: np.ndarray, n_clusters: int,
                         *, feed_rows: int = FEED_ROWS,
-                        sample_weight: np.ndarray | None = None
-                        ) -> np.ndarray:
+                        sample_weight: np.ndarray | None = None,
+                        source_t: np.ndarray | None = None) -> np.ndarray:
     """One-call streamed accumulation over a whole array.
 
     Feeds ``x`` through a :class:`StreamedAccumulator` in
     ``feed_rows``-sized chunks; bit-identical to
     :func:`accumulate_oneshot` for every ``feed_rows`` (weighted or
-    not).
+    not).  ``source_t`` optionally binds an existing
+    ``(n_features, m)`` transposed copy of ``x`` (see
+    :meth:`StreamedAccumulator.bind_source_t`) so the pass reads
+    contiguous feature rows instead of re-transposing every chunk —
+    same bits, no strided gather.
     """
     acc = StreamedAccumulator(n_clusters, x.shape[1])
     acc.bind_weights(sample_weight)
+    acc.bind_source_t(source_t)
     m = x.shape[0]
     for lo in range(0, m, feed_rows):
         hi = min(lo + feed_rows, m)

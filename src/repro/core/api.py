@@ -89,12 +89,20 @@ class FTKMeans:
 
     Sharded-fit attributes (after a ``n_workers > 1`` fit):
     ``n_workers_`` (the *final* effective worker count — smaller than
-    requested after an elastic shrink), ``dist_recoveries_``,
+    requested after an un-regrown elastic shrink), ``dist_recoveries_``,
     ``dist_stall_recoveries_``, ``dist_shrinks_``, ``dist_trace_``,
+    the self-healing tallies ``dist_promotions_`` (dead ids healed in
+    place from hot spares), ``dist_expands_`` (workers regrown toward
+    ``target_workers``) and ``dist_heartbeat_failures_`` (losses caught
+    by the between-round heartbeat rather than the round deadline),
     plus the checkpoint-overhead split ``dist_checkpoint_save_s_``
     (in-loop save cost: full writes when ``checkpoint_sync=True``,
     snapshot+enqueue when async) and ``dist_checkpoint_flush_s_`` (the
     end-of-fit flush barrier of the async writer).
+
+    ``spawn_hook`` (constructor-only, like ``worker_faults``) is the
+    fleet manager's budget callback for booting replacement workers
+    during re-expansion: ``spawn_hook(n_needed) -> int | None``.
     """
 
     def __init__(self, n_clusters: int = 8, *, variant: str = "tensorop",
@@ -107,12 +115,14 @@ class FTKMeans:
                  n_workers: int = 1, executor: str = "serial",
                  checkpoint_every: int = 0, checkpoint_sync: bool = False,
                  round_timeout=None, elastic: bool = False,
+                 target_workers: int | None = None, hot_spares: int = 0,
+                 heartbeat_interval: float | None = None,
                  reassignment_mode: str = "deterministic",
                  reassignment_ratio: float = 0.01,
                  init: str = "k-means++", max_iter: int = 50,
                  tol: float = 1e-4, seed: int | None = None,
                  init_centroids=None, worker_faults=None,
-                 checkpoint_dir=None):
+                 checkpoint_dir=None, spawn_hook=None):
         self.config = KMeansConfig(
             n_clusters=n_clusters, variant=variant, dtype=np.dtype(dtype),
             device=device, mode=mode, tile=tile, abft=abft,
@@ -124,12 +134,17 @@ class FTKMeans:
             checkpoint_every=checkpoint_every,
             checkpoint_sync=checkpoint_sync,
             round_timeout=round_timeout, elastic=elastic,
+            target_workers=target_workers, hot_spares=hot_spares,
+            heartbeat_interval=heartbeat_interval,
             reassignment_mode=reassignment_mode,
             reassignment_ratio=reassignment_ratio,
             init=init, max_iter=max_iter, tol=tol, seed=seed)
         self._init_centroids = init_centroids
         self._worker_faults = worker_faults
         self._checkpoint_dir = checkpoint_dir
+        # kept off the (picklable, worker-shipped) config, like
+        # worker_faults: hooks are caller-side callables
+        self._spawn_hook = spawn_hook
 
     # ------------------------------------------------------------------
     def fit(self, x, sample_weight=None) -> "FTKMeans":
@@ -198,6 +213,15 @@ class FTKMeans:
             # hoist fit-invariants (sample norms, output buffers, chunk
             # and injector block plans) once; every iteration reuses them
             assigner.begin_fit(x, cfg.n_clusters)
+            if fuse:
+                # share the engine's hoisted transposed operand with the
+                # update stage: under DMR the duplicate re-accumulation
+                # streams all of x each iteration and otherwise pays a
+                # fresh per-chunk transpose (bits unchanged; None when
+                # the operand budget declined the hoist)
+                xt = assigner.engine.prepare_update_operand()
+                if xt is not None:
+                    updater.bind_source_t(x, xt)
             for n_iter in range(1, cfg.max_iter + 1):
                 if acc is not None:
                     acc.reset()
@@ -267,7 +291,8 @@ class FTKMeans:
             checkpoint=CheckpointStore(
                 self._checkpoint_dir,
                 sync=True if cfg.checkpoint_sync else None),
-            worker_faults=self._worker_faults)
+            worker_faults=self._worker_faults,
+            spawn_hook=self._spawn_hook)
         res = coord.fit(x, y0, sample_weight=w)
 
         self.cluster_centers_ = res.centroids
@@ -284,6 +309,9 @@ class FTKMeans:
         self.dist_recoveries_ = res.recoveries
         self.dist_stall_recoveries_ = res.stall_recoveries
         self.dist_shrinks_ = res.shrinks
+        self.dist_promotions_ = res.promotions
+        self.dist_expands_ = res.expands
+        self.dist_heartbeat_failures_ = res.heartbeat_failures
         self.dist_trace_ = res.trace
         self.dist_checkpoint_save_s_ = res.checkpoint_save_s
         self.dist_checkpoint_flush_s_ = res.checkpoint_flush_s

@@ -110,10 +110,16 @@ class AssignmentKernelBase(ABC):
                 **self._engine_options())
         return self._engine
 
-    def begin_fit(self, x: np.ndarray, n_clusters: int | None = None) -> None:
-        """Hoist per-fit invariants (norms, buffers, chunk/block plans)."""
+    def begin_fit(self, x: np.ndarray, n_clusters: int | None = None, *,
+                  preload: dict | None = None) -> None:
+        """Hoist per-fit invariants (norms, buffers, chunk/block plans).
+
+        ``preload`` forwards previously exported operand caches to the
+        engine (see :meth:`FastPathEngine.begin_fit`); invalid entries
+        are ignored there, never trusted.
+        """
         if self.mode == "fast":
-            self.engine.begin_fit(x, n_clusters)
+            self.engine.begin_fit(x, n_clusters, preload=preload)
 
     def end_fit(self) -> None:
         """Release the per-fit cache (see FastPathEngine.end_fit)."""

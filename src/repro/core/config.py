@@ -149,6 +149,28 @@ class KMeansConfig:
         set.  The re-plan keeps shard boundaries on the same GEMM-unit
         grid and shards in row order, so the fit stays bit-identical to
         ``n_workers=1`` for any membership history.
+    target_workers:
+        With ``n_workers > 1``: fleet size the self-healing manager
+        steers back toward after a loss (spare promotion, or elastic
+        shrink followed by re-expansion at a later round boundary —
+        replacements reuse the lost worker ids, so a full regrow
+        restores the original shard plan).  None (default, with
+        ``hot_spares=0``) leaves recovery to the ``elastic`` policy;
+        must not exceed ``n_workers``.
+    hot_spares:
+        With ``n_workers > 1``: replacement capacity provisioned ahead
+        of any failure.  On the process backend these are genuinely
+        pre-booted (but unconfigured) children, so promoting one onto a
+        dead worker's shard skips the child cold-start; in-process
+        backends treat a spare as a promotion token.  The pool is
+        re-provisioned after every promotion/expansion.
+    heartbeat_interval:
+        With ``n_workers > 1``: minimum seconds between the fleet
+        manager's between-round liveness sweeps (None disables).  A
+        worker that answered its round but wedged afterwards is invisible
+        to the round deadline until the *next* round blows it; the
+        heartbeat catches it in roughly ``2 x heartbeat_interval``
+        seconds, independent of the round budget.
     reassignment_mode:
         Empty-cluster policy of the online/mini-batch update step:
         'deterministic' (clusters with zero running weight take the
@@ -186,6 +208,9 @@ class KMeansConfig:
     checkpoint_sync: bool = False
     round_timeout: float | str | None = None
     elastic: bool = False
+    target_workers: int | None = None
+    hot_spares: int = 0
+    heartbeat_interval: float | None = None
     reassignment_mode: str = "deterministic"
     reassignment_ratio: float = 0.01
     init: str = "k-means++"
@@ -263,6 +288,26 @@ class KMeansConfig:
                 raise ValueError(
                     f"round_timeout must be > 0, got {self.round_timeout}")
         self.elastic = bool(self.elastic)
+        if self.target_workers is not None:
+            self.target_workers = int(self.target_workers)
+            if self.target_workers < 1:
+                raise ValueError(
+                    f"target_workers must be >= 1, got {self.target_workers}")
+            if self.n_workers > 1 and self.target_workers > self.n_workers:
+                raise ValueError(
+                    f"target_workers ({self.target_workers}) cannot exceed "
+                    f"n_workers ({self.n_workers}): a fleet never grows "
+                    f"past the size it started with")
+        self.hot_spares = int(self.hot_spares)
+        if self.hot_spares < 0:
+            raise ValueError(
+                f"hot_spares must be >= 0, got {self.hot_spares}")
+        if self.heartbeat_interval is not None:
+            self.heartbeat_interval = float(self.heartbeat_interval)
+            if self.heartbeat_interval <= 0:
+                raise ValueError(
+                    f"heartbeat_interval must be > 0, "
+                    f"got {self.heartbeat_interval}")
         if self.reassignment_mode not in REASSIGNMENT_MODES:
             raise ValueError(
                 f"unknown reassignment_mode {self.reassignment_mode!r}; "

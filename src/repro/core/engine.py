@@ -103,6 +103,7 @@ __all__ = [
     "OPERAND_CACHE_MODES",
     "unit_rows_for_tile",
     "resolve_operand_budget",
+    "transpose_blocked",
     "BlockMap",
     "FitCache",
     "EngineStats",
@@ -141,6 +142,24 @@ def resolve_operand_budget(operand_cache, chunk_bytes: int) -> int:
             f"operand_cache must be 'auto', 'off' or a byte budget >= 0, "
             f"got {operand_cache!r}")
     return budget
+
+
+def transpose_blocked(x: np.ndarray) -> np.ndarray:
+    """Contiguous transposed copy of ``x``, built row band by row band.
+
+    A transpose is a pure copy, so blocking cannot move a bit — it only
+    keeps the working set cache-sized: each band reads a contiguous
+    ~4 MB slab of ``x`` and scatters it into the output's columns,
+    instead of one full-matrix strided gather whose reads miss on every
+    row once ``x`` outgrows the last-level cache.  Drop-in equal to
+    ``np.ascontiguousarray(x.T)``.
+    """
+    m, n = x.shape
+    out = np.empty((n, m), dtype=x.dtype)
+    step = max(1, (4 << 20) // max(1, n * x.itemsize))
+    for lo in range(0, m, step):
+        out[:, lo:lo + step] = x[lo:lo + step].T
+    return out
 
 
 def unit_rows_for_tile(tile: TileConfig | None) -> int:
@@ -344,9 +363,20 @@ class FastPathEngine:
                 workers)
 
     # -- per-fit cache --------------------------------------------------
-    def begin_fit(self, x: np.ndarray, n_clusters: int | None = None) -> FitCache:
-        """Hoist fit-invariants for ``x``; reused by every assign() on it."""
-        self._cache = self._build_cache(x, n_clusters)
+    def begin_fit(self, x: np.ndarray, n_clusters: int | None = None, *,
+                  preload: dict | None = None) -> FitCache:
+        """Hoist fit-invariants for ``x``; reused by every assign() on it.
+
+        ``preload`` optionally supplies previously exported operands
+        (:meth:`export_operands`) — the shard-local worker-cache
+        checkpoints of :mod:`repro.dist`.  Every candidate is validated
+        against this fit's shape/dtype and charged to the ordinary
+        operand budget; anything that does not match (or fit) is
+        silently ignored and rebuilt on the usual path, so a stale or
+        partial preload can degrade only boot time, never bits.
+        """
+        self._cache = self._build_cache(x, n_clusters, preload=preload)
+        self._adopt_operands(self._cache, preload)
         self._hoist_rounded(self._cache)
         return self._cache
 
@@ -383,12 +413,20 @@ class FastPathEngine:
             self._executor_workers = workers
         return self._executor
 
-    def _build_cache(self, x: np.ndarray, n_clusters: int | None = None) -> FitCache:
+    def _build_cache(self, x: np.ndarray, n_clusters: int | None = None,
+                     preload: dict | None = None) -> FitCache:
         source = x
         if x.dtype != self.dtype:
             x = x.astype(self.dtype)
         m, k = x.shape
-        x_norms = np.sum(x * x, axis=1, dtype=self.dtype)
+        x_norms = None
+        if preload is not None:
+            cand = preload.get("x_norms")
+            if (cand is not None and cand.shape == (m,)
+                    and cand.dtype == self.dtype):
+                x_norms = np.ascontiguousarray(cand)
+        if x_norms is None:
+            x_norms = np.sum(x * x, axis=1, dtype=self.dtype)
         labels = np.empty(m, dtype=np.int64)
         best = np.empty(m, dtype=self.dtype)
         self._record_alloc("x_norms", x_norms.nbytes)
@@ -409,6 +447,65 @@ class FastPathEngine:
     # -- fit-lifetime operand caches ------------------------------------
     def _operand_fits(self, cache: FitCache, nbytes: int) -> bool:
         return cache.operand_bytes + nbytes <= self.operand_budget
+
+    def _adopt_operands(self, cache: FitCache, preload: dict | None) -> None:
+        """Adopt previously exported operand caches into a fresh fit.
+
+        Validation mirrors what the builders would produce (shape and
+        dtype at this fit's geometry) and the budget is charged exactly
+        as if the operand had been built here — the rounded matrix
+        first, preserving the cumulative-budget precedence — so an
+        adopted cache behaves byte-for-byte like a rebuilt one.
+        """
+        if not preload:
+            return
+        m, k = cache.x.shape
+        cand = preload.get("x_rounded")
+        if (self.tf32 and cand is not None and cand.shape == (m, k)
+                and cand.dtype == self.dtype
+                and self._operand_fits(cache, cand.nbytes)):
+            cache.x_rounded = np.ascontiguousarray(cand)
+            cache.operand_bytes += cand.nbytes
+            self._record_alloc("operand_cache_rounded", cand.nbytes)
+        cand = preload.get("x_t")
+        if (cand is not None and cand.shape == (k, m)
+                and cand.dtype == self.dtype
+                and self._operand_fits(cache, cand.nbytes)):
+            cache.x_t = np.ascontiguousarray(cand)
+            cache.operand_bytes += cand.nbytes
+            self._record_alloc("operand_cache_transpose", cand.nbytes)
+
+    def export_operands(self) -> dict:
+        """The active fit cache's x-derived invariants, for checkpointing.
+
+        Returns whatever is currently materialised — the per-sample
+        norms always, the TF32-rounded matrix and the transposed update
+        operand when hoisted — keyed for :meth:`begin_fit`'s ``preload``.
+        The arrays are the live cache objects (cheap); callers that
+        persist them must serialise or copy.
+        """
+        cache = self._cache
+        if cache is None:
+            return {}
+        out = {"x_norms": cache.x_norms}
+        if cache.x_rounded is not None:
+            out["x_rounded"] = cache.x_rounded
+        if cache.x_t is not None:
+            out["x_t"] = cache.x_t
+        return out
+
+    def prepare_update_operand(self) -> np.ndarray | None:
+        """Materialise (budget permitting) the hoisted transposed update
+        operand for the active fit cache, and return it.
+
+        The operand is normally built lazily at the first fused assign;
+        forcing it here lets a shard worker checkpoint a *complete*
+        operand cache at boot, and lets the estimator bind it through
+        the update stage's DMR duplicate before the first iteration.
+        """
+        if self._cache is None:
+            return None
+        return self._ensure_update_operand(self._cache)
 
     def _hoist_rounded(self, cache: FitCache) -> None:
         """Hoist the TF32-rounded sample matrix (fit caches only).
@@ -451,7 +548,7 @@ class FastPathEngine:
         if cache.x_t is None and not cache.x_t_failed:
             nbytes = cache.x.nbytes
             if self._operand_fits(cache, nbytes):
-                cache.x_t = np.ascontiguousarray(cache.x.T)
+                cache.x_t = transpose_blocked(cache.x)
                 cache.operand_bytes += nbytes
                 self._record_alloc("operand_cache_transpose", nbytes)
             else:

@@ -96,14 +96,36 @@ class UpdateStage:
         self.model = TimingModel(device)
         #: test hook — an SEU inside one DMR replica (see abft.dmr)
         self.corrupt_hook = corrupt_hook
+        self._src: np.ndarray | None = None       # bound source identity
+        self._src_t: np.ndarray | None = None     # its transposed copy
 
     # ------------------------------------------------------------------
+    def bind_source_t(self, x: np.ndarray | None,
+                      x_t: np.ndarray | None) -> None:
+        """Attach a hoisted transposed copy of one sample matrix.
+
+        When a later accumulation pass runs over exactly ``x`` (object
+        identity) in streamed mode — notably the DMR duplicate's
+        re-accumulation, which otherwise re-transposes the whole matrix
+        every iteration — it reads contiguous feature rows from ``x_t``
+        instead.  The bits are unchanged (see
+        :meth:`StreamedAccumulator.bind_source_t`), and so is the DMR
+        fault model: both replicas already read the same source memory,
+        DMR protects the accumulation *arithmetic*.  Any other array
+        keeps the legacy per-chunk transpose.  Pass ``(None, None)`` to
+        detach.
+        """
+        self._src = x
+        self._src_t = x_t
+
     def _accumulate(self, x: np.ndarray, labels: np.ndarray, n_clusters: int,
                     sample_weight: np.ndarray | None = None) -> np.ndarray:
         """One accumulation pass in the configured implementation."""
         if self.update_mode == "streamed":
+            src_t = self._src_t if self._src is x else None
             return accumulate_streamed(x, labels, n_clusters,
-                                       sample_weight=sample_weight)
+                                       sample_weight=sample_weight,
+                                       source_t=src_t)
         return accumulate_oneshot(x, labels, n_clusters,
                                   sample_weight=sample_weight)
 

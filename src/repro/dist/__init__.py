@@ -13,21 +13,29 @@ the failure class orthogonal to the paper's in-device SEUs.
   membership history*), an ABFT checksum over the merged partials,
   checkpoint/restart recovery, round-deadline stall detection
   (:class:`WorkerStall`) and elastic shrink-onto-survivors recovery;
+* :class:`FleetManager` — self-healing membership: between-round
+  heartbeats, hot-spare promotion, and shrink → re-expand back to the
+  target fleet size (bit-identical across any membership history);
 * :class:`CheckpointStore` — atomic in-memory or on-disk snapshots;
-* :class:`WorkerFaultInjector` — crash / stall / corrupt-partial
-  injection for the recovery tests and benchmarks.
+* :class:`WorkerCacheStore` — shard-keyed worker operand-cache
+  checkpoints, so replacement workers skip recomputing per-fit
+  invariants;
+* :class:`WorkerFaultInjector` — crash / stall / corrupt-partial /
+  wedge injection for the recovery tests and benchmarks.
 
 Usually reached through the estimator::
 
     FTKMeans(n_clusters=64, n_workers=4, executor="process",
-             checkpoint_every=5, round_timeout=30.0, elastic=True).fit(x)
+             checkpoint_every=5, round_timeout=30.0, elastic=True,
+             hot_spares=1, heartbeat_interval=5.0).fit(x)
 
 but every piece is public for direct composition.  The contract lives
 in ``docs/distributed.md``.
 """
 
-from repro.dist.checkpoint import CheckpointStore
+from repro.dist.checkpoint import CheckpointStore, WorkerCacheStore
 from repro.dist.coordinator import Coordinator, DistFitResult
+from repro.dist.fleet import FleetManager
 from repro.dist.executors import (
     BaseExecutor,
     ProcessExecutor,
@@ -56,7 +64,9 @@ __all__ = [
     "make_executor",
     "Coordinator",
     "DistFitResult",
+    "FleetManager",
     "CheckpointStore",
+    "WorkerCacheStore",
     "WorkerCrash",
     "WorkerStall",
     "WorkerFaultPlan",

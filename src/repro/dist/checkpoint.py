@@ -42,6 +42,13 @@ file the sweep collects later).  A failed background write is re-raised
 at the next ``save``/``flush``.  ``sync=True`` keeps every write on the
 calling thread (the legacy behaviour, and the default for in-memory
 stores, where there is no I/O to hide).
+
+:class:`WorkerCacheStore` is the second, orthogonal store in this
+module: shard-keyed checkpoints of the *workers'* engine operand caches
+(norms + hoisted operand copies), so a replacement worker booting onto
+a shard skips recomputing per-fit invariants the dead worker already
+paid for.  Unlike coordinator snapshots these never affect the fit's
+bits — a missing or compacted entry only costs boot time.
 """
 
 from __future__ import annotations
@@ -54,7 +61,9 @@ import time
 from collections import deque
 from pathlib import Path
 
-__all__ = ["CheckpointStore"]
+import numpy as np
+
+__all__ = ["CheckpointStore", "WorkerCacheStore"]
 
 
 class CheckpointStore:
@@ -268,3 +277,174 @@ class CheckpointStore:
             for it in self._list_iterations():
                 self._path(it).unlink(missing_ok=True)
             self._sweep_tmp()
+
+
+class WorkerCacheStore:
+    """Shard-keyed checkpoints of worker engine operand caches.
+
+    A worker booting onto a shard spends its start-up on per-fit
+    invariants: the x-norm pass and (budget permitting) the hoisted
+    rounded/transposed operand copies.  Those are pure functions of the
+    shard rows — identical for the original worker, a respawn, and a
+    promoted spare — so the first worker to build them checkpoints the
+    result here and every later boot onto the same rows preloads it
+    (the engine re-validates shape/dtype on adoption; a stale or
+    partial entry costs boot time, never bits).
+
+    Keys are shard row ranges (``"shard_{lo}_{hi}"``), not worker ids:
+    after an elastic replan the same rows may belong to a different id.
+
+    **Compaction.**  Entries are split into a *light* part (the norm
+    vector — one float per row) that is always kept, and a *heavy* part
+    (the rounded/transposed sample copies — each as large as the shard
+    itself) kept only while the pool fits ``budget_bytes``; when a save
+    would overflow, the oldest heavy payloads are evicted first and the
+    new one is skipped if it alone cannot fit.  Large ``K·N`` fits thus
+    degrade to norm-only preloads instead of mirroring the dataset.
+
+    Two modes: **directory-backed** (one ``.npz`` pair per key, written
+    tmp-then-:func:`os.replace` so readers never see a torn entry;
+    shareable across processes — the store holds no locks or threads
+    and pickles freely into process-executor children) or **in-memory**
+    (``directory=None``; effective on the serial/thread backends only,
+    since a forked child's copy dies with it).
+
+    ``save`` skips keys that already have a light entry — first writer
+    wins, and replayed boots stay write-free.
+    """
+
+    #: always-kept operand names (small: O(rows) scalars)
+    LIGHT_KEYS = ("x_norms",)
+    #: budget-gated operand names (each O(shard) bytes)
+    HEAVY_KEYS = ("x_rounded", "x_t")
+
+    def __init__(self, directory: str | os.PathLike | None = None, *,
+                 budget_bytes: int = 256 << 20):
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self.budget_bytes = int(budget_bytes)
+        self._light: dict[str, dict] = {}
+        self._heavy: dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def _light_path(self, key: str) -> Path:
+        return self.directory / f"{key}.npz"
+
+    def _heavy_path(self, key: str) -> Path:
+        return self.directory / f"{key}.heavy.npz"
+
+    def _write_npz(self, path: Path, arrays: dict) -> None:
+        fd, tmp = tempfile.mkstemp(dir=self.directory,
+                                   prefix=path.stem + ".", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                np.savez(f, **arrays)
+            os.replace(tmp, path)
+        except BaseException:
+            Path(tmp).unlink(missing_ok=True)
+            raise
+
+    def _heavy_usage(self) -> list[tuple[float, Path | str, int]]:
+        """Heavy entries as (age_rank, handle, nbytes), oldest first."""
+        if self.directory is None:
+            return [(i, key, sum(a.nbytes for a in arrs.values()))
+                    for i, (key, arrs) in enumerate(self._heavy.items())]
+        out = []
+        for p in self.directory.glob("*.heavy.npz"):
+            try:
+                st = p.stat()
+            except OSError:
+                continue
+            out.append((st.st_mtime, p, st.st_size))
+        out.sort(key=lambda t: t[0])
+        return out
+
+    def _evict_for(self, nbytes: int) -> bool:
+        """Evict oldest heavy payloads until ``nbytes`` more fit;
+        False when the new payload alone exceeds the budget."""
+        if nbytes > self.budget_bytes:
+            return False
+        usage = self._heavy_usage()
+        used = sum(n for _, _, n in usage)
+        for _, handle, n in usage:
+            if used + nbytes <= self.budget_bytes:
+                break
+            if self.directory is None:
+                self._heavy.pop(handle, None)
+            else:
+                Path(handle).unlink(missing_ok=True)
+            self.evictions += 1
+            used -= n
+        return used + nbytes <= self.budget_bytes
+
+    # ------------------------------------------------------------------
+    def save(self, key: str, operands: dict) -> bool:
+        """Checkpoint one shard's exported operands (first writer wins).
+
+        Returns True when a new entry was written, False when the key
+        already existed or ``operands`` had nothing to keep.
+        """
+        if not operands:
+            return False
+        light = {k: operands[k] for k in self.LIGHT_KEYS if k in operands}
+        heavy = {k: operands[k] for k in self.HEAVY_KEYS if k in operands}
+        if not light:
+            return False
+        exists = (key in self._light if self.directory is None
+                  else self._light_path(key).exists())
+        if exists:
+            return False
+        heavy_bytes = sum(a.nbytes for a in heavy.values())
+        keep_heavy = heavy and self._evict_for(heavy_bytes)
+        if self.directory is None:
+            self._light[key] = {k: np.array(v) for k, v in light.items()}
+            if keep_heavy:
+                self._heavy[key] = {k: np.array(v)
+                                    for k, v in heavy.items()}
+            return True
+        if keep_heavy:
+            self._write_npz(self._heavy_path(key), heavy)
+        self._write_npz(self._light_path(key), light)
+        return True
+
+    def load(self, key: str) -> dict | None:
+        """The shard's preload dict, or None (counted as hit/miss).
+
+        Heavy payloads ride along when still resident; a compacted
+        entry degrades to its light part.
+        """
+        if self.directory is None:
+            light = self._light.get(key)
+            if light is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            out = dict(light)
+            out.update(self._heavy.get(key, {}))
+            return out
+        try:
+            with np.load(self._light_path(key)) as z:
+                out = {k: z[k] for k in z.files}
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        try:
+            with np.load(self._heavy_path(key)) as z:
+                out.update({k: z[k] for k in z.files})
+        except (OSError, ValueError):
+            pass                      # compacted (or torn) — light only
+        self.hits += 1
+        return out
+
+    def clear(self) -> None:
+        """Drop every entry (call between fits — operands are per-x)."""
+        self._light.clear()
+        self._heavy.clear()
+        if self.directory is not None:
+            for pattern in ("*.npz", "*.tmp"):
+                for p in self.directory.glob(pattern):
+                    p.unlink(missing_ok=True)

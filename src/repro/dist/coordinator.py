@@ -70,6 +70,24 @@ in row order, the post-shrink trajectory stays bit-identical to
 :meth:`ShardPlan.replan` re-expands onto a larger member set when a
 replacement spawns.  With ``elastic=False`` (default) recovery respawns
 the full original worker set, as before.
+
+**Self-healing membership.**  ``target_workers`` / ``hot_spares`` /
+``heartbeat_interval`` hand membership to a
+:class:`~repro.dist.fleet.FleetManager`: between-round heartbeats catch
+a wedged worker well before the round deadline would; a loss with
+enough ready spares is healed by *promotion in place* (only the dead
+ids rebuild — survivors keep running with their warm caches, the plan
+never changes); otherwise the fit shrinks onto the survivors exactly
+like the elastic path and *re-expands* back to the target size at a
+later round boundary, replacements reusing the missing worker ids so a
+full regrow restores the original shard plan.  Every transition
+recovers through the same checkpoint-restore machinery, so the final
+centroids stay bit-identical to ``n_workers=1`` regardless of the
+membership history.  When the checkpoint store is directory-backed,
+workers additionally checkpoint their engine operand caches into a
+shard-keyed :class:`~repro.dist.checkpoint.WorkerCacheStore`, letting
+replacements skip the per-fit invariant rebuild at boot (a pure
+boot-time optimisation — never a bit change).
 """
 
 from __future__ import annotations
@@ -86,12 +104,13 @@ import numpy as np
 from repro.core.accumulate import StreamedAccumulator
 from repro.core.config import KMeansConfig
 from repro.core.convergence import ConvergenceMonitor
-from repro.core.engine import resolve_operand_budget
+from repro.core.engine import resolve_operand_budget, transpose_blocked
 from repro.core.update import UpdateStage
 from repro.core.variants import _resolve_tile, build_assignment
-from repro.dist.checkpoint import CheckpointStore
+from repro.dist.checkpoint import CheckpointStore, WorkerCacheStore
 from repro.dist.executors import BaseExecutor, make_executor
 from repro.dist.faults import WorkerCrash, WorkerFaultInjector
+from repro.dist.fleet import FleetManager
 from repro.dist.plan import ShardPlan
 from repro.dist.worker import RoundResult, build_worker
 from repro.gpusim.clock import SimClock
@@ -130,6 +149,9 @@ class DistFitResult:
     shrinks: int = 0                     # elastic re-plans performed
     checkpoint_save_s: float = 0.0       # in-loop checkpoint save cost
     checkpoint_flush_s: float = 0.0      # end-of-fit async flush barrier
+    promotions: int = 0                  # dead ids healed by hot spares
+    expands: int = 0                     # workers regrown toward target
+    heartbeat_failures: int = 0          # losses caught by heartbeat
 
 
 class Coordinator:
@@ -173,6 +195,26 @@ class Coordinator:
         Allow the double-buffered round pipeline on executors that
         support it (default True; fault-injecting fits always run the
         sequential loop).
+    target_workers : int, optional
+        Fleet size the :class:`FleetManager` steers back toward after
+        losses (promotion / re-expansion); defaults to
+        ``cfg.target_workers``.  None (and ``hot_spares=0``) leaves
+        membership to the legacy elastic/restart policy.
+    hot_spares : int, optional
+        Pre-provisioned replacement capacity (see
+        :meth:`BaseExecutor.prewarm_spares`); defaults to
+        ``cfg.hot_spares``.
+    heartbeat_interval : float, optional
+        Seconds between between-round liveness sweeps (None disables);
+        defaults to ``cfg.heartbeat_interval``.
+    spawn_hook : callable, optional
+        ``spawn_hook(n_needed) -> int | None`` — budget/veto on booting
+        replacement workers during re-expansion (promotion of
+        already-booted spares never consults it).
+    worker_cache : WorkerCacheStore, optional
+        Shard-keyed store for the workers' engine operand caches; by
+        default derived from a directory-backed checkpoint store (a
+        ``worker_cache/`` subdirectory), absent otherwise.
     """
 
     #: adaptive deadline = ADAPTIVE_MULT x trailing-median round time
@@ -200,7 +242,12 @@ class Coordinator:
                  partial_tol: float = PARTIAL_CHECK_RTOL,
                  elastic: bool | None = None,
                  round_timeout: float | str | None = None,
-                 overlap_rounds: bool = True):
+                 overlap_rounds: bool = True,
+                 target_workers: int | None = None,
+                 hot_spares: int | None = None,
+                 heartbeat_interval: float | None = None,
+                 spawn_hook=None,
+                 worker_cache: WorkerCacheStore | None = None):
         if cfg.mode != "fast":
             raise ValueError("sharded execution requires mode='fast'")
         self.cfg = cfg
@@ -228,6 +275,19 @@ class Coordinator:
         self.round_timeout = (None if round_timeout is None
                               else float(round_timeout))
         self.executor.round_timeout = self.round_timeout
+        self.fleet = FleetManager(
+            target_workers=(cfg.target_workers if target_workers is None
+                            else target_workers),
+            hot_spares=(cfg.hot_spares if hot_spares is None
+                        else hot_spares),
+            heartbeat_interval=(cfg.heartbeat_interval
+                                if heartbeat_interval is None
+                                else heartbeat_interval),
+            spawn_hook=spawn_hook)
+        if worker_cache is None and self.store.directory is not None:
+            worker_cache = WorkerCacheStore(
+                self.store.directory / "worker_cache")
+        self.worker_cache = worker_cache
 
     # ------------------------------------------------------------------
     def _worker_cfg(self, m: int, k: int) -> KMeansConfig:
@@ -275,7 +335,8 @@ class Coordinator:
             return partial(build_worker, x=x, plan=p, cfg=worker_cfg,
                            n_clusters=n_clusters,
                            sample_weight=sample_weight,
-                           base_seed=base_seed)
+                           base_seed=base_seed,
+                           cache_store=self.worker_cache)
 
         factory = make_factory(plan)
 
@@ -286,12 +347,16 @@ class Coordinator:
         # merge-operand hoist: one transposed copy of x lets every
         # round's sequential-continuation re-feed read contiguous
         # feature rows instead of re-transposing all of x (identical
-        # bits; same budget policy as the engine's operand caches)
+        # bits; same budget policy as the engine's operand caches).
+        # The same copy serves the update stage's DMR duplicate
+        # re-accumulation, which streams the full x once per iteration.
         chunk_budget = (cfg.chunk_bytes if cfg.chunk_bytes is not None
                         else cfg.device.fastpath_chunk_bytes())
         if x.nbytes <= resolve_operand_budget(cfg.operand_cache,
                                               chunk_budget):
-            merge_acc.bind_source_t(np.ascontiguousarray(x.T))
+            xt = transpose_blocked(x)
+            merge_acc.bind_source_t(xt)
+            updater.bind_source_t(x, xt)
         labels = np.empty(m, dtype=np.int64)
         best = np.empty(m, dtype=cfg.dtype)
 
@@ -304,6 +369,7 @@ class Coordinator:
         crash_workers_lost = 0
         stall_workers_lost = 0
         shrinks = 0
+        heartbeat_failures = 0
         converged = False
         upd = None
         # coordinator-level fault events are one-shot: a checkpoint
@@ -320,6 +386,10 @@ class Coordinator:
         # a reused store (e.g. a checkpoint_dir shared across fits) must
         # not leak a previous fit's snapshots into this one's recovery
         self.store.clear()
+        if self.worker_cache is not None:
+            # operand caches are pure functions of this fit's x — a
+            # previous fit's entries must never be adopted
+            self.worker_cache.clear()
         ckpt_save_s = 0.0
         ckpt_flush_s = 0.0
         if self.checkpoint_every:
@@ -336,9 +406,13 @@ class Coordinator:
                    and getattr(self.executor, "supports_overlap", False))
         round_times: deque[float] = deque(maxlen=self.ADAPTIVE_WINDOW)
 
+        self.fleet.attach(self.executor, plan)
         self.executor.start(factory, plan.worker_ids)
         n_iter = 0
-        pending: tuple[int, dict, float] | None = None  # round in flight
+        # the round in flight: (iteration, directives, send time, plan
+        # it was sent under) — membership may change at a later round
+        # boundary, and the gather must use the plan the round ran on
+        pending: tuple[int, dict, float, ShardPlan] | None = None
         try:
             it = 1
             while it <= cfg.max_iter:
@@ -349,21 +423,32 @@ class Coordinator:
                         if self.faults is not None else {})
                     t_send = time.monotonic()
                     self.executor.send_round(y, it, directives)
-                    pending = (it, directives, t_send)
+                    pending = (it, directives, t_send, plan)
                 try:
                     results = self.executor.collect_round()
+                    # between-round liveness sweep (rate-limited): a
+                    # worker that answered its round but wedged after
+                    # is caught here, not one full round budget later.
+                    # No round is in flight at this point — the next
+                    # speculative send happens after the merge.
+                    self.fleet.maybe_heartbeat(pending[0])
                 except WorkerCrash as crash:
                     pending = None
                     recoveries += 1
                     crash_workers_lost += len(crash.crashed_ids)
                     stall_workers_lost += len(crash.stalled_ids)
+                    detector = getattr(crash, "detector", "deadline")
+                    if detector == "heartbeat":
+                        heartbeat_failures += 1
                     for wid in crash.crashed_ids:
                         trace.append({"kind": "crash", "worker": wid,
                                       "iteration": crash.iteration,
-                                      "reason": crash.reason})
+                                      "reason": crash.reason,
+                                      "detector": detector})
                     for wid in crash.stalled_ids:
                         trace.append({"kind": "stall_timeout", "worker": wid,
                                       "iteration": crash.iteration,
+                                      "detector": detector,
                                       "round_timeout":
                                           self.executor.round_timeout})
                     if recoveries > self.max_recoveries:
@@ -390,7 +475,28 @@ class Coordinator:
                         self.executor.round_timeout = None
                     survivors = tuple(w for w in plan.worker_ids
                                       if w not in crash.failed_ids)
-                    if self.elastic and survivors:
+                    if self.fleet.manages_membership and survivors:
+                        # fleet recovery: promote ready spares onto the
+                        # dead ids in place (plan unchanged, survivors
+                        # keep running) or shrink onto the survivors
+                        # now and re-expand at a later round boundary
+                        plan, factory, action = self.fleet.recover(
+                            plan, make_factory, crash)
+                        if action == "promote":
+                            trace.append({"kind": "promote",
+                                          "iteration": crash.iteration,
+                                          "promoted":
+                                              sorted(crash.failed_ids),
+                                          "n_workers": plan.n_workers})
+                        else:
+                            shrinks += 1
+                            trace.append({"kind": "shrink",
+                                          "iteration": crash.iteration,
+                                          "lost": sorted(crash.failed_ids),
+                                          "survivors":
+                                              list(plan.worker_ids),
+                                          "n_workers": plan.n_workers})
+                    elif self.elastic and survivors:
                         # shrink: the lost rows re-shard onto the
                         # survivors (same unit grid, same row order, so
                         # the merge bits never move); only survivors
@@ -410,12 +516,12 @@ class Coordinator:
                         self.executor.restart()
                     it = restored_it + 1
                     continue
-                cur, directives, t_send = pending
+                cur, directives, t_send, cur_plan = pending
                 pending = None
                 round_times.append(time.monotonic() - t_send)
 
                 # -- gather (worker order == sample order) -------------
-                for res, shard in zip(results, plan.shards):
+                for res, shard in zip(results, cur_plan.shards):
                     labels[shard.lo:shard.hi] = res.labels
                     best[shard.lo:shard.hi] = res.best
                     counters.merge(res.counters)
@@ -423,7 +529,7 @@ class Coordinator:
 
                 # -- sequential-continuation merge (bit-exact) ---------
                 merge_acc.reset()
-                for shard in plan.shards:
+                for shard in cur_plan.shards:
                     merge_acc.feed(x[shard.slice], labels[shard.slice])
                 merged = merge_acc.packed()
 
@@ -435,6 +541,20 @@ class Coordinator:
                     clock.charge(label, t)
                 y = upd.centroids
 
+                # -- re-expansion: a shrunken fleet regrows toward the
+                # target at this round boundary (no round in flight;
+                # replacements reuse the missing ids, so a full regrow
+                # restores the original plan).  Overlaps nothing —
+                # membership changes are rare and must precede the next
+                # broadcast.
+                if self.fleet.manages_membership:
+                    grown = self.fleet.maybe_expand(plan, make_factory)
+                    if grown is not None:
+                        plan, factory = grown
+                        trace.append({"kind": "expand", "iteration": cur,
+                                      "members": list(plan.worker_ids),
+                                      "n_workers": plan.n_workers})
+
                 # -- double buffering: the next round's broadcast leaves
                 # as soon as the centroids exist; everything below
                 # overlaps the workers' compute.  The send is
@@ -444,12 +564,12 @@ class Coordinator:
                     self._arm_deadline(round_times)
                     t_send = time.monotonic()
                     self.executor.send_round(y, cur + 1, {})
-                    pending = (cur + 1, {}, t_send)
+                    pending = (cur + 1, {}, t_send, plan)
 
                 # -- off-critical tail ---------------------------------
                 self._count_directives(faults_seen, trace, directives, cur)
                 counters.checksum_tests += 1
-                self._check_partials(merged, results, plan, x, labels,
+                self._check_partials(merged, results, cur_plan, x, labels,
                                      sample_weight, faults_seen, trace, cur)
                 best64 = best.astype(np.float64)
                 inertia = float(np.sum(best64 * sample_weight)
@@ -469,17 +589,23 @@ class Coordinator:
         finally:
             if pending is not None:
                 # a speculative round was in flight when the fit ended
-                # (convergence, or an error): collect and discard it so
-                # no worker is still computing at teardown.  The drain
-                # is always bounded — with no configured deadline a
-                # worker that wedges during this already-discarded
+                # (convergence, or an error): nobody wants its results,
+                # so cancel it outright — shutdown follows immediately,
+                # which is the contract cancel_round requires.  Custom
+                # executors without a cancel fall back to a bounded
+                # collect-and-discard drain: with no configured deadline
+                # a worker that wedges during this already-discarded
                 # round would otherwise hang a finished fit forever
-                if self.executor.round_timeout is None:
-                    self.executor.round_timeout = self.DISCARD_TIMEOUT
-                try:
-                    self.executor.collect_round()
-                except Exception:
-                    pass
+                cancel = getattr(self.executor, "cancel_round", None)
+                if cancel is not None:
+                    cancel()
+                else:
+                    if self.executor.round_timeout is None:
+                        self.executor.round_timeout = self.DISCARD_TIMEOUT
+                    try:
+                        self.executor.collect_round()
+                    except Exception:
+                        pass
             self.executor.shutdown()
             # flush barrier: every snapshot of this fit is durable
             # before fit() returns (or propagates its error)
@@ -513,7 +639,9 @@ class Coordinator:
             executor=getattr(self.executor, "name", "custom"),
             crash_recoveries=crash_workers_lost,
             stall_recoveries=stall_workers_lost, shrinks=shrinks,
-            checkpoint_save_s=ckpt_save_s, checkpoint_flush_s=ckpt_flush_s)
+            checkpoint_save_s=ckpt_save_s, checkpoint_flush_s=ckpt_flush_s,
+            promotions=self.fleet.promotions, expands=self.fleet.expands,
+            heartbeat_failures=heartbeat_failures)
 
     # ------------------------------------------------------------------
     def _arm_deadline(self, round_times: deque) -> None:

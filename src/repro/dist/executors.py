@@ -60,6 +60,32 @@ form simply stashes the arguments and runs at collect time.  For the
 deadline-armed backends the answer deadline starts at ``collect_round``
 (exactly where the legacy combined round started its recv phase), so
 overlapped coordinator work can never eat a worker's round budget.
+
+**Membership management.**  The fleet manager
+(:mod:`repro.dist.fleet`) drives four further verbs on top of the round
+protocol:
+
+* ``heartbeat(iteration, timeout)`` — a cheap between-rounds liveness
+  probe.  A worker that answered its round but *then* wedged is
+  invisible to the round deadline until the next round blows it; the
+  heartbeat catches it between rounds instead.  Failures surface
+  through the same typed exceptions as round failures, tagged with
+  ``exc.detector = "heartbeat"``.
+* ``prewarm_spares(n)`` / ``spares_ready()`` — hot spares.  On the
+  process backend these are genuinely pre-booted (interpreter up,
+  imports done) but *unconfigured* children, so promoting one onto a
+  dead worker's shard skips the child's cold-start entirely; on the
+  in-process backends a spare is just a promotion token (there is no
+  boot cost to hide).
+* ``replace_workers(factory, worker_ids)`` — replace exactly the named
+  workers, leaving the survivors untouched (workers are stateless
+  between rounds, so survivors keep their warm operand caches).
+* ``reconfigure(factory, worker_ids)`` — adopt a new (factory, worker
+  set) like ``restart`` but reusing warm children where possible; the
+  base implementation simply delegates to ``restart``.
+
+``cancel_round()`` abandons a sent-but-uncollected round without
+waiting for its answers — the speculative round after convergence.
 """
 
 from __future__ import annotations
@@ -113,6 +139,7 @@ class BaseExecutor(ABC):
         self._worker_ids: tuple[int, ...] = ()
         self.round_timeout: float | None = None
         self._stashed_round: tuple | None = None
+        self._spare_tokens = 0
 
     def start(self, factory, worker_ids) -> None:
         """Build one worker per id via ``factory(worker_id)``."""
@@ -173,6 +200,67 @@ class BaseExecutor(ABC):
         self._stashed_round = None
         return self.run_round(y, iteration, directives)
 
+    def cancel_round(self) -> None:
+        """Abandon a sent-but-uncollected round (no results wanted).
+
+        Used for the speculative round still in flight when the fit
+        converges: the coordinator will never collect it, so the backend
+        may drop it as cheaply as it can.  Only ``shutdown`` or
+        ``restart`` may follow a cancel — the round protocol is not
+        resumable past one.
+        """
+        self._stashed_round = None
+
+    # -- membership management (driven by repro.dist.fleet) ------------
+    def heartbeat(self, iteration: int, timeout: float) -> None:
+        """Probe every worker for liveness between rounds.
+
+        Raises the same typed exceptions as a round failure —
+        :class:`WorkerCrash` / :class:`WorkerStall` with the full
+        failed-worker classification — additionally tagged with
+        ``exc.detector = "heartbeat"`` so traces can tell the two
+        detectors apart.  Must not be called with a round in flight.
+        The base implementation is a no-op (no probe channel).
+        """
+
+    def prewarm_spares(self, n: int) -> None:
+        """Provision ``n`` replacement slots ahead of any failure.
+
+        In-process backends have no boot cost to hide, so a spare is
+        just a promotion token; the process backend overrides this with
+        genuinely pre-booted (unconfigured) children.
+        """
+        self._spare_tokens = int(n)
+
+    def spares_ready(self) -> int:
+        """Number of spares promotable right now (never blocks)."""
+        return self._spare_tokens
+
+    def replace_workers(self, factory, worker_ids) -> None:
+        """Replace exactly ``worker_ids``; every other worker is left
+        running untouched (promotion in place — the shard plan did not
+        change, so survivors keep their warm per-fit operand caches).
+
+        The shared in-process implementation rebuilds the named workers
+        from ``factory``; zombie workers abandoned by a heartbeat (see
+        :class:`ThreadExecutor`) are dropped without a close.
+        """
+        self._factory = factory
+        worker_ids = tuple(worker_ids)
+        zombies = getattr(self, "_zombies", set())
+        for wid in worker_ids:
+            old = self._workers.pop(wid, None)
+            if old is not None and wid not in zombies:
+                old.close()
+            zombies.discard(wid)
+            self._workers[wid] = factory(wid)
+        self._spare_tokens = max(0, self._spare_tokens - len(worker_ids))
+
+    def reconfigure(self, factory=None, worker_ids=None) -> None:
+        """Adopt a new (factory, worker set), reusing warm state where
+        the backend can; base implementation = plain :meth:`restart`."""
+        self.restart(factory, worker_ids)
+
 
 class SerialExecutor(BaseExecutor):
     """In-process sequential backend (the bit-reference)."""
@@ -213,6 +301,22 @@ class SerialExecutor(BaseExecutor):
                                  crash_reason="injected")
         return results
 
+    def heartbeat(self, iteration: int, timeout: float) -> None:
+        """Sequential ping of every worker, classified retroactively
+        (like the serial round deadline: no in-process preemption, so a
+        wedged ping blocks for its full wedge — keep injected wedges
+        short on this backend)."""
+        stalled = []
+        for wid in self._worker_ids:
+            t0 = time.monotonic()
+            self._workers[wid].ping()
+            if time.monotonic() - t0 > timeout:
+                stalled.append(wid)
+        if stalled:
+            exc = _round_failure(iteration, [], stalled)
+            exc.detector = "heartbeat"
+            raise exc
+
 
 class _RoundTask:
     """One worker's round on a daemon thread (a poor man's future).
@@ -252,21 +356,28 @@ class ThreadExecutor(BaseExecutor):
         self._workers = {wid: self._factory(wid) for wid in self._worker_ids}
         self._inflight: dict[int, _RoundTask] = {}
         self._round_it: int | None = None
+        #: workers whose heartbeat ping was abandoned mid-wedge: a
+        #: daemon thread still owns them, so teardown / replacement must
+        #: drop them without a close
+        self._zombies: set[int] = set()
 
     def _teardown(self) -> None:
         # a stalled thread cannot be killed, and joining it would block
         # recovery for the whole stall — abandon it instead: its worker
         # is left un-closed (the thread still owns it; engine caches are
         # reclaimed by GC once the round finishes, and the daemon thread
-        # never blocks process exit)
+        # never blocks process exit).  Heartbeat zombies are abandoned
+        # the same way.
         running = {wid for wid, task in getattr(self, "_inflight",
                                                 {}).items()
                    if not task.done.is_set()}
+        running |= set(getattr(self, "_zombies", ()))
         for wid, w in getattr(self, "_workers", {}).items():
             if wid not in running:
                 w.close()
         self._workers = {}
         self._inflight = {}
+        self._zombies = set()
 
     def send_round(self, y, iteration, directives) -> None:
         self._round_it = iteration
@@ -316,22 +427,70 @@ class ThreadExecutor(BaseExecutor):
         self.send_round(y, iteration, directives)
         return self.collect_round()
 
+    def cancel_round(self) -> None:
+        """Abandon the in-flight round: forget it was sent.  The tasks
+        keep running on their daemon threads; teardown (which must
+        follow) already skips closing workers still owned by a running
+        task."""
+        self._round_it = None
+
+    def heartbeat(self, iteration: int, timeout: float) -> None:
+        """Concurrent ping of every worker under one shared deadline.
+
+        A worker whose ping misses the deadline is classified stalled
+        and becomes a *zombie*: its sleeping daemon thread still owns
+        it, so it is excluded from teardown/replacement closes and
+        reclaimed by GC when the wedge runs dry.
+        """
+        tasks = {wid: _RoundTask(self._workers[wid].ping, ())
+                 for wid in self._worker_ids}
+        deadline = time.monotonic() + timeout
+        stalled = []
+        for wid, task in tasks.items():
+            if not task.done.wait(max(0.0, deadline - time.monotonic())):
+                stalled.append(wid)
+                self._zombies.add(wid)
+            elif task.exc is not None:
+                raise task.exc
+        if stalled:
+            exc = _round_failure(iteration, [], stalled)
+            exc.detector = "heartbeat"
+            raise exc
+
 
 #: spawn handshake sentinel: the child sends it once its worker is
 #: built, so boot cost (interpreter + shard unpickling under 'spawn')
 #: never counts against a round deadline
 _READY = "__worker_ready__"
 
+#: pre-boot handshake of an *unconfigured* hot spare: interpreter and
+#: imports are up, no worker exists yet — a 'configure' message turns
+#: it into a worker (which answers with ``_READY``)
+_SPARE_READY = "__spare_ready__"
+
+#: heartbeat reply sentinel
+_PONG = "__pong__"
+
 
 def _child_main(conn, factory, worker_id: int) -> None:
-    """Process-executor child loop: build the worker, answer rounds.
+    """Process-executor child loop: build the worker, answer messages.
+
+    Messages are tagged tuples — ``("round", y, iteration, directive)``,
+    ``("ping",)``, ``("configure", factory, worker_id)`` — or ``None``
+    (shut down).  With ``factory=None`` the child boots as an
+    *unconfigured hot spare*: interpreter and imports are paid for up
+    front, the worker itself is built by a later configure message.
 
     An injected crash hard-exits the process (no exception channel, no
     cleanup) so the parent sees exactly what a real worker death looks
     like: a broken pipe.
     """
-    worker = factory(worker_id)
-    conn.send(_READY)
+    worker = None
+    if factory is not None:
+        worker = factory(worker_id)
+        conn.send(_READY)
+    else:
+        conn.send(_SPARE_READY)
     try:
         while True:
             try:
@@ -340,14 +499,27 @@ def _child_main(conn, factory, worker_id: int) -> None:
                 break
             if msg is None:
                 break
-            y, iteration, directive = msg
-            try:
-                result = worker.run_round(y, iteration, directive)
-            except WorkerCrash:
-                os._exit(17)
-            conn.send(result)
+            tag = msg[0]
+            if tag == "configure":
+                _, factory, worker_id = msg
+                if worker is not None:
+                    worker.close()
+                worker = factory(worker_id)
+                conn.send(_READY)
+            elif tag == "ping":
+                if worker is not None:
+                    worker.ping()
+                conn.send(_PONG)
+            else:                              # "round"
+                _, y, iteration, directive = msg
+                try:
+                    result = worker.run_round(y, iteration, directive)
+                except WorkerCrash:
+                    os._exit(17)
+                conn.send(result)
     finally:
-        worker.close()
+        if worker is not None:
+            worker.close()
         conn.close()
 
 
@@ -394,18 +566,26 @@ class ProcessExecutor(BaseExecutor):
             methods = mp.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
         self._ctx = mp.get_context(start_method)
+        #: pre-booted unconfigured children: [proc, conn, ready] — ready
+        #: flips True once the _SPARE_READY handshake has been consumed
+        self._spares: list[list] = []
+
+    def _boot_child(self, factory, wid: int):
+        """Fork/spawn one child process; returns (proc, parent_conn)."""
+        parent, child = self._ctx.Pipe()
+        proc = self._ctx.Process(target=_child_main,
+                                 args=(child, factory, wid),
+                                 daemon=True)
+        proc.start()
+        child.close()
+        return proc, parent
 
     def _spawn(self) -> None:
         self._round_state: tuple | None = None
         self._procs: dict[int, mp.Process] = {}
         self._conns: dict[int, object] = {}
         for wid in self._worker_ids:
-            parent, child = self._ctx.Pipe()
-            proc = self._ctx.Process(target=_child_main,
-                                     args=(child, self._factory, wid),
-                                     daemon=True)
-            proc.start()
-            child.close()
+            proc, parent = self._boot_child(self._factory, wid)
             self._procs[wid] = proc
             self._conns[wid] = parent
         # collect every child's ready handshake before the first round:
@@ -426,19 +606,23 @@ class ProcessExecutor(BaseExecutor):
                                   reason="worker failed to start")
 
     def _teardown(self) -> None:
-        for wid, conn in getattr(self, "_conns", {}).items():
+        spare_conns = [entry[1] for entry in getattr(self, "_spares", [])]
+        spare_procs = [entry[0] for entry in getattr(self, "_spares", [])]
+        for conn in list(getattr(self, "_conns", {}).values()) + spare_conns:
             try:
                 conn.send(None)
             except (BrokenPipeError, OSError):
                 pass
             conn.close()
-        for proc in getattr(self, "_procs", {}).values():
+        for proc in list(getattr(self, "_procs",
+                                 {}).values()) + spare_procs:
             proc.join(timeout=self.JOIN_TIMEOUT)
             if proc.is_alive():
                 proc.terminate()
                 proc.join(timeout=5.0)
         self._procs = {}
         self._conns = {}
+        self._spares = []
 
     def _kill_worker(self, wid: int) -> None:
         """Escalated removal of a stalled child: terminate, then kill.
@@ -502,16 +686,17 @@ class ProcessExecutor(BaseExecutor):
         deadline = (None if self.round_timeout is None
                     else time.monotonic() + self.round_timeout)
         for wid in self._worker_ids:
+            payload = ("round", y, iteration, directives.get(wid))
             if deadline is None:
                 try:
-                    self._conns[wid].send((y, iteration,
-                                           directives.get(wid)))
+                    self._conns[wid].send(payload)
                 except (BrokenPipeError, OSError):
+                    self._kill_worker(wid)   # reap the corpse now
                     crashed.append(wid)
             else:
-                sent = self._send_bounded(
-                    wid, (y, iteration, directives.get(wid)), deadline)
+                sent = self._send_bounded(wid, payload, deadline)
                 if sent == "crashed":
+                    self._kill_worker(wid)
                     crashed.append(wid)
                 elif sent == "stalled":
                     stalled.append(wid)
@@ -569,7 +754,11 @@ class ProcessExecutor(BaseExecutor):
                 try:
                     results[wid] = conn.recv()
                 except (EOFError, OSError):
-                    # the child is gone: real (or injected-hard-exit) death
+                    # the child is gone: real (or injected-hard-exit)
+                    # death.  Reap the corpse immediately — an in-place
+                    # promotion (see replace_workers) must find only
+                    # live children in the maps
+                    self._kill_worker(wid)
                     crashed.append(wid)
         if crashed or stalled:
             raise _round_failure(iteration, crashed, stalled,
@@ -579,6 +768,205 @@ class ProcessExecutor(BaseExecutor):
     def run_round(self, y, iteration, directives) -> list[RoundResult]:
         self.send_round(y, iteration, directives)
         return self.collect_round()
+
+    def cancel_round(self) -> None:
+        """Abandon the in-flight round.  Children may be mid-compute
+        with a result about to hit a pipe nobody will drain, so the
+        whole brood is killed; ``shutdown`` or ``restart`` must follow
+        (the coordinator's teardown path does exactly that)."""
+        if self._round_state is None:
+            return
+        self._round_state = None
+        for wid in list(self._conns):
+            self._kill_worker(wid)
+
+    def heartbeat(self, iteration: int, timeout: float) -> None:
+        """Ping every child and poll the replies against one deadline.
+
+        This is the real detector: a child that does not answer in time
+        is escalated (terminate, then kill) exactly like a round-
+        deadline stall, so even a multi-minute wedge costs at most
+        ``timeout`` wall seconds.  A broken pipe at either phase is a
+        death.
+        """
+        if self._round_state is not None:
+            raise RuntimeError("heartbeat with a round in flight")
+        crashed, stalled = [], []
+        pending = {}
+        for wid in self._worker_ids:
+            conn = self._conns.get(wid)
+            if conn is None:
+                crashed.append(wid)
+                continue
+            try:
+                conn.send(("ping",))
+            except (BrokenPipeError, OSError):
+                self._kill_worker(wid)
+                crashed.append(wid)
+                continue
+            pending[conn] = wid
+        deadline = time.monotonic() + timeout
+        while pending:
+            ready = conn_wait(list(pending),
+                              max(0.0, deadline - time.monotonic()))
+            if not ready:
+                for conn, wid in list(pending.items()):
+                    self._kill_worker(wid)
+                    stalled.append(wid)
+                pending.clear()
+                break
+            for conn in ready:
+                wid = pending.pop(conn)
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    self._kill_worker(wid)
+                    crashed.append(wid)
+                    continue
+                if msg != _PONG:
+                    # protocol desync — treat like a death
+                    self._kill_worker(wid)
+                    crashed.append(wid)
+        if crashed or stalled:
+            exc = _round_failure(iteration, crashed, stalled,
+                                 crash_reason="worker process died")
+            exc.detector = "heartbeat"
+            raise exc
+
+    # -- hot spares / membership ---------------------------------------
+    def prewarm_spares(self, n: int) -> None:
+        """Top the spare pool up to ``n`` pre-booted children.
+
+        Boot is asynchronous: this returns immediately, the spares
+        announce themselves via the ``_SPARE_READY`` handshake which
+        :meth:`spares_ready` consumes without blocking.  A spare costs
+        one idle interpreter; it holds no shard until configured.
+        """
+        while len(self._spares) < int(n):
+            proc, conn = self._boot_child(None, -1)
+            self._spares.append([proc, conn, False])
+
+    def spares_ready(self) -> int:
+        """Count booted spares, consuming pending handshakes (never
+        blocks); dead spares are reaped from the pool."""
+        live, ready = [], 0
+        for entry in self._spares:
+            proc, conn, is_ready = entry
+            if not is_ready:
+                try:
+                    if conn.poll(0):
+                        entry[2] = conn.recv() == _SPARE_READY
+                except (EOFError, OSError):
+                    self._reap(proc, conn)
+                    continue
+            if entry[2]:
+                ready += 1
+            live.append(entry)
+        self._spares = live
+        return ready
+
+    @staticmethod
+    def _reap(proc, conn) -> None:
+        try:
+            conn.close()
+        except OSError:
+            pass
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=1.0)
+
+    def _take_ready_spare(self):
+        """Pop one booted spare as (proc, conn), or None."""
+        self.spares_ready()
+        for entry in self._spares:
+            if entry[2]:
+                self._spares.remove(entry)
+                return entry[0], entry[1]
+        return None
+
+    def _collect_ready(self, wids, reason: str) -> None:
+        """Second phase of a two-phase (re)configure: every named child
+        must answer ``_READY`` within the spawn budget."""
+        for wid in wids:
+            conn = self._conns.get(wid)
+            msg = None
+            try:
+                if conn is not None and conn.poll(self.SPAWN_TIMEOUT):
+                    msg = conn.recv()
+            except (EOFError, OSError):
+                msg = None
+            if msg != _READY:
+                self._kill_worker(wid)
+                raise WorkerCrash(wid, 0, reason=reason)
+
+    def replace_workers(self, factory, worker_ids) -> None:
+        """Promote spares (or cold-spawn) onto exactly ``worker_ids``.
+
+        Survivors are left running — they keep their warm engine caches
+        and never re-handshake.  Ready spares are configured in place
+        (the whole child cold-start is skipped); only if the pool runs
+        dry does a replacement pay a cold spawn.  Two-phase: all
+        configures are sent before any ready handshake is awaited, so
+        multiple replacements boot concurrently.
+        """
+        self._factory = factory
+        worker_ids = tuple(worker_ids)
+        for wid in worker_ids:
+            self._kill_worker(wid)           # sweep any corpse remains
+            spare = self._take_ready_spare()
+            if spare is not None:
+                proc, conn = spare
+                conn.send(("configure", factory, wid))
+            else:
+                proc, conn = self._boot_child(factory, wid)
+            self._procs[wid] = proc
+            self._conns[wid] = conn
+        self._collect_ready(worker_ids,
+                            "replacement worker failed to start")
+
+    def reconfigure(self, factory=None, worker_ids=None) -> None:
+        """Adopt a new (factory, worker set), reusing warm children.
+
+        Like ``restart`` but without burning the brood: every live
+        child (and every ready spare) is re-targeted with a configure
+        message — it closes its old worker and builds the new shard in
+        the warm interpreter.  Surplus warm children demote back into
+        the spare pool; missing slots cold-spawn.  Used by the fleet's
+        shrink and re-expand transitions.
+        """
+        if factory is not None:
+            self._factory = factory
+        if worker_ids is not None:
+            self._worker_ids = tuple(worker_ids)
+        self._round_state = None
+        pool = [(self._procs[wid], self._conns[wid])
+                for wid in list(self._procs)]
+        self._procs, self._conns = {}, {}
+        while True:
+            spare = self._take_ready_spare()
+            if spare is None:
+                break
+            pool.append(spare)
+        for wid in self._worker_ids:
+            proc = conn = None
+            while pool:
+                proc, conn = pool.pop(0)
+                try:
+                    conn.send(("configure", self._factory, wid))
+                    break
+                except (BrokenPipeError, OSError):
+                    self._reap(proc, conn)    # died warm — try the next
+                    proc = conn = None
+            if proc is None:
+                proc, conn = self._boot_child(self._factory, wid)
+            self._procs[wid] = proc
+            self._conns[wid] = conn
+        # surplus warm children become ready spares: still configured
+        # with their old shard, but a future configure re-targets them
+        for proc, conn in pool:
+            self._spares.append([proc, conn, True])
+        self._collect_ready(self._worker_ids,
+                            "worker failed to start")
 
 
 def make_executor(name: str) -> BaseExecutor:

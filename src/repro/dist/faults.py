@@ -20,6 +20,12 @@ kind                      models
                           fractional geometry the SEU injector uses,
                           and caught by the coordinator's checksum
                           test over the merged partials
+``wedge``                 the worker answers its round normally, then
+                          wedges *between* rounds: its next heartbeat
+                          ``ping`` sleeps for ``wedge_s``.  Invisible
+                          to the round deadline (the round was
+                          answered); only the between-round heartbeat
+                          of the fleet manager catches it
 ========================  ==========================================
 
 Faults can be scheduled explicitly (tests, benchmarks:
@@ -39,14 +45,16 @@ import numpy as np
 
 from repro.gpusim.faults import FaultPlan
 
-__all__ = ["CRASH", "STALL", "CORRUPT_PARTIAL", "WORKER_FAULT_KINDS",
+__all__ = ["CRASH", "STALL", "CORRUPT_PARTIAL", "WEDGE",
+           "WORKER_FAULT_KINDS",
            "WorkerCrash", "WorkerStall", "WorkerFaultPlan",
            "WorkerFaultInjector"]
 
 CRASH = "crash"
 STALL = "stall"
 CORRUPT_PARTIAL = "corrupt_partial"
-WORKER_FAULT_KINDS = (CRASH, STALL, CORRUPT_PARTIAL)
+WEDGE = "wedge"
+WORKER_FAULT_KINDS = (CRASH, STALL, CORRUPT_PARTIAL, WEDGE)
 
 
 class WorkerCrash(RuntimeError):
@@ -117,6 +125,7 @@ class WorkerFaultPlan:
     iteration: int
     seu: FaultPlan | None = None
     stall_s: float = 0.0
+    wedge_s: float = 600.0
 
     def __post_init__(self) -> None:
         if self.kind not in WORKER_FAULT_KINDS:
@@ -181,6 +190,16 @@ class WorkerFaultInjector:
                                     stall_s=stall_s)])
 
     @classmethod
+    def wedge_at(cls, worker_id: int, iteration: int,
+                 wedge_s: float = 600.0) -> "WorkerFaultInjector":
+        """Worker answers ``iteration`` normally, then wedges: its next
+        heartbeat ping hangs for ``wedge_s`` seconds.  Pick a small
+        ``wedge_s`` on the serial backend, where the ping runs in the
+        coordinator's own thread."""
+        return cls([WorkerFaultPlan(WEDGE, worker_id, iteration,
+                                    wedge_s=wedge_s)])
+
+    @classmethod
     def corrupt_at(cls, worker_id: int, iteration: int, *, bit: int = 55,
                    row_frac: float = 0.5,
                    col_frac: float = 0.5) -> "WorkerFaultInjector":
@@ -219,8 +238,9 @@ class WorkerFaultInjector:
         """Per-worker fault directives for one round (one-shot each).
 
         Returns a dict ``worker_id -> directive`` where a directive is
-        ``{"crash": True}``, ``{"stall_s": s}`` or ``{"corrupt":
-        FaultPlan}``; workers absent from the dict run clean.  Every
+        ``{"crash": True}``, ``{"stall_s": s}``, ``{"wedge_s": s}`` or
+        ``{"corrupt": FaultPlan}``; workers absent from the dict run
+        clean.  Every
         plan returned here is marked fired and will never be returned
         again — including when the iteration replays after recovery.
         """
@@ -251,6 +271,8 @@ class WorkerFaultInjector:
                 directives[wid] = {"crash": True}
             elif plan.kind == STALL:
                 directives[wid] = {"stall_s": plan.stall_s}
+            elif plan.kind == WEDGE:
+                directives[wid] = {"wedge_s": plan.wedge_s}
             else:
                 directives[wid] = {"corrupt": plan.seu}
         return directives

@@ -75,10 +75,23 @@ class ShardWorker:
         This shard's slice of the fit's sample weights.
     base_seed : int
         Entropy root of the per-round SEU injector streams.
+    cache_store : WorkerCacheStore, optional
+        Shard-local operand-cache checkpoints (see
+        :class:`repro.dist.checkpoint.WorkerCacheStore`).  On boot the
+        worker preloads its shard's entry (skipping the x-norm pass and,
+        when cached, the transposed/rounded operand builds) and saves a
+        fresh export after ``begin_fit`` so a replacement worker booting
+        onto the same shard skips them too.  Purely a boot-time
+        optimisation: preloaded operands are validated (shape/dtype)
+        and never change a single bit of the fit.
+    cache_key : str, optional
+        The shard's key in ``cache_store`` (normally
+        ``"shard_{lo}_{hi}"``, derived by :func:`build_worker`).
     """
 
     def __init__(self, worker_id: int, x_shard: np.ndarray, cfg,
-                 n_clusters: int, *, sample_weight=None, base_seed: int = 0):
+                 n_clusters: int, *, sample_weight=None, base_seed: int = 0,
+                 cache_store=None, cache_key: str | None = None):
         if cfg.mode != "fast":
             raise ValueError("ShardWorker requires mode='fast'")
         if cfg.tile == "auto":
@@ -88,13 +101,24 @@ class ShardWorker:
         self.cfg = cfg
         self.n_clusters = int(n_clusters)
         self.base_seed = int(base_seed)
+        self.cache_store = cache_store
+        self.cache_key = cache_key
         m, k = x_shard.shape
         self.kernel = build_assignment(
             cfg, m, k, np.random.default_rng(self.base_seed))
-        self.kernel.begin_fit(x_shard, n_clusters)
+        preload = (cache_store.load(cache_key)
+                   if cache_store is not None and cache_key else None)
+        self.kernel.begin_fit(x_shard, n_clusters, preload=preload)
+        if cache_store is not None and cache_key:
+            # force the transposed update operand now (normally lazy) so
+            # the export — and any replacement worker that preloads it —
+            # covers the full operand cache, then persist the shard entry
+            self.kernel.engine.prepare_update_operand()
+            cache_store.save(cache_key, self.kernel.engine.export_operands())
         self.acc = StreamedAccumulator(n_clusters, k)
         self.acc.bind_weights(sample_weight)
         self.rounds_run = 0
+        self._wedge_s = 0.0
 
     # ------------------------------------------------------------------
     def _round_injector(self, iteration: int) -> None:
@@ -129,12 +153,28 @@ class ShardWorker:
             plan = directive["corrupt"]
             r, c = plan.locate(partial.shape[0], partial.shape[1])
             partial[r, c] = flip_bit(partial[r, c], plan.bit)
+        if directive and directive.get("wedge_s"):
+            # wedge AFTER answering: the round succeeds, the next ping
+            # hangs — visible only to the between-round heartbeat
+            self._wedge_s = float(directive["wedge_s"])
         self.rounds_run += 1
         return RoundResult(
             worker_id=self.worker_id, iteration=iteration,
             labels=res.labels.copy(), best=res.min_sqdist.copy(),
             partial=partial, counters=res.counters, timings=res.timings,
             wall_s=time.perf_counter() - t0)
+
+    def ping(self) -> bool:
+        """Heartbeat probe: answer promptly unless wedged.
+
+        A wedged worker (see the ``wedge`` fault) sleeps ``wedge_s``
+        before answering — on the process backend the executor kills the
+        child long before that; in-process backends classify the late
+        answer retroactively.
+        """
+        if self._wedge_s:
+            time.sleep(self._wedge_s)
+        return True
 
     def close(self) -> None:
         """Release the engine's fit cache / scratch / threads."""
@@ -143,7 +183,7 @@ class ShardWorker:
 
 def build_worker(worker_id: int, *, x: np.ndarray, plan, cfg,
                  n_clusters: int, sample_weight=None,
-                 base_seed: int = 0) -> ShardWorker:
+                 base_seed: int = 0, cache_store=None) -> ShardWorker:
     """Module-level worker factory (picklable for the process executor).
 
     Slices the worker's shard out of the full arrays via the
@@ -151,9 +191,15 @@ def build_worker(worker_id: int, *, x: np.ndarray, plan, cfg,
     initial spawn and every post-crash respawn alike.  Lookup is by
     worker id, not position: after an elastic re-plan the surviving ids
     are sparse.
+
+    ``cache_store`` keys the worker's operand-cache checkpoint by its
+    shard's row range, so any worker booting onto the same rows — the
+    original, a respawn, or a promoted spare — shares one entry.
     """
     shard = plan.shard_of(worker_id)
     w = (None if sample_weight is None
          else sample_weight[shard.lo:shard.hi])
+    key = f"shard_{shard.lo}_{shard.hi}"
     return ShardWorker(worker_id, x[shard.lo:shard.hi], cfg, n_clusters,
-                       sample_weight=w, base_seed=base_seed)
+                       sample_weight=w, base_seed=base_seed,
+                       cache_store=cache_store, cache_key=key)

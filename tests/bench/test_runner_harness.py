@@ -130,6 +130,17 @@ class TestRegressionGate:
              "entries": [self._entry(0.1, m=999), fresh]}))
         assert "skipped" in runner.check_fastpath_regression(fresh, out)
 
+    def test_noise_floor_spares_tiny_walls(self, tmp_path):
+        # 1 ms vs 8 ms is scheduler jitter at smoke shapes, not a
+        # regression — the 0.1 s floor keeps the gate quiet
+        out = tmp_path / "bench.json"
+        fresh = self._entry(0.008)
+        out.write_text(json.dumps(
+            {"schema": "fastpath_walltime/v2",
+             "entries": [self._entry(0.001), fresh]}))
+        assert "ok" in runner.check_fastpath_regression(fresh, out,
+                                                        slack=1.5)
+
     def test_cross_host_and_config_never_compared(self, tmp_path):
         """A slow run on another machine — or a deliberately slower
         config — must not fail against the fast-lane best."""
@@ -154,9 +165,9 @@ class TestRegressionGate:
 
 class TestDistSmokeGate:
     """`runner --smoke` also exercises the sharded layer: a tiny
-    2-worker scaling + crash-recovery + elastic stall-then-shrink
-    record must land in BENCH_dist.json with the bit-identity,
-    recovery and shrink columns intact."""
+    2-worker scaling + crash-recovery + elastic stall-then-shrink +
+    kill-spawn-re-expand record must land in BENCH_dist.json with the
+    bit-identity, recovery, shrink and selfheal columns intact."""
 
     def test_runner_smoke_records_dist_scaling(self, tmp_path):
         fp_out = tmp_path / "fastpath.json"
@@ -165,9 +176,9 @@ class TestDistSmokeGate:
                      "--dist-out", str(dist_out),
                      "--m", "1024", "--iters", "1"])
         doc = json.loads(dist_out.read_text())
-        assert doc["schema"] == "dist_scaling/v3"
+        assert doc["schema"] == "dist_scaling/v4"
         (record,) = doc["entries"]
-        assert record["schema"] == "dist_scaling/v3"
+        assert record["schema"] == "dist_scaling/v4"
         workers = [row["workers"] for row in record["grid"]]
         assert workers == record["config"]["workers_grid"] == [1, 2]
         for row in record["grid"]:
@@ -190,7 +201,7 @@ class TestDistSmokeGate:
                     "stall_wall_s", "shrink_overhead_s",
                     "shrink_overhead_frac"):
             assert key in el, key
-        # the checkpoint sync-vs-async overhead record of schema v3
+        # the checkpoint sync-vs-async overhead record
         ck = record["checkpoint"]
         assert ck["bit_identical_sync_vs_async"] is True
         assert ck["sync_save_s"] > 0 and ck["async_save_s"] > 0
@@ -199,6 +210,19 @@ class TestDistSmokeGate:
                     "async_overhead_per_round_s", "async_flush_s",
                     "save_reduction"):
             assert key in ck, key
+        # the kill -> spawn -> re-expand self-healing record of v4:
+        # the fit must finish back at its target fleet size
+        sh = record["selfheal"]
+        assert sh["recovered_bit_identical"] is True
+        assert sh["re_expanded"] is True
+        assert sh["workers_after"] == sh["target_workers"] == sh["workers"]
+        assert sh["promotions"] + sh["expands"] >= 1
+        assert sh["replayed_rounds"] >= 1
+        for key in ("kill_iteration", "clean_wall_s", "kill_wall_s",
+                    "heal_overhead_s", "heal_overhead_frac",
+                    "recovered_round_overhead_s", "hot_spares",
+                    "heartbeat_interval"):
+            assert key in sh, key
 
     def test_dist_bench_cli_direct(self, tmp_path):
         from repro.bench import dist as dist_bench
@@ -210,3 +234,60 @@ class TestDistSmokeGate:
              "--out", str(out)])
         assert [r["m"] for r in record["grid"]] == [2048, 2048]
         assert json.loads(out.read_text())["entries"]
+
+
+class TestSelfhealGate:
+    """The selfheal record's per-recovered-round overhead is gated
+    against the best prior same-host, same-shape entry — with a noise
+    floor so spawn-jitter-sized overheads never trip it."""
+
+    @staticmethod
+    def _entry(overhead, m_grid=(16384,), host="ci", workers=2):
+        return {"host": host,
+                "config": {"m_grid": list(m_grid), "n_features": 32,
+                           "n_clusters": 16, "iters": 3,
+                           "dtype": "float32", "checkpoint_every": 2},
+                "selfheal": {"workers": workers,
+                             "recovered_round_overhead_s": overhead}}
+
+    def test_fresh_slow_record_fails(self, tmp_path):
+        out = tmp_path / "dist.json"
+        fresh = self._entry(1.0)
+        out.write_text(json.dumps(
+            {"schema": "dist_scaling/v4",
+             "entries": [self._entry(0.3), fresh]}))
+        with pytest.raises(SystemExit, match="SELFHEAL REGRESSION"):
+            runner.check_selfheal_regression(fresh, out, slack=1.5)
+
+    def test_fresh_fast_record_passes(self, tmp_path):
+        out = tmp_path / "dist.json"
+        fresh = self._entry(0.25)
+        out.write_text(json.dumps(
+            {"schema": "dist_scaling/v4",
+             "entries": [self._entry(0.3), fresh]}))
+        assert "ok" in runner.check_selfheal_regression(fresh, out,
+                                                        slack=1.5)
+
+    def test_noise_floor_spares_tiny_overheads(self, tmp_path):
+        # best prior 10 ms, fresh 80 ms: 8x worse but both are spawn
+        # jitter — the 0.1 s floor keeps the gate quiet
+        out = tmp_path / "dist.json"
+        fresh = self._entry(0.08)
+        out.write_text(json.dumps(
+            {"schema": "dist_scaling/v4",
+             "entries": [self._entry(0.01), fresh]}))
+        assert "ok" in runner.check_selfheal_regression(fresh, out,
+                                                        slack=1.5)
+
+    def test_cross_host_shape_and_v3_entries_skipped(self, tmp_path):
+        out = tmp_path / "dist.json"
+        fresh = self._entry(1.0)
+        legacy_v3 = self._entry(0.1)
+        del legacy_v3["selfheal"]          # pre-v4 entries lack the record
+        out.write_text(json.dumps(
+            {"schema": "dist_scaling/v4",
+             "entries": [self._entry(0.1, host="fastbox"),
+                         self._entry(0.1, m_grid=(999,)),
+                         self._entry(0.1, workers=4),
+                         legacy_v3, fresh]}))
+        assert "skipped" in runner.check_selfheal_regression(fresh, out)
