@@ -40,6 +40,7 @@ from repro.core.accumulate import (
     accumulate_oneshot,
     accumulate_streamed,
 )
+from repro.core.bounds import resolve_prune_mode
 from repro.core.engine import FastPathEngine, unchunked_assign
 from repro.core.tensorop import default_tensorop_tile
 from repro.gpusim.counters import PerfCounters
@@ -52,9 +53,12 @@ __all__ = ["run_fastpath_bench", "run_smoke", "write_record",
 #: repository root when run from a checkout; installs pass --out)
 DEFAULT_RESULT_PATH = Path("BENCH_fastpath.json")
 
-#: v2 added the fault-free fast lane: ``engine.batched_chunks``, the
-#: operand-cache configuration and the per-unit-path bit-identity check
-SCHEMA = "fastpath_walltime/v2"
+#: v3 added the bound-pruned assignment comparison (``pruning`` key):
+#: a converging blob workload driven through a pruned and an unpruned
+#: engine in lockstep, label/best bit-equality asserted per iteration
+#: (v2 added the fault-free fast lane: ``engine.batched_chunks``, the
+#: operand-cache configuration and the per-unit-path bit-identity check)
+SCHEMA = "fastpath_walltime/v3"
 
 #: shape of the acceptance benchmark (paper-scale-ish, CI-feasible)
 FULL_SHAPE = dict(m=200_000, n_features=64, n_clusters=64, iters=8)
@@ -67,6 +71,13 @@ SMOKE_SHAPE = dict(m=60_000, n_features=64, n_clusters=64, iters=3)
 #: admitted regardless of the problem size (recorded in the config;
 #: pass --operand-cache to measure other policies)
 BENCH_OPERAND_CACHE = 1 << 30
+
+#: iterations of the pruning comparison: the workload converges (and
+#: the centroids bit-freeze) after ~3, so most of the loop runs in the
+#: pruned regime — pruning pays per *converged* iteration, which is
+#: where real fits spend their tails (the two active warm-up passes
+#: carry the Hamerly refresh overhead, one extra O(M*K) min per pass)
+PRUNE_ITERS = 12
 
 
 def _divide(sums: np.ndarray, dtype) -> np.ndarray:
@@ -171,6 +182,80 @@ def _lloyd_unchunked(x, y0, n_clusters, iters, dtype, tf32):
     }
 
 
+def _pruning_workload(m, n_features, n_clusters, dt, seed):
+    """A converging workload the bounds can prune: well-separated blobs
+    laid out contiguously (frozen blobs empty whole GEMM units) and a
+    near-converged warm start, so labels settle within ~2 iterations
+    and the centroids bit-freeze right after."""
+    rng = np.random.default_rng(seed + 1)
+    centers = (rng.standard_normal((n_clusters, n_features)) * 6.0
+               ).astype(dt)
+    per = m // n_clusters
+    sizes = [per + 1 if i < m - per * n_clusters else per
+             for i in range(n_clusters)]
+    x = np.concatenate([
+        centers[i] + rng.normal(scale=0.1,
+                                size=(sizes[i], n_features)).astype(dt)
+        for i in range(n_clusters)])
+    y0 = centers + rng.normal(scale=0.02, size=centers.shape).astype(dt)
+    return np.ascontiguousarray(x), np.ascontiguousarray(y0)
+
+
+def _pruning_bench(dev, dt, tile, tf32, *, m, n_features, n_clusters,
+                   chunk_bytes, workers, operand_cache, seed,
+                   iters: int = PRUNE_ITERS) -> dict:
+    """Pruned vs unpruned assignment in lockstep on one trajectory.
+
+    Both engines see the same centroids every iteration; labels and
+    min-distances are asserted bit-equal per pass (the pruning
+    exactness contract, re-proved on every bench run), so the timing
+    difference is pure skipped work.
+    """
+    x, y0 = _pruning_workload(m, n_features, n_clusters, dt, seed)
+    mode = resolve_prune_mode("auto")
+    kw = dict(tile=tile, tf32=tf32, chunk_bytes=chunk_bytes,
+              workers=workers, operand_cache=operand_cache)
+    pruned = FastPathEngine(dev, dt, prune=mode, **kw)
+    plain = FastPathEngine(dev, dt, prune="off", **kw)
+    u = np.uint32 if dt.itemsize == 4 else np.uint64
+    pruned_s, plain_s, frac = [], [], []
+    try:
+        pruned.begin_fit(x, n_clusters)
+        plain.begin_fit(x, n_clusters)
+        y = y0.copy()
+        for _ in range(iters):
+            t0 = time.perf_counter()
+            lp, bp = pruned.assign(x, y, PerfCounters())
+            pruned_s.append(time.perf_counter() - t0)
+            frac.append(float(pruned.stats.last_active_frac))
+            t0 = time.perf_counter()
+            lu, bu = plain.assign(x, y, PerfCounters())
+            plain_s.append(time.perf_counter() - t0)
+            # the whole point: pruning must never move a bit
+            assert np.array_equal(lp, lu)
+            assert np.array_equal(bp.view(u), bu.view(u))
+            y = _divide(accumulate_streamed(x, lu, n_clusters), dt)
+        rows_pruned = pruned.stats.rows_pruned
+        rebuilds = pruned.stats.bounds_rebuilds
+    finally:
+        pruned.end_fit()
+        plain.end_fit()
+    return {
+        "mode": mode,
+        "iters": iters,
+        "pruned_assign_per_iter_s": pruned_s,
+        "unpruned_assign_per_iter_s": plain_s,
+        "pruned_assign_wall_s": sum(pruned_s),
+        "unpruned_assign_wall_s": sum(plain_s),
+        "active_frac_per_iter": frac,
+        "final_active_frac": frac[-1],
+        "rows_pruned": int(rows_pruned),
+        "bounds_rebuilds": int(rebuilds),
+        "assign_speedup": sum(plain_s) / max(1e-12, sum(pruned_s)),
+        "bit_identical": True,
+    }
+
+
 def run_fastpath_bench(m: int = FULL_SHAPE["m"],
                        n_features: int = FULL_SHAPE["n_features"],
                        n_clusters: int = FULL_SHAPE["n_clusters"],
@@ -229,6 +314,11 @@ def run_fastpath_bench(m: int = FULL_SHAPE["m"],
     finally:
         ref_engine.end_fit()
 
+    pruning = _pruning_bench(dev, dt, tile, tf32, m=m,
+                             n_features=n_features, n_clusters=n_clusters,
+                             chunk_bytes=chunk_bytes, workers=workers,
+                             operand_cache=operand_cache, seed=seed)
+
     record = {
         "bench": "fastpath_walltime",
         "schema": SCHEMA,
@@ -257,6 +347,9 @@ def run_fastpath_bench(m: int = FULL_SHAPE["m"],
         # the fast lane's bit-identity contract, re-asserted per run
         "unit_path_label_mismatch_frac": unit_mismatch,
         "unit_path_bit_identical": unit_bit_identical,
+        # bound-pruned vs unpruned assignment on the converging blob
+        # workload (bit-equality asserted inside the loop)
+        "pruning": pruning,
         "stages": {
             "assign_per_iter_s": split["assign_per_iter_s"],
             "update_streamed_per_iter_s": split["update_streamed_per_iter_s"],
@@ -360,6 +453,15 @@ def _summarise(record: dict) -> str:
         f" vs oneshot {np.mean(st['update_oneshot_per_iter_s']):.4f} s"
         f" ({st['update_speedup_streamed_vs_oneshot']:.2f}x)",
     ]
+    pr = record["pruning"]
+    lines.append(
+        f"  pruning ({pr['mode']}): assign "
+        f"{pr['pruned_assign_wall_s']:.3f} s vs unpruned "
+        f"{pr['unpruned_assign_wall_s']:.3f} s "
+        f"({pr['assign_speedup']:.2f}x) over {pr['iters']} iters, "
+        f"active_frac {pr['active_frac_per_iter'][0]:.2f} -> "
+        f"{pr['final_active_frac']:.2f}, "
+        f"{pr['rows_pruned']} rows pruned")
     if "unchunked" in record:
         lines.append(f"  unchunked      : {record['unchunked']['wall_s']:.3f} s")
         lines.append(

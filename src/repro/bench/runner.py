@@ -9,8 +9,9 @@ gating benchmarks — the fast-path run (appending to
 crash-recovery + elastic stall-then-shrink + kill-spawn-re-expand
 self-healing run (appending to ``BENCH_dist.json``) — suitable as a
 tier-1 perf canary.  The self-healing record's per-recovered-round
-overhead is gated against the best prior same-host, same-shape entry
-just like the fast-path wall.  Unrecognised arguments after ``--smoke`` are forwarded to
+overhead and the fast-path record's bound-pruned assignment wall (plus
+its final ``active_frac``) are gated against the best prior same-host,
+same-shape entry just like the fast-path wall.  Unrecognised arguments after ``--smoke`` are forwarded to
 :mod:`repro.bench.fastpath` (e.g. ``--m 2000 --iters 1`` for an even
 quicker shape); the sharded smoke keeps its fixed tiny shape and is
 skipped entirely with ``--dist-out -``.
@@ -36,7 +37,8 @@ from repro.bench import figures
 from repro.bench.tables import print_figure
 
 __all__ = ["all_figures", "check_fastpath_regression",
-           "check_selfheal_regression", "main"]
+           "check_pruning_regression", "check_selfheal_regression",
+           "main"]
 
 #: fresh engine wall may exceed the best prior same-shape entry by at
 #: most this factor before the smoke gate fails (hosts differ; real
@@ -92,6 +94,55 @@ def check_fastpath_regression(record: dict, path, *,
             f"in {path.name}")
     return (f"regression check ok: engine wall {fresh:.3f} s vs best "
             f"prior {best:.3f} s ({best / max(1e-12, fresh):.2f}x)")
+
+
+def check_pruning_regression(record: dict, path, *,
+                             slack: float = REGRESSION_SLACK) -> str:
+    """Gate the bound-pruned assignment record (schema v3+).
+
+    Two checks against the best prior same-host, same-shape entry that
+    carries a ``pruning`` record: the pruned assignment wall must not
+    exceed ``slack`` times the best prior (with the usual 0.1 s noise
+    floor), and the final ``active_frac`` must not have grown — the
+    workload is deterministic per shape/seed, so a larger final active
+    set means the bounds stopped proving rows (a pruning-logic
+    regression, not wall-clock noise).  Returns a verdict line.
+    """
+    path = Path(path)
+    try:
+        entries = json.loads(path.read_text()).get("entries", [])
+    except (OSError, json.JSONDecodeError):
+        return "pruning check skipped: no readable trajectory"
+    pr = record.get("pruning")
+    if not pr:
+        return "pruning check skipped: record has no pruning entry"
+    shape = {k: record["config"][k] for k in _SHAPE_KEYS}
+    prior = [e["pruning"] for e in entries[:-1]
+             if e.get("host") == record.get("host")
+             and e.get("pruning")
+             and all(e.get("config", {}).get(k) == v
+                     for k, v in shape.items())
+             and e["pruning"].get("iters") == pr["iters"]]
+    if not prior:
+        return ("pruning check skipped: no prior same-host entry at "
+                "this shape")
+    best = min(p["pruned_assign_wall_s"] for p in prior)
+    fresh = pr["pruned_assign_wall_s"]
+    if fresh > slack * max(best, 0.1):
+        raise SystemExit(
+            f"PRUNING REGRESSION: pruned assignment wall {fresh:.3f} s "
+            f"exceeds {slack:.2f}x the best prior same-shape entry "
+            f"({best:.3f} s) in {path.name}")
+    best_frac = min(p["final_active_frac"] for p in prior)
+    if pr["final_active_frac"] > best_frac + 0.01:
+        raise SystemExit(
+            f"PRUNING REGRESSION: final active_frac "
+            f"{pr['final_active_frac']:.3f} exceeds the best prior "
+            f"same-shape entry ({best_frac:.3f}) in {path.name} — the "
+            f"bounds prove fewer rows than they used to")
+    return (f"pruning check ok: pruned assignment {fresh:.3f} s vs best "
+            f"prior {best:.3f} s, final active_frac "
+            f"{pr['final_active_frac']:.3f} (best {best_frac:.3f})")
 
 
 def check_selfheal_regression(record: dict, path, *,
@@ -186,6 +237,8 @@ def main(argv=None) -> None:
         out = args.out or str(fastpath.DEFAULT_RESULT_PATH)
         if out != "-" and not args.no_regression_check:
             print("  " + check_fastpath_regression(
+                record, out, slack=args.regression_slack))
+            print("  " + check_pruning_regression(
                 record, out, slack=args.regression_slack))
         if args.dist_out != "-":
             dist_record = dist_bench.main(

@@ -102,7 +102,10 @@ class FTKMeans:
 
     ``spawn_hook`` (constructor-only, like ``worker_faults``) is the
     fleet manager's budget callback for booting replacement workers
-    during re-expansion: ``spawn_hook(n_needed) -> int | None``.
+    during re-expansion: ``spawn_hook(n_needed) -> int | None``;
+    ``event_hook`` (also constructor-only) receives the fleet's ordered
+    structured membership events (heartbeat / promote / shrink /
+    expand dicts — see :class:`repro.dist.fleet.FleetManager`).
     """
 
     def __init__(self, n_clusters: int = 8, *, variant: str = "tensorop",
@@ -110,7 +113,7 @@ class FTKMeans:
                  tile=None, abft="none", p_inject: float = 0.0,
                  dmr_update: bool = True, use_tf32: bool = True,
                  chunk_bytes: int | None = None, engine_workers: int = 1,
-                 operand_cache="auto",
+                 operand_cache="auto", prune: str = "auto",
                  update_mode: str = "auto", batch_size: int | None = None,
                  n_workers: int = 1, executor: str = "serial",
                  checkpoint_every: int = 0, checkpoint_sync: bool = False,
@@ -122,13 +125,13 @@ class FTKMeans:
                  init: str = "k-means++", max_iter: int = 50,
                  tol: float = 1e-4, seed: int | None = None,
                  init_centroids=None, worker_faults=None,
-                 checkpoint_dir=None, spawn_hook=None):
+                 checkpoint_dir=None, spawn_hook=None, event_hook=None):
         self.config = KMeansConfig(
             n_clusters=n_clusters, variant=variant, dtype=np.dtype(dtype),
             device=device, mode=mode, tile=tile, abft=abft,
             p_inject=p_inject, dmr_update=dmr_update, use_tf32=use_tf32,
             chunk_bytes=chunk_bytes, engine_workers=engine_workers,
-            operand_cache=operand_cache,
+            operand_cache=operand_cache, prune=prune,
             update_mode=update_mode, batch_size=batch_size,
             n_workers=n_workers, executor=executor,
             checkpoint_every=checkpoint_every,
@@ -145,6 +148,7 @@ class FTKMeans:
         # kept off the (picklable, worker-shipped) config, like
         # worker_faults: hooks are caller-side callables
         self._spawn_hook = spawn_hook
+        self._event_hook = event_hook
 
     # ------------------------------------------------------------------
     def fit(self, x, sample_weight=None) -> "FTKMeans":
@@ -239,6 +243,11 @@ class FTKMeans:
                 for label, t in upd.timings:
                     clock.charge(label, t)
                 y = upd.centroids
+                # hand the per-centroid movement to the pruning bounds;
+                # identity-keyed to this y, so it applies exactly to the
+                # next iteration's assignment pass (bits unchanged — the
+                # bounds would self-compute the same vector)
+                assigner.feed_centroid_shifts(upd.shifts, y)
 
                 best64 = res.min_sqdist.astype(np.float64)
                 inertia = float(np.sum(best64 * w) if w is not None
@@ -292,7 +301,8 @@ class FTKMeans:
                 self._checkpoint_dir,
                 sync=True if cfg.checkpoint_sync else None),
             worker_faults=self._worker_faults,
-            spawn_hook=self._spawn_hook)
+            spawn_hook=self._spawn_hook,
+            event_hook=self._event_hook)
         res = coord.fit(x, y0, sample_weight=w)
 
         self.cluster_centers_ = res.centroids

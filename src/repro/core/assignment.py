@@ -83,7 +83,7 @@ class AssignmentKernelBase(ABC):
 
     def __init__(self, device: DeviceSpec, dtype, *, mode: str = "fast",
                  injector=None, chunk_bytes: int | None = None,
-                 workers: int = 1, operand_cache="auto"):
+                 workers: int = 1, operand_cache="auto", prune="auto"):
         self.device = device
         self.dtype = np.dtype(dtype)
         self.mode = mode
@@ -91,6 +91,7 @@ class AssignmentKernelBase(ABC):
         self.chunk_bytes = chunk_bytes
         self.workers = workers
         self.operand_cache = operand_cache
+        self.prune = prune
         self.model = TimingModel(device)
         self._engine: FastPathEngine | None = None
 
@@ -107,8 +108,16 @@ class AssignmentKernelBase(ABC):
                 self.device, self.dtype, tile=getattr(self, "tile", None),
                 injector=self.injector, chunk_bytes=self.chunk_bytes,
                 workers=self.workers, operand_cache=self.operand_cache,
-                **self._engine_options())
+                prune=self.prune, **self._engine_options())
         return self._engine
+
+    def feed_centroid_shifts(self, shifts, y) -> None:
+        """Forward the update stage's per-centroid movement to the
+        engine's pruning bounds (``fast`` mode only; a no-op otherwise).
+        One-shot and identity-keyed to ``y`` — see
+        :meth:`FastPathEngine.feed_centroid_shifts`."""
+        if self.mode == "fast" and self._engine is not None:
+            self._engine.feed_centroid_shifts(shifts, y)
 
     def begin_fit(self, x: np.ndarray, n_clusters: int | None = None, *,
                   preload: dict | None = None) -> None:

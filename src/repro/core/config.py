@@ -7,11 +7,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.abft.schemes import AbftScheme, get_scheme
+from repro.core.bounds import PRUNE_MODES
 from repro.gemm.tiling import TileConfig
 from repro.gpusim.device import DeviceSpec, get_device
 
 __all__ = ["KMeansConfig", "VARIANT_NAMES", "MODES", "UPDATE_MODES",
-           "EXECUTORS", "REASSIGNMENT_MODES"]
+           "EXECUTORS", "REASSIGNMENT_MODES", "PRUNE_MODES"]
 
 #: assignment-stage implementations, in the paper's optimisation order
 VARIANT_NAMES = ("naive", "v1", "v2", "v3", "tensorop", "ft")
@@ -85,6 +86,20 @@ class KMeansConfig:
         operand that does not fit simply stays on the per-iteration
         path.  The same policy gates the coordinator's merge-operand
         hoist in sharded fits.
+    prune:
+        Cross-iteration bound pruning of the assignment stage
+        (:mod:`repro.core.bounds`): once most samples stop changing
+        clusters, the engine skips their distance rows entirely and
+        routes only the active set through the chunk GEMM.  Pruning is
+        **bit-exact** — a row is skipped only when its assigned
+        centroid's bits are frozen and a float-error-margined lower
+        bound certifies every competitor, so labels, inertia and the
+        full fit trajectory are bit-identical to the unpruned engine
+        (sharded fits included; bounds are shard-local).  'auto'
+        (default) resolves to 'hamerly' (one float64 bound per sample);
+        'elkan' keeps per-centroid (M, K) bounds — tighter, K x the
+        memory; 'off' disables pruning.  The bounds arrays carry their
+        own checksummed protection story (see ``docs/architecture.md``).
     update_mode:
         Centroid-update accumulation implementation.  'oneshot' is the
         seed ``np.add.at`` scatter pass; 'streamed' is the chunked
@@ -200,6 +215,7 @@ class KMeansConfig:
     chunk_bytes: int | None = None
     engine_workers: int = 1
     operand_cache: str | int = "auto"
+    prune: str = "auto"
     update_mode: str = "auto"
     batch_size: int | None = None
     n_workers: int = 1
@@ -254,6 +270,10 @@ class KMeansConfig:
                 raise ValueError(
                     f"operand_cache byte budget must be >= 0, "
                     f"got {self.operand_cache}")
+        if self.prune not in PRUNE_MODES:
+            raise ValueError(
+                f"unknown prune mode {self.prune!r}; "
+                f"choose from {PRUNE_MODES}")
         if self.update_mode not in UPDATE_MODES:
             raise ValueError(
                 f"unknown update_mode {self.update_mode!r}; "

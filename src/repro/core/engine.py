@@ -90,6 +90,7 @@ import numpy as np
 
 from repro.abft.schemes import NONE, AbftScheme
 from repro.abft.thresholds import ThresholdPolicy
+from repro.core.bounds import BoundsState, resolve_prune_mode
 from repro.gemm.tiling import TileConfig
 from repro.gpusim.counters import PerfCounters
 from repro.gpusim.device import DeviceSpec
@@ -107,9 +108,17 @@ __all__ = [
     "BlockMap",
     "FitCache",
     "EngineStats",
+    "EngineCancelled",
     "FastPathEngine",
     "unchunked_assign",
 ]
+
+
+class EngineCancelled(RuntimeError):
+    """Raised from inside an assignment pass when the engine's
+    cooperative ``cancel_token`` is set: the chunk loop checks the token
+    between chunks, so an abandoned worker stops within a bounded number
+    of chunks instead of running its pass to completion."""
 
 #: base row count of one inner GEMM call; the effective unit is the
 #: smallest multiple of the tile's TB_M that is >= TB_M and close to this
@@ -242,6 +251,7 @@ class FitCache:
     x_t: np.ndarray | None = None        # hoisted transposed update operand
     x_t_failed: bool = False             # transpose hoist known over budget
     operand_bytes: int = 0               # operand-cache bytes charged
+    bounds: BoundsState | None = None    # cross-round pruning state
 
 
 @dataclass
@@ -256,6 +266,10 @@ class EngineStats:
     update_chunks_fed: int = 0   # chunks fed to a fused update accumulator
     scratch_bytes: int = 0       # scratch currently held (pooled)
     peak_scratch_bytes: int = 0
+    rows_pruned: int = 0         # rows skipped by bounds pruning (all passes)
+    pruned_passes: int = 0       # assigns in which at least one row pruned
+    bounds_rebuilds: int = 0     # bounds healed after a fingerprint mismatch
+    last_active_frac: float = 1.0  # computed-row fraction of the last assign
 
 
 class FastPathEngine:
@@ -294,9 +308,26 @@ class FastPathEngine:
         Dispatch a fault-free chunk's unit grid as one stacked matmul
         (default).  False forces the per-unit Python walk everywhere —
         the reference path the fast lane is bit-compared against.
+    prune:
+        Cross-iteration bound pruning of the assignment GEMM
+        (:mod:`repro.core.bounds`): 'auto' (default, resolves to the
+        O(M) Hamerly bound), 'hamerly', 'elkan' (per-centroid (M, K)
+        bounds, tighter but K x the memory) or 'off'.  Pruning only
+        engages on ``begin_fit`` caches (transient predict/score passes
+        have no cross-round history) and is proven bit-identical to the
+        unpruned path — a row is skipped only when its assigned
+        centroid's bits are frozen and an error-margined lower bound
+        certifies every competitor.
     alloc_hook:
         Optional callable ``(name, nbytes)`` invoked for every scratch /
         buffer allocation the engine makes (allocation-tracking tests).
+
+    Attributes
+    ----------
+    cancel_token:
+        Optional object with ``is_set()`` (e.g. ``threading.Event``)
+        checked between chunks; when set, the pass raises
+        :class:`EngineCancelled` within a bounded number of chunks.
     """
 
     def __init__(self, device: DeviceSpec | None, dtype, *,
@@ -304,7 +335,7 @@ class FastPathEngine:
                  injector=None, scheme: AbftScheme = NONE,
                  safety: float = 4.0, chunk_bytes: int | None = None,
                  workers: int = 1, operand_cache="auto",
-                 batch_chunks: bool = True, alloc_hook=None):
+                 batch_chunks: bool = True, prune="auto", alloc_hook=None):
         self.device = device
         self.dtype = np.dtype(dtype)
         self.tile = tile
@@ -326,6 +357,10 @@ class FastPathEngine:
         self.operand_budget = resolve_operand_budget(operand_cache,
                                                      self.chunk_bytes)
         self.batch_chunks = bool(batch_chunks)
+        self.prune = prune
+        self._prune_mode = resolve_prune_mode(prune)
+        self.cancel_token = None
+        self._fed_shifts: tuple | None = None
         self.alloc_hook = alloc_hook
         self.stats = EngineStats()
         self._cache: FitCache | None = None
@@ -681,6 +716,7 @@ class FastPathEngine:
                    if cache is self._cache else None)
             accumulator.bind_source_t(x_t)
         x = cache.x
+        y_in = y
         if y.dtype != self.dtype:
             y = y.astype(self.dtype)
         m, k = x.shape
@@ -706,13 +742,41 @@ class FastPathEngine:
             return cache.labels, cache.best
         self.stats.chunks_run += len(chunks)
 
+        # cross-round bound pruning: fit caches only (a transient
+        # predict/score pass has no history to trust), resolved to an
+        # active-row mask for this round.  Which rows land in the active
+        # set can never move an output bit — pruning retains values the
+        # bounds proved bit-identical to a recompute — so fed vs
+        # self-computed shifts, shard-local bounds and heals all compose
+        # freely with the engine's bit-identity contracts.
+        bounds = active = None
+        fed = self._fed_shifts
+        self._fed_shifts = None
+        if self._prune_mode != "off" and cache is self._cache:
+            bounds = cache.bounds
+            if bounds is None or bounds.mode != self._prune_mode:
+                bounds = cache.bounds = BoundsState(
+                    x, n, mode=self._prune_mode, tf32=self.tf32)
+                self._record_alloc("bounds_state", bounds.nbytes)
+            # the fed shift vector is one-shot and identity-keyed to the
+            # centroid array it described; anything stale self-recomputes
+            shifts = (fed[0] if fed is not None and fed[1] is y_in else None)
+            heals = bounds.rebuilds
+            active = bounds.begin_round(y, cache.labels, cache.best,
+                                        shifts=shifts)
+            self.stats.bounds_rebuilds += bounds.rebuilds - heals
+
+        computed = m
         if cache.workers == 1 or len(chunks) == 1:
+            computed = 0
             scratch = self._take_scratch(min(chunks[0][1] - chunks[0][0], m), n)
             try:
                 for lo, hi in chunks:
-                    calls, batched = self._run_chunk(lo, hi, x, yr_t, yy,
-                                                     cache, plans, policy,
-                                                     counters, scratch)
+                    self._check_cancelled()
+                    calls, batched, rows_run = self._run_chunk(
+                        lo, hi, x, yr_t, yy, cache, plans, policy,
+                        counters, scratch, active, bounds)
+                    computed += rows_run
                     self.stats.gemm_calls += calls
                     self.stats.batched_chunks += batched
                     if accumulator is not None:
@@ -723,9 +787,16 @@ class FastPathEngine:
             finally:
                 self._put_scratch(scratch)
         else:
-            self._run_threaded(chunks, x, yr_t, yy, cache, plans, policy,
-                               counters, n, cache.workers,
-                               accumulator=accumulator)
+            computed = self._run_threaded(chunks, x, yr_t, yy, cache, plans,
+                                          policy, counters, n, cache.workers,
+                                          accumulator=accumulator,
+                                          active=active, bounds=bounds)
+        if bounds is not None:
+            bounds.end_round(y, cache.labels, cache.best)
+        self.stats.last_active_frac = computed / m
+        if computed < m:
+            self.stats.rows_pruned += m - computed
+            self.stats.pruned_passes += 1
         if self._cache is None:
             # no fit is active to reuse the threads (a transient pass
             # during a fit leaves the fit's pool alone).  Deliberate
@@ -735,7 +806,8 @@ class FastPathEngine:
         return cache.labels, cache.best
 
     def _run_threaded(self, chunks, x, yr_t, yy, cache, plans, policy,
-                      counters, n, workers, *, accumulator=None) -> None:
+                      counters, n, workers, *, accumulator=None,
+                      active=None, bounds=None) -> int:
         """Dispatch independent chunks across worker threads.
 
         Each thread owns a pooled scratch buffer and a private counter
@@ -744,17 +816,18 @@ class FastPathEngine:
         in-order commit: whichever worker finishes the next-uncommitted
         chunk drains every completed chunk in order, so the accumulated
         bits match sequential dispatch exactly while the GEMMs still
-        overlap."""
+        overlap.  Returns the number of rows actually computed."""
         max_rows = max(hi - lo for lo, hi in chunks)
         locals_ = threading.local()
         partials: list[PerfCounters | None] = [None] * len(chunks)
-        gemms: list[tuple[int, bool]] = [(0, False)] * len(chunks)
+        gemms: list[tuple[int, bool, int]] = [(0, False, 0)] * len(chunks)
         held: list[np.ndarray] = []
         done = [False] * len(chunks)
         commit = {"next": 0}
         commit_lock = threading.Lock()
 
         def work(idx: int) -> None:
+            self._check_cancelled()
             scr = getattr(locals_, "scratch", None)
             if scr is None:
                 scr = self._take_scratch(max_rows, n)
@@ -764,7 +837,8 @@ class FastPathEngine:
             local_counters = PerfCounters()
             lo, hi = chunks[idx]
             gemms[idx] = self._run_chunk(lo, hi, x, yr_t, yy, cache, plans,
-                                         policy, local_counters, scr)
+                                         policy, local_counters, scr,
+                                         active, bounds)
             partials[idx] = local_counters
             if accumulator is not None:
                 with commit_lock:
@@ -790,9 +864,12 @@ class FastPathEngine:
         for part in partials:
             if part is not None:
                 counters.merge(part)
-        for calls, batched in gemms:
+        computed = 0
+        for calls, batched, rows_run in gemms:
             self.stats.gemm_calls += calls
             self.stats.batched_chunks += batched
+            computed += rows_run
+        return computed
 
     def _chunk_plans(self, lo: int, hi: int, cache: FitCache,
                      plans: dict) -> list:
@@ -810,22 +887,35 @@ class FastPathEngine:
 
     def _run_chunk(self, lo: int, hi: int, x, yr_t, yy, cache: FitCache,
                    plans: dict, policy, counters: PerfCounters,
-                   scratch: np.ndarray) -> tuple[int, bool]:
+                   scratch: np.ndarray, active=None,
+                   bounds=None) -> tuple[int, bool, int]:
         """One chunk's GEMM + fault replay + epilogue.
 
-        Returns ``(inner_gemm_calls, batched)`` for the stats.  The
-        fault-free fast lane dispatches the whole unit grid as one
-        stacked matmul (same per-unit BLAS GEMM sequence, so the bits
-        match the walk exactly); chunks a fault plan targets — and
+        Returns ``(inner_gemm_calls, batched, rows_computed)`` for the
+        stats.  The fault-free fast lane dispatches the whole unit grid
+        as one stacked matmul (same per-unit BLAS GEMM sequence, so the
+        bits match the walk exactly); chunks a fault plan targets — and
         TF32 chunks without a hoisted rounded operand — walk the units
-        in Python as before.
+        in Python as before.  With an ``active`` mask, fault-free
+        chunks route through the pruned lane unless every unit is
+        active anyway; fault-planned chunks always compute in full (the
+        replay coordinates assume chunk-row geometry) and their rows
+        stop being trusted as pruning history.
         """
         rows = hi - lo
+        chunk_plans = self._chunk_plans(lo, hi, cache, plans)
+        if active is not None and not chunk_plans:
+            res = self._run_chunk_pruned(lo, hi, x, yr_t, yy, cache,
+                                         scratch, active, bounds)
+            if res is not None:
+                return res
+            # None: every unit holds an active row — fall through to the
+            # full-chunk lane below (same bits, none of the
+            # gather/scatter overhead)
         acc = scratch[:rows]
         # inner GEMMs on the fixed unit grid (globally aligned: lo is a
         # unit multiple), so the call sequence is chunking-invariant
         unit = self.unit_rows
-        chunk_plans = self._chunk_plans(lo, hi, cache, plans)
         xsrc = cache.x_rounded if (self.tf32
                                    and cache.x_rounded is not None) else x
         rounded = not self.tf32 or cache.x_rounded is not None
@@ -869,7 +959,114 @@ class FastPathEngine:
         # ordering stay meaningful (labels keep the raw argmin)
         np.maximum(best, 0, out=best)
         cache.best[lo:hi] = best
-        return calls, batched
+        if bounds is not None:
+            if chunk_plans:
+                # an escaped sub-threshold flip may sit in this chunk's
+                # cached values: exact *this* round by the replay
+                # semantics, but not safe as pruning history
+                bounds.invalidate_rows(slice(lo, hi))
+            else:
+                bounds.refresh(slice(lo, hi), acc, labels=lbl)
+        return calls, batched, rows
+
+    def _run_chunk_pruned(self, lo: int, hi: int, x, yr_t, yy,
+                          cache: FitCache, scratch: np.ndarray, active,
+                          bounds) -> tuple[int, bool, int] | None:
+        """Fault-free chunk under a bounds mask: compute only the GEMM
+        units containing active rows (compacted gather -> stacked unit
+        GEMM -> scatter back); pruned rows keep their cached
+        labels/best, which the bounds proved bit-identical to a
+        recompute.  Unit granularity keeps the per-unit BLAS calls at
+        the engine's fixed shape, so a computed unit's bits match the
+        unpruned pass exactly regardless of which other units run.
+
+        Returns None when every unit holds an active row: the caller's
+        full-chunk lane computes the identical bits without the
+        gather/scatter detour (the common case early in a fit, before
+        any centroid has frozen)."""
+        unit = self.unit_rows
+        rows = hi - lo
+        n = yr_t.shape[1]
+        act = active[lo:hi]
+        xsrc = cache.x_rounded if (self.tf32
+                                   and cache.x_rounded is not None) else x
+        rounded = not self.tf32 or cache.x_rounded is not None
+        q, rem = divmod(rows, unit)
+        idx = (np.flatnonzero(act[:q * unit].reshape(q, unit).any(axis=1))
+               if q else np.empty(0, dtype=np.int64))
+        na = int(idx.size)
+        tail_active = bool(rem) and bool(act[q * unit:].any())
+        computed = na * unit + (rem if tail_active else 0)
+        if not computed:
+            return 0, False, 0
+        if na == q and (tail_active or not rem):
+            return None
+        calls = 0
+        batched = (self.batch_chunks and rounded and xsrc.flags.c_contiguous)
+        k = xsrc.shape[1]
+        if na:
+            flat = scratch[:na * unit]
+            if batched:
+                # fancy-index gather of the active units: a contiguous
+                # (na, unit, K) copy, so the stacked matmul issues the
+                # identical per-unit GEMMs the full grid would
+                gathered = xsrc[lo:lo + q * unit].reshape(q, unit, k)[idx]
+                np.matmul(gathered, yr_t, out=flat.reshape(na, unit, n))
+                calls += na
+            else:
+                for t, u in enumerate(idx):
+                    xa = xsrc[lo + u * unit: lo + (u + 1) * unit]
+                    if not rounded:
+                        xa = round_tf32(xa)
+                    np.matmul(xa, yr_t, out=flat[t * unit:(t + 1) * unit])
+                    calls += 1
+            gidx = (lo + (idx[:, None] * unit
+                          + np.arange(unit)[None, :])).reshape(-1)
+            self._epilogue_rows(flat, gidx, cache, yy, bounds)
+        if tail_active:
+            tail = scratch[na * unit:na * unit + rem]
+            xa = xsrc[lo + q * unit:hi]
+            if not rounded:
+                xa = round_tf32(xa)
+            np.matmul(xa, yr_t, out=tail)
+            calls += 1
+            self._epilogue_rows(tail, np.arange(lo + q * unit, hi),
+                                cache, yy, bounds)
+        return calls, batched and na > 0, computed
+
+    def _epilogue_rows(self, tile: np.ndarray, gidx: np.ndarray,
+                       cache: FitCache, yy: np.ndarray, bounds) -> None:
+        """Distance epilogue + argmin on a compacted row tile, scattered
+        back to the cache buffers by global row index.  Every step is
+        elementwise or per-row — identical bits to the full-chunk
+        epilogue applied to the same rows."""
+        tile *= -2.0
+        tile += cache.x_norms[gidx, None]
+        tile += yy[None, :]
+        lbl = np.argmin(tile, axis=1)
+        best = np.take_along_axis(tile, lbl[:, None], axis=1)[:, 0]
+        np.maximum(best, 0, out=best)
+        cache.labels[gidx] = lbl
+        cache.best[gidx] = best
+        if bounds is not None:
+            bounds.refresh(gidx, tile, labels=lbl)
+
+    def _check_cancelled(self) -> None:
+        tok = self.cancel_token
+        if tok is not None and tok.is_set():
+            raise EngineCancelled("assignment pass cancelled")
+
+    def feed_centroid_shifts(self, shifts, y) -> None:
+        """Adopt the update stage's per-centroid movement for the *next*
+        assignment pass on the fit cache.
+
+        One-shot and identity-keyed: the feed applies only when the next
+        pass's centroid argument is exactly ``y`` (the array ``shifts``
+        describes the transition to); anything stale is dropped and the
+        bounds self-compute the identical float64 vector from their
+        stored anchor.  Either route yields the same pruning decisions —
+        and pruning decisions can never move an output bit anyway."""
+        self._fed_shifts = (np.asarray(shifts, dtype=np.float64), y)
 
 
 def unchunked_assign(x: np.ndarray, y: np.ndarray, *, dtype,

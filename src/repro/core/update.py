@@ -52,14 +52,25 @@ class UpdateResult:
         Frobenius norm of the centroid movement this iteration.
     timings : list of (str, KernelTiming)
         Modelled kernel durations charged to the simulated clock.
+    shifts : ndarray of shape (K,) or None
+        Per-centroid float64 movement ``‖new_j - old_j‖`` — the
+        loosening feed of the engine's pruning bounds
+        (:meth:`repro.core.engine.FastPathEngine.feed_centroid_shifts`).
+        Computed with the same expression as
+        :meth:`repro.core.bounds.BoundsState._shifts_from`, so a fed
+        vector carries exactly the bits the bounds would self-compute.
+        Note ``shift`` is *not* derived from it: the scalar keeps its
+        historical float association.
     """
 
     def __init__(self, centroids: np.ndarray, counts: np.ndarray,
-                 shift: float, timings: list[tuple[str, KernelTiming]]):
+                 shift: float, timings: list[tuple[str, KernelTiming]],
+                 shifts: np.ndarray | None = None):
         self.centroids = centroids
         self.counts = counts
         self.shift = shift
         self.timings = timings
+        self.shifts = shifts
 
 
 class UpdateStage:
@@ -179,11 +190,12 @@ class UpdateStage:
             donors = order[: empty.size]
             centroids[empty] = x[donors].astype(self.dtype)
 
-        shift = float(np.linalg.norm(
-            centroids.astype(np.float64) - old_centroids.astype(np.float64)))
+        d64 = centroids.astype(np.float64) - old_centroids.astype(np.float64)
+        shift = float(np.linalg.norm(d64))
+        shifts = np.sqrt(np.sum(d64 * d64, axis=1))
         timings = self.estimate(x.shape[0], n_clusters, k)
         counters.kernels_launched += 2
-        return UpdateResult(centroids, counts, shift, timings)
+        return UpdateResult(centroids, counts, shift, timings, shifts=shifts)
 
     # ------------------------------------------------------------------
     def accumulate_protected(self, x: np.ndarray, labels: np.ndarray,

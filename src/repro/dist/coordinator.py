@@ -211,6 +211,11 @@ class Coordinator:
         ``spawn_hook(n_needed) -> int | None`` — budget/veto on booting
         replacement workers during re-expansion (promotion of
         already-booted spares never consults it).
+    event_hook : callable, optional
+        Structured fleet event log, forwarded to the
+        :class:`FleetManager` — called synchronously and in order for
+        every heartbeat / promote / shrink / expand action (see
+        :class:`repro.dist.fleet.FleetManager`).
     worker_cache : WorkerCacheStore, optional
         Shard-keyed store for the workers' engine operand caches; by
         default derived from a directory-backed checkpoint store (a
@@ -246,7 +251,7 @@ class Coordinator:
                  target_workers: int | None = None,
                  hot_spares: int | None = None,
                  heartbeat_interval: float | None = None,
-                 spawn_hook=None,
+                 spawn_hook=None, event_hook=None,
                  worker_cache: WorkerCacheStore | None = None):
         if cfg.mode != "fast":
             raise ValueError("sharded execution requires mode='fast'")
@@ -283,7 +288,7 @@ class Coordinator:
             heartbeat_interval=(cfg.heartbeat_interval
                                 if heartbeat_interval is None
                                 else heartbeat_interval),
-            spawn_hook=spawn_hook)
+            spawn_hook=spawn_hook, event_hook=event_hook)
         if worker_cache is None and self.store.directory is not None:
             worker_cache = WorkerCacheStore(
                 self.store.directory / "worker_cache")

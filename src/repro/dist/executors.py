@@ -375,6 +375,11 @@ class ThreadExecutor(BaseExecutor):
         for wid, w in getattr(self, "_workers", {}).items():
             if wid not in running:
                 w.close()
+            elif hasattr(w, "cancel"):
+                # cooperative stop: the abandoned pass raises out of its
+                # chunk loop within one chunk instead of burning CPU to
+                # the end of the shard
+                w.cancel()
         self._workers = {}
         self._inflight = {}
         self._zombies = set()
@@ -409,8 +414,13 @@ class ThreadExecutor(BaseExecutor):
                                         deadline - time.monotonic())):
                 # a thread cannot be killed: mark it stalled; teardown
                 # abandons it (thread + worker reclaimed when the stall
-                # runs dry) so recovery never waits the stall out
+                # runs dry) so recovery never waits the stall out.  The
+                # cancel token bounds how long "dry" takes: a pass still
+                # chunking stops at its next chunk boundary.
                 stalled.append(wid)
+                w = self._workers.get(wid)
+                if w is not None and hasattr(w, "cancel"):
+                    w.cancel()
                 continue
             if isinstance(task.exc, WorkerCrash):
                 crashed.append(wid)
@@ -450,6 +460,9 @@ class ThreadExecutor(BaseExecutor):
             if not task.done.wait(max(0.0, deadline - time.monotonic())):
                 stalled.append(wid)
                 self._zombies.add(wid)
+                w = self._workers.get(wid)
+                if w is not None and hasattr(w, "cancel"):
+                    w.cancel()
             elif task.exc is not None:
                 raise task.exc
         if stalled:

@@ -76,6 +76,16 @@ class FleetManager:
     spawn_hook : callable, optional
         ``spawn_hook(n_needed) -> int | None`` — budget on booting new
         workers (see module docstring).
+    event_hook : callable, optional
+        ``event_hook(event: dict) -> None`` — structured fleet event
+        log.  Called synchronously, in order, for every membership
+        action the manager takes: ``heartbeat`` sweeps (and
+        ``heartbeat_failed`` when a sweep detects a loss, emitted
+        before the typed failure propagates), ``promote`` / ``shrink``
+        recovery decisions and ``expand`` regrowth.  Each event is a
+        dict with an ``"event"`` key plus action-specific fields
+        (worker ids, iteration).  Exceptions from the hook propagate —
+        keep it cheap and non-throwing.
     """
 
     #: floor of the per-sweep ping timeout: pings are pure IPC, but a
@@ -85,7 +95,7 @@ class FleetManager:
     def __init__(self, target_workers: int | None = None,
                  hot_spares: int = 0,
                  heartbeat_interval: float | None = None,
-                 spawn_hook=None):
+                 spawn_hook=None, event_hook=None):
         if target_workers is not None and target_workers < 1:
             raise ValueError(
                 f"target_workers must be >= 1, got {target_workers}")
@@ -98,11 +108,17 @@ class FleetManager:
         self.hot_spares = int(hot_spares)
         self.heartbeat_interval = heartbeat_interval
         self.spawn_hook = spawn_hook
+        self.event_hook = event_hook
         self.executor = None
         self._last_beat = 0.0
         #: counters the coordinator folds into its fit result
         self.promotions = 0
         self.expands = 0
+
+    def _emit(self, event: str, **fields) -> None:
+        """Deliver one structured event to the hook (ordered, sync)."""
+        if self.event_hook is not None:
+            self.event_hook({"event": event, **fields})
 
     # ------------------------------------------------------------------
     @property
@@ -143,7 +159,15 @@ class FleetManager:
             return
         self._last_beat = now
         timeout = max(self.MIN_PING_TIMEOUT, self.heartbeat_interval)
-        self.executor.heartbeat(iteration, timeout)
+        try:
+            self.executor.heartbeat(iteration, timeout)
+        except Exception as exc:
+            # log before the typed failure reaches the coordinator's
+            # recovery path, so the event stream reads kill -> promote
+            self._emit("heartbeat_failed", iteration=int(iteration),
+                       failed_ids=sorted(getattr(exc, "failed_ids", ())))
+            raise
+        self._emit("heartbeat", iteration=int(iteration))
 
     # -- recovery ------------------------------------------------------
     def recover(self, plan: ShardPlan, make_factory, crash
@@ -173,11 +197,15 @@ class FleetManager:
             self.executor.replace_workers(factory, lost)
             self.promotions += len(lost)
             action = "promote"
+            self._emit("promote", lost=sorted(lost),
+                       survivors=sorted(survivors))
         else:
             plan = plan.replan(survivors)
             factory = make_factory(plan)
             self.executor.reconfigure(factory, plan.worker_ids)
             action = "shrink"
+            self._emit("shrink", lost=sorted(lost),
+                       survivors=sorted(survivors))
         if self.hot_spares:
             self.executor.prewarm_spares(self.hot_spares)
         return plan, factory, action
@@ -217,6 +245,8 @@ class FleetManager:
         factory = make_factory(new_plan)
         self.executor.reconfigure(factory, new_plan.worker_ids)
         self.expands += grow
+        self._emit("expand", grown=missing[:grow],
+                   members=list(new_plan.worker_ids))
         if self.hot_spares:
             self.executor.prewarm_spares(self.hot_spares)
         return new_plan, factory

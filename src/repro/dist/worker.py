@@ -23,6 +23,7 @@ stays bit-exact even under injection.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -119,6 +120,12 @@ class ShardWorker:
         self.acc.bind_weights(sample_weight)
         self.rounds_run = 0
         self._wedge_s = 0.0
+        # cooperative cancellation: the engine checks this token at
+        # every chunk boundary, so an abandoned in-process worker stops
+        # within one chunk of being cancelled instead of burning CPU
+        # through the rest of its pass
+        self._cancel = threading.Event()
+        self.kernel.engine.cancel_token = self._cancel
 
     # ------------------------------------------------------------------
     def _round_injector(self, iteration: int) -> None:
@@ -175,6 +182,17 @@ class ShardWorker:
         if self._wedge_s:
             time.sleep(self._wedge_s)
         return True
+
+    def cancel(self) -> None:
+        """Request a cooperative stop of any in-flight assignment pass.
+
+        Sets the engine's cancellation token: the chunk loop raises
+        :class:`repro.core.engine.EngineCancelled` at its next chunk
+        boundary, so an abandoned thread-backend worker stops within a
+        bounded number of chunks.  Idempotent; the worker must not be
+        reused for further rounds afterwards.
+        """
+        self._cancel.set()
 
     def close(self) -> None:
         """Release the engine's fit cache / scratch / threads."""

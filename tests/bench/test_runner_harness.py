@@ -56,9 +56,9 @@ class TestSmokeGate:
         runner.main(["--smoke", "--out", str(out), "--dist-out", "-",
                      "--m", "1024", "--iters", "1"])
         doc = json.loads(out.read_text())
-        assert doc["schema"] == "fastpath_walltime/v2"
+        assert doc["schema"] == "fastpath_walltime/v3"
         (record,) = doc["entries"]
-        assert record["schema"] == "fastpath_walltime/v2"
+        assert record["schema"] == "fastpath_walltime/v3"
         assert record["config"]["m"] == 1024
         # the per-stage split the streamed-update PR added
         stages = record["stages"]
@@ -77,6 +77,17 @@ class TestSmokeGate:
         assert record["engine"]["hoisted_transposed_operand"] is True
         assert record["unit_path_label_mismatch_frac"] == 0.0
         assert record["unit_path_bit_identical"] is True
+        # the bound-pruned assignment record of schema v3: the loop
+        # asserts bit-equality internally, so the record existing with
+        # rows pruned proves the exactness contract held end to end
+        pr = record["pruning"]
+        assert pr["bit_identical"] is True
+        assert pr["rows_pruned"] > 0
+        assert pr["bounds_rebuilds"] == 0
+        assert pr["final_active_frac"] < 1.0
+        assert len(pr["active_frac_per_iter"]) == pr["iters"]
+        assert len(pr["pruned_assign_per_iter_s"]) == pr["iters"]
+        assert pr["assign_speedup"] > 0
 
     def test_runner_smoke_appends_to_trajectory(self, tmp_path):
         out = tmp_path / "bench.json"
@@ -161,6 +172,74 @@ class TestRegressionGate:
             runner.main(["--smoke", "--out", str(out), "--dist-out", "-",
                          "--m", "1024", "--iters", "1"])
         assert "regression check" in capsys.readouterr().out
+
+
+class TestPruningGate:
+    """The pruned-assignment record is gated on two axes: its wall
+    against the best prior same-host, same-shape entry (with the usual
+    noise floor), and its final active fraction — the workload is
+    deterministic per shape, so a grown active set is a pruning-logic
+    regression regardless of the clock."""
+
+    @staticmethod
+    def _entry(wall, frac=0.0, m=1024, host="ci", iters=12):
+        return {"host": host,
+                "config": {"m": m, "n_features": 64, "n_clusters": 64,
+                           "iters": 1, "dtype": "float32",
+                           "workers": 1, "chunk_bytes": 20971520,
+                           "operand_cache": 1 << 30},
+                "pruning": {"iters": iters,
+                            "pruned_assign_wall_s": wall,
+                            "final_active_frac": frac}}
+
+    def test_fresh_slow_record_fails(self, tmp_path):
+        out = tmp_path / "bench.json"
+        fresh = self._entry(1.0)
+        out.write_text(json.dumps(
+            {"schema": "fastpath_walltime/v3",
+             "entries": [self._entry(0.3), fresh]}))
+        with pytest.raises(SystemExit, match="PRUNING REGRESSION"):
+            runner.check_pruning_regression(fresh, out, slack=1.5)
+
+    def test_grown_active_frac_fails_despite_fast_wall(self, tmp_path):
+        out = tmp_path / "bench.json"
+        fresh = self._entry(0.2, frac=0.8)
+        out.write_text(json.dumps(
+            {"schema": "fastpath_walltime/v3",
+             "entries": [self._entry(0.3, frac=0.0), fresh]}))
+        with pytest.raises(SystemExit, match="active_frac"):
+            runner.check_pruning_regression(fresh, out, slack=1.5)
+
+    def test_fresh_fast_record_passes(self, tmp_path):
+        out = tmp_path / "bench.json"
+        fresh = self._entry(0.25)
+        out.write_text(json.dumps(
+            {"schema": "fastpath_walltime/v3",
+             "entries": [self._entry(0.3), fresh]}))
+        assert "ok" in runner.check_pruning_regression(fresh, out,
+                                                       slack=1.5)
+
+    def test_noise_floor_spares_tiny_walls(self, tmp_path):
+        out = tmp_path / "bench.json"
+        fresh = self._entry(0.08)
+        out.write_text(json.dumps(
+            {"schema": "fastpath_walltime/v3",
+             "entries": [self._entry(0.01), fresh]}))
+        assert "ok" in runner.check_pruning_regression(fresh, out,
+                                                       slack=1.5)
+
+    def test_pre_v3_and_cross_shape_entries_skipped(self, tmp_path):
+        out = tmp_path / "bench.json"
+        fresh = self._entry(1.0)
+        legacy = self._entry(0.1)
+        del legacy["pruning"]              # pre-v3 entries lack the record
+        out.write_text(json.dumps(
+            {"schema": "fastpath_walltime/v3",
+             "entries": [self._entry(0.1, host="fastbox"),
+                         self._entry(0.1, m=999),
+                         self._entry(0.1, iters=4),
+                         legacy, fresh]}))
+        assert "skipped" in runner.check_pruning_regression(fresh, out)
 
 
 class TestDistSmokeGate:
