@@ -60,6 +60,7 @@ import numpy as np
 from repro.bench.fastpath import write_record
 from repro.core.api import FTKMeans
 from repro.dist.faults import WorkerFaultInjector
+from repro.obs.trace import TraceRecorder
 
 __all__ = ["run_dist_bench", "run_smoke", "DEFAULT_RESULT_PATH", "main"]
 
@@ -67,10 +68,15 @@ __all__ = ["run_dist_bench", "run_smoke", "DEFAULT_RESULT_PATH", "main"]
 #: BENCH_fastpath.json, resolved against the working directory)
 DEFAULT_RESULT_PATH = Path("BENCH_dist.json")
 
+#: v5 added the traced crash-recovery pass (``trace`` key): the
+#: recovery fit re-run under a :class:`~repro.obs.trace.TraceRecorder`
+#: so the coordinator-side stage breakdown (gather / merge / update /
+#: abft_check / checkpoint / recovery) lands in the record and
+#: ``docs/perf.md`` regenerates from the trajectory file alone.
 #: v2 added the ``elastic`` stall-then-shrink record; v3 the
 #: ``checkpoint`` sync-vs-async overhead record; v4 the ``selfheal``
 #: kill → spawn → re-expand record
-SCHEMA = "dist_scaling/v4"
+SCHEMA = "dist_scaling/v5"
 
 #: full grid (CI-feasible, a few minutes)
 FULL_SHAPE = dict(m_grid=(60_000, 120_000), n_features=64, n_clusters=64,
@@ -85,10 +91,10 @@ def _fit_once(x, y0, *, n_clusters, iters, workers, executor, seed,
               checkpoint_every=0, worker_faults=None, elastic=False,
               round_timeout=None, checkpoint_sync=False,
               checkpoint_dir=None, target_workers=None, hot_spares=0,
-              heartbeat_interval=None):
+              heartbeat_interval=None, tracer=None):
     """One timed sharded (or single-worker) fit; returns (model, wall)."""
     km = FTKMeans(n_clusters=n_clusters, variant="tensorop", mode="fast",
-                  n_workers=workers,
+                  n_workers=workers, tracer=tracer,
                   executor=executor if workers > 1 else "serial",
                   checkpoint_every=checkpoint_every if workers > 1 else 0,
                   max_iter=iters, tol=0.0, seed=seed, init_centroids=y0,
@@ -191,6 +197,31 @@ def run_dist_bench(m_grid=FULL_SHAPE["m_grid"],
         "recovered_bit_identical": bool(
             np.array_equal(crashed.cluster_centers_,
                            clean.cluster_centers_)),
+    }
+
+    # -- traced pass: the crash-recovery fit once more under the span
+    # recorder, run *separately* so the walls above stay comparable
+    # across PRs.  The coordinator-side stage breakdown (gather /
+    # merge / update / abft_check / checkpoint / recovery) lands in
+    # the record — docs/perf.md regenerates from it — and the result
+    # is asserted bit-identical against the untraced crash run:
+    # tracing must never move a bit, re-proved on every bench run.
+    recorder = TraceRecorder()
+    traced_fit, traced_wall = _fit_once(
+        x, y0, n_clusters=n_clusters, iters=iters, workers=rec_workers,
+        executor=executor, seed=seed, checkpoint_every=checkpoint_every,
+        worker_faults=WorkerFaultInjector.crash_at(0, crash_it),
+        tracer=recorder)
+    assert np.array_equal(traced_fit.cluster_centers_,
+                          crashed.cluster_centers_)
+    trace_summary = {
+        "workers": rec_workers,
+        "m": x.shape[0],
+        "wall_s": traced_wall,
+        "spans": len(recorder),
+        "dropped": recorder.dropped,
+        "bit_identical_vs_untraced": True,  # asserted above
+        "stage_totals": recorder.stage_totals(),
     }
 
     # -- elastic shrink: stall one worker past the round deadline -----
@@ -354,6 +385,7 @@ def run_dist_bench(m_grid=FULL_SHAPE["m_grid"],
         "elastic": elastic,
         "checkpoint": checkpoint,
         "selfheal": selfheal,
+        "trace": trace_summary,
     }
 
 
@@ -407,6 +439,15 @@ def _summarise(record: dict) -> str:
         f"{sh['recovered_round_overhead_s']:.3f} s/recovered round, "
         f"back to {sh['workers_after']}/{sh['target_workers']} workers, "
         f"bit-identical {sh['recovered_bit_identical']}")
+    trc = record.get("trace")
+    if trc:
+        top = sorted(trc["stage_totals"].items(),
+                     key=lambda kv: kv[1]["wall_s"], reverse=True)[:4]
+        lines.append(
+            f"  traced re-run  : {trc['wall_s']:.3f} s, {trc['spans']} spans"
+            f" (bit-identical {trc['bit_identical_vs_untraced']}): "
+            + ", ".join(f"{name} {tot['wall_s']:.3f} s"
+                        for name, tot in top))
     return "\n".join(lines)
 
 

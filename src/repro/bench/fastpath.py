@@ -45,6 +45,7 @@ from repro.core.engine import FastPathEngine, unchunked_assign
 from repro.core.tensorop import default_tensorop_tile
 from repro.gpusim.counters import PerfCounters
 from repro.gpusim.device import get_device
+from repro.obs.trace import TraceRecorder, active_tracer
 
 __all__ = ["run_fastpath_bench", "run_smoke", "write_record",
            "DEFAULT_RESULT_PATH", "SCHEMA", "main"]
@@ -53,12 +54,15 @@ __all__ = ["run_fastpath_bench", "run_smoke", "write_record",
 #: repository root when run from a checkout; installs pass --out)
 DEFAULT_RESULT_PATH = Path("BENCH_fastpath.json")
 
-#: v3 added the bound-pruned assignment comparison (``pruning`` key):
-#: a converging blob workload driven through a pruned and an unpruned
-#: engine in lockstep, label/best bit-equality asserted per iteration
-#: (v2 added the fault-free fast lane: ``engine.batched_chunks``, the
-#: operand-cache configuration and the per-unit-path bit-identity check)
-SCHEMA = "fastpath_walltime/v3"
+#: v4 added the traced pass (``trace`` key): the same fused fit run
+#: once more under a :class:`~repro.obs.trace.TraceRecorder`, with the
+#: per-stage wall breakdown (gemm / assign_chunk / update_feed /
+#: bounds_refresh) stored in the record so ``docs/perf.md`` can be
+#: regenerated from the trajectory file alone.  v3 added the
+#: bound-pruned assignment comparison (``pruning`` key); v2 the
+#: fault-free fast lane (``engine.batched_chunks``, operand-cache
+#: config, per-unit-path bit-identity check)
+SCHEMA = "fastpath_walltime/v4"
 
 #: shape of the acceptance benchmark (paper-scale-ish, CI-feasible)
 FULL_SHAPE = dict(m=200_000, n_features=64, n_clusters=64, iters=8)
@@ -126,25 +130,32 @@ def _lloyd_split(x, y0, n_clusters, iters, assign_fn):
     }
 
 
-def _lloyd_fused(x, y0, n_clusters, iters, engine):
+def _lloyd_fused(x, y0, n_clusters, iters, engine, tracer=None):
     """The production path: fused assign+accumulate per chunk, then the
-    O(K·N) divide tail."""
+    O(K·N) divide tail.  With a ``tracer`` the loop emits the same
+    ``fit -> iteration`` outer spans the API path does, so bench traces
+    share the engine taxonomy."""
+    tr = active_tracer(tracer)
     acc = StreamedAccumulator(n_clusters, x.shape[1])
     y = y0.copy()
     fused_s, tail_s = [], []
     labels = first_labels = first_best = None
     t_all = time.perf_counter()
-    for it in range(iters):
-        acc.reset()
-        t0 = time.perf_counter()
-        labels, best = engine.assign(x, y, PerfCounters(), accumulator=acc)
-        fused_s.append(time.perf_counter() - t0)
-        if it == 0:
-            first_labels = labels.copy()
-            first_best = best.copy()
-        t0 = time.perf_counter()
-        y = _divide(acc.packed(), x.dtype)
-        tail_s.append(time.perf_counter() - t0)
+    with tr.span("fit", m=int(x.shape[0]), n_features=int(x.shape[1]),
+                 n_clusters=int(n_clusters)):
+        for it in range(iters):
+            with tr.span("iteration", iteration=int(it)):
+                acc.reset()
+                t0 = time.perf_counter()
+                labels, best = engine.assign(x, y, PerfCounters(),
+                                             accumulator=acc)
+                fused_s.append(time.perf_counter() - t0)
+                if it == 0:
+                    first_labels = labels.copy()
+                    first_best = best.copy()
+                t0 = time.perf_counter()
+                y = _divide(acc.packed(), x.dtype)
+                tail_s.append(time.perf_counter() - t0)
     total = time.perf_counter() - t_all
     return {
         "wall_s": total,
@@ -319,6 +330,32 @@ def run_fastpath_bench(m: int = FULL_SHAPE["m"],
                              chunk_bytes=chunk_bytes, workers=workers,
                              operand_cache=operand_cache, seed=seed)
 
+    # -- traced pass: the same fused fit once more under the span
+    # recorder, run *separately* so the headline engine wall above
+    # stays comparable across PRs.  The per-stage breakdown lands in
+    # the record (docs/perf.md is regenerated from it) and the
+    # trajectory is asserted bit-identical — tracing must never move
+    # a bit, re-proved on every bench run.
+    recorder = TraceRecorder()
+    traced_engine = FastPathEngine(dev, dt, tile=tile, tf32=tf32,
+                                   chunk_bytes=chunk_bytes, workers=workers,
+                                   operand_cache=operand_cache,
+                                   tracer=recorder)
+    try:
+        traced_engine.begin_fit(x, n_clusters)
+        traced = _lloyd_fused(x, y0, n_clusters, iters, traced_engine,
+                              tracer=recorder)
+    finally:
+        traced_engine.end_fit()
+    assert np.array_equal(traced["labels"], fused["labels"])
+    trace_summary = {
+        "wall_s": traced["wall_s"],
+        "spans": len(recorder),
+        "dropped": recorder.dropped,
+        "bit_identical_vs_untraced": True,  # asserted above
+        "stage_totals": recorder.stage_totals(),
+    }
+
     record = {
         "bench": "fastpath_walltime",
         "schema": SCHEMA,
@@ -350,6 +387,8 @@ def run_fastpath_bench(m: int = FULL_SHAPE["m"],
         # bound-pruned vs unpruned assignment on the converging blob
         # workload (bit-equality asserted inside the loop)
         "pruning": pruning,
+        # per-stage wall breakdown of the traced re-run (span recorder)
+        "trace": trace_summary,
         "stages": {
             "assign_per_iter_s": split["assign_per_iter_s"],
             "update_streamed_per_iter_s": split["update_streamed_per_iter_s"],
@@ -407,8 +446,11 @@ def write_record(record: dict, path: Path | str = DEFAULT_RESULT_PATH, *,
                  schema: str = SCHEMA) -> Path:
     """Append one record to a perf-trajectory file.
 
-    Shared by every wall-clock bench (``schema`` names the trajectory
-    kind when the file is created fresh; existing files keep theirs).
+    Shared by every wall-clock bench.  The top-level ``schema`` key
+    always names the **newest** entry version present (per-entry
+    ``schema`` keys preserve each record's own version) — appends used
+    to keep the creation-time key forever, which is the drift
+    :mod:`repro.bench.analysis` migrates away on load.
     """
     path = Path(path)
     doc = {"schema": schema, "entries": []}
@@ -427,6 +469,11 @@ def write_record(record: dict, path: Path | str = DEFAULT_RESULT_PATH, *,
             print(f"warning: {path.name} was unreadable; moved to "
                   f"{backup.name}")
     doc.setdefault("entries", []).append(record)
+    # bump the top-level key to the newest version ever appended (never
+    # downgrade it when an older-schema record is replayed in)
+    from repro.bench.analysis import schema_version
+    if schema_version(schema) >= schema_version(doc.get("schema")):
+        doc["schema"] = schema
     path.write_text(json.dumps(doc, indent=2) + "\n")
     return path
 
@@ -462,6 +509,15 @@ def _summarise(record: dict) -> str:
         f"active_frac {pr['active_frac_per_iter'][0]:.2f} -> "
         f"{pr['final_active_frac']:.2f}, "
         f"{pr['rows_pruned']} rows pruned")
+    trc = record.get("trace")
+    if trc:
+        top = sorted(trc["stage_totals"].items(),
+                     key=lambda kv: kv[1]["wall_s"], reverse=True)[:4]
+        lines.append(
+            f"  traced re-run  : {trc['wall_s']:.3f} s, {trc['spans']} spans"
+            f" (bit-identical {trc['bit_identical_vs_untraced']}): "
+            + ", ".join(f"{name} {tot['wall_s']:.3f} s"
+                        for name, tot in top))
     if "unchunked" in record:
         lines.append(f"  unchunked      : {record['unchunked']['wall_s']:.3f} s")
         lines.append(

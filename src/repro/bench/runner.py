@@ -23,6 +23,16 @@ problem shape in the trajectory file, and the run fails loudly
 more than the slack factor — wall-clock noise across hosts is expected,
 a genuine hot-loop regression is not.  ``--regression-slack`` tunes the
 factor; ``--no-regression-check`` disables the gate.
+
+On top of the best-entry gates, the smoke run **trend-gates** each
+fresh record against the *whole* same-host, same-shape trajectory via
+:mod:`repro.bench.analysis` changepoint detection — a slowdown that
+creeps in over several runs moves the recent segment mean even when
+every individual run clears the best-prior slack.  It also maintains
+``docs/perf.md``: before running it fails if the committed report does
+not match the committed trajectory files (stale report), and after
+appending the fresh records it regenerates the report in place.
+``--report`` moves the report ('-' skips both steps).
 """
 
 from __future__ import annotations
@@ -33,12 +43,12 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.bench import figures
+from repro.bench import analysis, figures
 from repro.bench.tables import print_figure
 
 __all__ = ["all_figures", "check_fastpath_regression",
            "check_pruning_regression", "check_selfheal_regression",
-           "main"]
+           "check_stale_report", "main"]
 
 #: fresh engine wall may exceed the best prior same-shape entry by at
 #: most this factor before the smoke gate fails (hosts differ; real
@@ -48,14 +58,13 @@ REGRESSION_SLACK = 1.5
 #: config keys that must match for two records to be comparable —
 #: the problem shape AND the perf-relevant engine configuration (a
 #: deliberately slower config, e.g. --operand-cache off, must never be
-#: judged against the fast-lane best)
-_SHAPE_KEYS = ("m", "n_features", "n_clusters", "iters", "dtype",
-               "workers", "chunk_bytes", "operand_cache")
+#: judged against the fast-lane best).  Shared with the trend gates in
+#: :mod:`repro.bench.analysis` so both gates slice the same series.
+_SHAPE_KEYS = analysis.FASTPATH_SHAPE_KEYS
 
 #: config keys of the dist smoke record that must match for two
 #: ``selfheal`` entries to be comparable
-_DIST_SHAPE_KEYS = ("m_grid", "n_features", "n_clusters", "iters",
-                    "dtype", "checkpoint_every")
+_DIST_SHAPE_KEYS = analysis.DIST_SHAPE_KEYS
 
 
 def check_fastpath_regression(record: dict, path, *,
@@ -185,6 +194,32 @@ def check_selfheal_regression(record: dict, path, *,
             f"vs best prior {best:.3f} s")
 
 
+def check_stale_report(report_path, fastpath_path, dist_path) -> str:
+    """Fail when ``docs/perf.md`` lags the committed trajectory files.
+
+    The report is a pure function of the two ``BENCH_*.json`` files
+    (see :func:`repro.bench.analysis.render_perf_report`), so editing a
+    trajectory — or the report — without regenerating is a plain
+    string diff.  Raises :class:`SystemExit` on a mismatch; missing
+    trajectory files skip the check (fresh checkouts with '-' outs).
+    """
+    fastpath_path, dist_path = Path(fastpath_path), Path(dist_path)
+    if not fastpath_path.exists() and not dist_path.exists():
+        return "stale-report check skipped: no trajectory files"
+    if not Path(report_path).exists():
+        raise SystemExit(
+            f"STALE PERF REPORT: {report_path} does not exist but the "
+            f"trajectory files do — run `python -m repro.bench.runner "
+            f"--smoke` and commit the regenerated report")
+    if analysis.report_is_stale(report_path, fastpath_path, dist_path):
+        raise SystemExit(
+            f"STALE PERF REPORT: {report_path} does not match the "
+            f"committed trajectory files — run `python -m "
+            f"repro.bench.runner --smoke` and commit the regenerated "
+            f"report")
+    return f"stale-report check ok: {report_path} matches the trajectories"
+
+
 def all_figures() -> list:
     """Compute every FigureResult in paper order."""
     return [
@@ -226,28 +261,41 @@ def main(argv=None) -> None:
                              "prior same-shape engine wall")
     parser.add_argument("--no-regression-check", action="store_true",
                         help="with --smoke: skip the perf regression gate")
+    parser.add_argument("--report", default=str(analysis.DEFAULT_REPORT_PATH),
+                        help="with --smoke: generated perf report path "
+                             "('-' skips the stale check and regeneration)")
     args, extra = parser.parse_known_args(argv)
     if args.smoke:
         from repro.bench import dist as dist_bench
         from repro.bench import fastpath
 
+        out = args.out or str(fastpath.DEFAULT_RESULT_PATH)
+        dist_out = args.dist_out or str(dist_bench.DEFAULT_RESULT_PATH)
+        # gate FIRST: a stale committed report must fail before the
+        # fresh records legitimately change the trajectory files
+        if args.report != "-" and not args.no_regression_check:
+            print("  " + check_stale_report(args.report, out, dist_out))
         record = fastpath.main(["--smoke"]
                                + (["--out", args.out] if args.out else [])
                                + extra)
-        out = args.out or str(fastpath.DEFAULT_RESULT_PATH)
         if out != "-" and not args.no_regression_check:
             print("  " + check_fastpath_regression(
                 record, out, slack=args.regression_slack))
             print("  " + check_pruning_regression(
                 record, out, slack=args.regression_slack))
+            print("  " + analysis.check_fastpath_trend(record, out))
         if args.dist_out != "-":
             dist_record = dist_bench.main(
                 ["--smoke"]
                 + (["--out", args.dist_out] if args.dist_out else []))
-            dist_out = args.dist_out or str(dist_bench.DEFAULT_RESULT_PATH)
             if dist_out != "-" and not args.no_regression_check:
                 print("  " + check_selfheal_regression(
                     dist_record, dist_out, slack=args.regression_slack))
+                print("  " + analysis.check_dist_trend(
+                    dist_record, dist_out))
+        if args.report != "-":
+            path = analysis.write_perf_report(args.report, out, dist_out)
+            print(f"  perf report -> {path}")
         return
     if extra:
         parser.error(f"unrecognised arguments: {' '.join(extra)}")

@@ -129,6 +129,12 @@ class StreamedAccumulator:
                              STAGING_BYTES // (8 * self.n_features))
         self.samples_seen = 0
         self.feeds = 0
+        #: lifetime tallies (never zeroed by reset): what the metrics
+        #: registry exports as ``accumulate.*`` — per-iteration
+        #: ``feeds``/``samples_seen`` restart at 0 every reset and
+        #: cannot describe a whole fit
+        self.total_feeds = 0
+        self.total_rows_fed = 0
         self._record_alloc("accumulator_sums", self._sums_t.nbytes
                            + self._counts.nbytes)
 
@@ -248,6 +254,8 @@ class StreamedAccumulator:
         else:
             self._feed_one(x_chunk, labels_chunk)
         self.feeds += 1
+        self.total_feeds += 1
+        self.total_rows_fed += rows
 
     def _feed_one(self, x_chunk: np.ndarray, labels_chunk: np.ndarray) -> None:
         rows = x_chunk.shape[0]
@@ -309,6 +317,16 @@ class StreamedAccumulator:
         self.samples_seen += rows
 
     # ------------------------------------------------------------------
+    def metrics(self) -> dict:
+        """Lifetime observability tallies (for the metrics registry).
+
+        ``total_feeds`` / ``total_rows_fed`` accumulate across resets —
+        one fit's whole feed history — unlike the per-iteration
+        ``feeds`` / ``samples_seen`` the bit-exactness machinery uses.
+        """
+        return {"total_feeds": self.total_feeds,
+                "total_rows_fed": self.total_rows_fed}
+
     def packed(self) -> np.ndarray:
         """Sums and counts in the seed update stage's ``(K, N+1)`` layout."""
         out = np.empty((self.n_clusters, self.n_features + 1),

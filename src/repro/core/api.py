@@ -58,6 +58,7 @@ from repro.core.variants import build_assignment
 from repro.gemm.shapes import distance_flops
 from repro.gpusim.clock import SimClock
 from repro.gpusim.counters import PerfCounters
+from repro.obs.trace import active_tracer
 
 __all__ = ["FTKMeans"]
 
@@ -103,9 +104,22 @@ class FTKMeans:
     ``spawn_hook`` (constructor-only, like ``worker_faults``) is the
     fleet manager's budget callback for booting replacement workers
     during re-expansion: ``spawn_hook(n_needed) -> int | None``;
-    ``event_hook`` (also constructor-only) receives the fleet's ordered
-    structured membership events (heartbeat / promote / shrink /
-    expand dicts — see :class:`repro.dist.fleet.FleetManager`).
+    ``event_hook`` (also constructor-only, deprecated in favour of
+    ``event_bus``) receives the fleet's ordered structured membership
+    events as dicts through the backwards-compatible shim (heartbeat /
+    promote / shrink / expand — see
+    :class:`repro.dist.fleet.FleetManager`).
+
+    ``tracer`` (constructor-only) attaches a
+    :class:`repro.obs.trace.TraceRecorder` recording the fit's stage
+    spans — ``fit -> iteration -> {assign_chunk, gemm, update_feed,
+    bounds_refresh}`` on the single-worker path, the coordinator
+    taxonomy on sharded fits.  Off by default; tracing reads clocks
+    only, so traced fits are bit-identical to untraced ones.
+    ``event_bus`` (constructor-only) supplies a
+    :class:`repro.obs.events.EventBus` for the sharded fit's
+    fleet / coordinator / checkpoint events.  Both stay off the
+    picklable worker-shipped config, like ``worker_faults``.
     """
 
     def __init__(self, n_clusters: int = 8, *, variant: str = "tensorop",
@@ -125,7 +139,8 @@ class FTKMeans:
                  init: str = "k-means++", max_iter: int = 50,
                  tol: float = 1e-4, seed: int | None = None,
                  init_centroids=None, worker_faults=None,
-                 checkpoint_dir=None, spawn_hook=None, event_hook=None):
+                 checkpoint_dir=None, spawn_hook=None, event_hook=None,
+                 tracer=None, event_bus=None):
         self.config = KMeansConfig(
             n_clusters=n_clusters, variant=variant, dtype=np.dtype(dtype),
             device=device, mode=mode, tile=tile, abft=abft,
@@ -149,6 +164,19 @@ class FTKMeans:
         # worker_faults: hooks are caller-side callables
         self._spawn_hook = spawn_hook
         self._event_hook = event_hook
+        self._tracer = tracer
+        self._event_bus = event_bus
+
+    # ------------------------------------------------------------------
+    def _attach_tracer(self, assigner) -> None:
+        """Hand the estimator's tracer to the assigner's engine (fast
+        mode; functional variants have no engine and record no engine
+        spans)."""
+        if self._tracer is None:
+            return
+        engine = getattr(assigner, "engine", None)
+        if engine is not None:
+            engine.tracer = self._tracer
 
     # ------------------------------------------------------------------
     def fit(self, x, sample_weight=None) -> "FTKMeans":
@@ -199,6 +227,7 @@ class FTKMeans:
 
         update_mode = cfg.resolved_update_mode()
         assigner = build_assignment(cfg, m, k, rng)
+        self._attach_tracer(assigner)
         updater = UpdateStage(cfg.device, cfg.dtype, dmr=cfg.dmr_update,
                               update_mode=update_mode)
         # fused accumulation: the engine feeds the update sums inside its
@@ -213,6 +242,13 @@ class FTKMeans:
         labels = np.zeros(m, dtype=np.int64)
 
         n_iter = 0
+        # the fit -> iteration spans of the single-worker taxonomy; the
+        # engine's assign_chunk/gemm/update_feed/bounds_refresh spans
+        # nest under each iteration via the tracer attached above
+        tr = active_tracer(self._tracer)
+        fit_span = tr.span("fit", m=int(m), n_features=int(k),
+                           n_clusters=int(cfg.n_clusters))
+        fit_span.__enter__()
         try:
             # hoist fit-invariants (sample norms, output buffers, chunk
             # and injector block plans) once; every iteration reuses them
@@ -227,38 +263,42 @@ class FTKMeans:
                 if xt is not None:
                     updater.bind_source_t(x, xt)
             for n_iter in range(1, cfg.max_iter + 1):
-                if acc is not None:
-                    acc.reset()
-                res: AssignmentResult = assigner.assign(x, y,
-                                                        accumulator=acc)
-                labels = res.labels
-                counters.merge(res.counters)
-                for label, t in res.timings:
-                    clock.charge(label, t)
+                with tr.span("iteration", iteration=int(n_iter)):
+                    if acc is not None:
+                        acc.reset()
+                    res: AssignmentResult = assigner.assign(x, y,
+                                                            accumulator=acc)
+                    labels = res.labels
+                    counters.merge(res.counters)
+                    for label, t in res.timings:
+                        clock.charge(label, t)
 
-                upd = updater.update(
-                    x, labels, res.min_sqdist, y, counters,
-                    fused_sums=acc.packed() if acc is not None else None,
-                    sample_weight=w)
-                for label, t in upd.timings:
-                    clock.charge(label, t)
-                y = upd.centroids
-                # hand the per-centroid movement to the pruning bounds;
-                # identity-keyed to this y, so it applies exactly to the
-                # next iteration's assignment pass (bits unchanged — the
-                # bounds would self-compute the same vector)
-                assigner.feed_centroid_shifts(upd.shifts, y)
+                    upd = updater.update(
+                        x, labels, res.min_sqdist, y, counters,
+                        fused_sums=(acc.packed() if acc is not None
+                                    else None),
+                        sample_weight=w)
+                    for label, t in upd.timings:
+                        clock.charge(label, t)
+                    y = upd.centroids
+                    # hand the per-centroid movement to the pruning
+                    # bounds; identity-keyed to this y, so it applies
+                    # exactly to the next iteration's assignment pass
+                    # (bits unchanged — the bounds would self-compute
+                    # the same vector)
+                    assigner.feed_centroid_shifts(upd.shifts, y)
 
-                best64 = res.min_sqdist.astype(np.float64)
-                inertia = float(np.sum(best64 * w) if w is not None
-                                else np.sum(best64))
-                if monitor.update(inertia, upd.shift):
-                    break
+                    best64 = res.min_sqdist.astype(np.float64)
+                    inertia = float(np.sum(best64 * w) if w is not None
+                                    else np.sum(best64))
+                    if monitor.update(inertia, upd.shift):
+                        break
         finally:
             # even on interrupt/error: a (partially) fitted model must
             # not pin the training array, scratch or worker threads,
             # and predict/score must recompute norms fresh
             assigner.end_fit()
+            fit_span.__exit__(None, None, None)
         self.cluster_centers_ = y
         self.cluster_counts_ = upd.counts.copy()
         # the fast path hands out the engine's reusable buffer; detach it
@@ -302,7 +342,9 @@ class FTKMeans:
                 sync=True if cfg.checkpoint_sync else None),
             worker_faults=self._worker_faults,
             spawn_hook=self._spawn_hook,
-            event_hook=self._event_hook)
+            event_hook=self._event_hook,
+            event_bus=self._event_bus,
+            tracer=self._tracer)
         res = coord.fit(x, y0, sample_weight=w)
 
         self.cluster_centers_ = res.centroids
@@ -458,6 +500,7 @@ class FTKMeans:
             "rng": rng,
             "fault_trace": [],
         }
+        self._attach_tracer(self._online_state["assigner"])
         self._assigner = self._online_state["assigner"]
         self.n_batches_seen_ = 0
         self.converged_ = False

@@ -95,6 +95,7 @@ from repro.gemm.tiling import TileConfig
 from repro.gpusim.counters import PerfCounters
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.mma import round_tf32
+from repro.obs.trace import NULL_TRACER, active_tracer
 from repro.utils.arrays import ceil_div
 from repro.utils.bits import flip_bit
 
@@ -335,7 +336,8 @@ class FastPathEngine:
                  injector=None, scheme: AbftScheme = NONE,
                  safety: float = 4.0, chunk_bytes: int | None = None,
                  workers: int = 1, operand_cache="auto",
-                 batch_chunks: bool = True, prune="auto", alloc_hook=None):
+                 batch_chunks: bool = True, prune="auto", alloc_hook=None,
+                 tracer=None):
         self.device = device
         self.dtype = np.dtype(dtype)
         self.tile = tile
@@ -362,6 +364,11 @@ class FastPathEngine:
         self.cancel_token = None
         self._fed_shifts: tuple | None = None
         self.alloc_hook = alloc_hook
+        # span recorder for the assign-stage taxonomy (assign_chunk /
+        # gemm / update_feed / bounds_refresh); resolved per pass via
+        # active_tracer, so None (default) or a disabled recorder costs
+        # nothing and is never called into
+        self.tracer = tracer
         self.stats = EngineStats()
         self._cache: FitCache | None = None
         self._pool: list[np.ndarray] = []
@@ -724,6 +731,10 @@ class FastPathEngine:
         if cache.chunks is None or cache.n_clusters != n:
             self._resolve_geometry(cache, n, k)
         self.stats.assigns += 1
+        # resolved once per pass: the real recorder when tracing is on,
+        # the shared no-op otherwise (a disabled recorder is never
+        # called into — the neutrality tests booby-trap one to prove it)
+        tr = active_tracer(self.tracer)
 
         # per-launch (centroids change every iteration; samples do not)
         yr_t = (round_tf32(y) if self.tf32 else y).T
@@ -762,8 +773,9 @@ class FastPathEngine:
             # centroid array it described; anything stale self-recomputes
             shifts = (fed[0] if fed is not None and fed[1] is y_in else None)
             heals = bounds.rebuilds
-            active = bounds.begin_round(y, cache.labels, cache.best,
-                                        shifts=shifts)
+            with tr.span("bounds_refresh", phase="begin_round"):
+                active = bounds.begin_round(y, cache.labels, cache.best,
+                                            shifts=shifts)
             self.stats.bounds_rebuilds += bounds.rebuilds - heals
 
         computed = m
@@ -773,16 +785,19 @@ class FastPathEngine:
             try:
                 for lo, hi in chunks:
                     self._check_cancelled()
-                    calls, batched, rows_run = self._run_chunk(
-                        lo, hi, x, yr_t, yy, cache, plans, policy,
-                        counters, scratch, active, bounds)
+                    with tr.span("assign_chunk", lo=int(lo), hi=int(hi)):
+                        calls, batched, rows_run = self._run_chunk(
+                            lo, hi, x, yr_t, yy, cache, plans, policy,
+                            counters, scratch, active, bounds, tr=tr)
                     computed += rows_run
                     self.stats.gemm_calls += calls
                     self.stats.batched_chunks += batched
                     if accumulator is not None:
                         # fused update accumulation: the chunk's rows are
                         # still cache-hot from the GEMM/argmin above
-                        accumulator.feed(x[lo:hi], cache.labels[lo:hi])
+                        with tr.span("update_feed", lo=int(lo),
+                                     hi=int(hi)):
+                            accumulator.feed(x[lo:hi], cache.labels[lo:hi])
                         self.stats.update_chunks_fed += 1
             finally:
                 self._put_scratch(scratch)
@@ -790,9 +805,11 @@ class FastPathEngine:
             computed = self._run_threaded(chunks, x, yr_t, yy, cache, plans,
                                           policy, counters, n, cache.workers,
                                           accumulator=accumulator,
-                                          active=active, bounds=bounds)
+                                          active=active, bounds=bounds,
+                                          tr=tr)
         if bounds is not None:
-            bounds.end_round(y, cache.labels, cache.best)
+            with tr.span("bounds_refresh", phase="end_round"):
+                bounds.end_round(y, cache.labels, cache.best)
         self.stats.last_active_frac = computed / m
         if computed < m:
             self.stats.rows_pruned += m - computed
@@ -807,7 +824,7 @@ class FastPathEngine:
 
     def _run_threaded(self, chunks, x, yr_t, yy, cache, plans, policy,
                       counters, n, workers, *, accumulator=None,
-                      active=None, bounds=None) -> int:
+                      active=None, bounds=None, tr=NULL_TRACER) -> int:
         """Dispatch independent chunks across worker threads.
 
         Each thread owns a pooled scratch buffer and a private counter
@@ -836,9 +853,10 @@ class FastPathEngine:
                     held.append(scr)
             local_counters = PerfCounters()
             lo, hi = chunks[idx]
-            gemms[idx] = self._run_chunk(lo, hi, x, yr_t, yy, cache, plans,
-                                         policy, local_counters, scr,
-                                         active, bounds)
+            with tr.span("assign_chunk", lo=int(lo), hi=int(hi)):
+                gemms[idx] = self._run_chunk(lo, hi, x, yr_t, yy, cache,
+                                             plans, policy, local_counters,
+                                             scr, active, bounds, tr=tr)
             partials[idx] = local_counters
             if accumulator is not None:
                 with commit_lock:
@@ -846,7 +864,10 @@ class FastPathEngine:
                     while (commit["next"] < len(chunks)
                            and done[commit["next"]]):
                         clo, chi = chunks[commit["next"]]
-                        accumulator.feed(x[clo:chi], cache.labels[clo:chi])
+                        with tr.span("update_feed", lo=int(clo),
+                                     hi=int(chi)):
+                            accumulator.feed(x[clo:chi],
+                                             cache.labels[clo:chi])
                         self.stats.update_chunks_fed += 1
                         commit["next"] += 1
 
@@ -888,7 +909,7 @@ class FastPathEngine:
     def _run_chunk(self, lo: int, hi: int, x, yr_t, yy, cache: FitCache,
                    plans: dict, policy, counters: PerfCounters,
                    scratch: np.ndarray, active=None,
-                   bounds=None) -> tuple[int, bool, int]:
+                   bounds=None, tr=NULL_TRACER) -> tuple[int, bool, int]:
         """One chunk's GEMM + fault replay + epilogue.
 
         Returns ``(inner_gemm_calls, batched, rows_computed)`` for the
@@ -906,7 +927,7 @@ class FastPathEngine:
         chunk_plans = self._chunk_plans(lo, hi, cache, plans)
         if active is not None and not chunk_plans:
             res = self._run_chunk_pruned(lo, hi, x, yr_t, yy, cache,
-                                         scratch, active, bounds)
+                                         scratch, active, bounds, tr=tr)
             if res is not None:
                 return res
             # None: every unit holds an active row — fall through to the
@@ -921,25 +942,26 @@ class FastPathEngine:
         rounded = not self.tf32 or cache.x_rounded is not None
         batched = (self.batch_chunks and not chunk_plans and rounded
                    and xsrc.flags.c_contiguous)
-        if batched:
-            k = xsrc.shape[1]
-            q, rem = divmod(rows, unit)
-            calls = q + (1 if rem else 0)
-            if q:
-                np.matmul(xsrc[lo:lo + q * unit].reshape(q, unit, k), yr_t,
-                          out=acc[:q * unit].reshape(q, unit, -1))
-            if rem:
-                np.matmul(xsrc[lo + q * unit:hi], yr_t,
-                          out=acc[q * unit:rows])
-        else:
-            calls = 0
-            for u0 in range(lo, hi, unit):
-                u1 = min(u0 + unit, hi)
-                xa = xsrc[u0:u1]
-                if not rounded:
-                    xa = round_tf32(xa)
-                np.matmul(xa, yr_t, out=acc[u0 - lo:u1 - lo])
-                calls += 1
+        with tr.span("gemm", lo=int(lo), hi=int(hi), batched=batched):
+            if batched:
+                k = xsrc.shape[1]
+                q, rem = divmod(rows, unit)
+                calls = q + (1 if rem else 0)
+                if q:
+                    np.matmul(xsrc[lo:lo + q * unit].reshape(q, unit, k),
+                              yr_t, out=acc[:q * unit].reshape(q, unit, -1))
+                if rem:
+                    np.matmul(xsrc[lo + q * unit:hi], yr_t,
+                              out=acc[q * unit:rows])
+            else:
+                calls = 0
+                for u0 in range(lo, hi, unit):
+                    u1 = min(u0 + unit, hi)
+                    xa = xsrc[u0:u1]
+                    if not rounded:
+                        xa = round_tf32(xa)
+                    np.matmul(xa, yr_t, out=acc[u0 - lo:u1 - lo])
+                    calls += 1
         bmap = cache.block_map
         for bm, bn, plan in chunk_plans:
             self._replay_fault(acc, lo, bm, bn, plan, bmap, policy,
@@ -966,12 +988,14 @@ class FastPathEngine:
                 # semantics, but not safe as pruning history
                 bounds.invalidate_rows(slice(lo, hi))
             else:
-                bounds.refresh(slice(lo, hi), acc, labels=lbl)
+                with tr.span("bounds_refresh", lo=int(lo), hi=int(hi)):
+                    bounds.refresh(slice(lo, hi), acc, labels=lbl)
         return calls, batched, rows
 
     def _run_chunk_pruned(self, lo: int, hi: int, x, yr_t, yy,
                           cache: FitCache, scratch: np.ndarray, active,
-                          bounds) -> tuple[int, bool, int] | None:
+                          bounds, tr=NULL_TRACER
+                          ) -> tuple[int, bool, int] | None:
         """Fault-free chunk under a bounds mask: compute only the GEMM
         units containing active rows (compacted gather -> stacked unit
         GEMM -> scatter back); pruned rows keep their cached
@@ -1006,29 +1030,34 @@ class FastPathEngine:
         k = xsrc.shape[1]
         if na:
             flat = scratch[:na * unit]
-            if batched:
-                # fancy-index gather of the active units: a contiguous
-                # (na, unit, K) copy, so the stacked matmul issues the
-                # identical per-unit GEMMs the full grid would
-                gathered = xsrc[lo:lo + q * unit].reshape(q, unit, k)[idx]
-                np.matmul(gathered, yr_t, out=flat.reshape(na, unit, n))
-                calls += na
-            else:
-                for t, u in enumerate(idx):
-                    xa = xsrc[lo + u * unit: lo + (u + 1) * unit]
-                    if not rounded:
-                        xa = round_tf32(xa)
-                    np.matmul(xa, yr_t, out=flat[t * unit:(t + 1) * unit])
-                    calls += 1
+            with tr.span("gemm", lo=int(lo), hi=int(hi), batched=batched,
+                         pruned=True):
+                if batched:
+                    # fancy-index gather of the active units: a contiguous
+                    # (na, unit, K) copy, so the stacked matmul issues the
+                    # identical per-unit GEMMs the full grid would
+                    gathered = xsrc[lo:lo + q * unit].reshape(q, unit, k)[idx]
+                    np.matmul(gathered, yr_t, out=flat.reshape(na, unit, n))
+                    calls += na
+                else:
+                    for t, u in enumerate(idx):
+                        xa = xsrc[lo + u * unit: lo + (u + 1) * unit]
+                        if not rounded:
+                            xa = round_tf32(xa)
+                        np.matmul(xa, yr_t,
+                                  out=flat[t * unit:(t + 1) * unit])
+                        calls += 1
             gidx = (lo + (idx[:, None] * unit
                           + np.arange(unit)[None, :])).reshape(-1)
             self._epilogue_rows(flat, gidx, cache, yy, bounds)
         if tail_active:
             tail = scratch[na * unit:na * unit + rem]
-            xa = xsrc[lo + q * unit:hi]
-            if not rounded:
-                xa = round_tf32(xa)
-            np.matmul(xa, yr_t, out=tail)
+            with tr.span("gemm", lo=int(lo + q * unit), hi=int(hi),
+                         batched=False, pruned=True):
+                xa = xsrc[lo + q * unit:hi]
+                if not rounded:
+                    xa = round_tf32(xa)
+                np.matmul(xa, yr_t, out=tail)
             calls += 1
             self._epilogue_rows(tail, np.arange(lo + q * unit, hi),
                                 cache, yy, bounds)

@@ -81,6 +81,14 @@ class CheckpointStore:
         the pickled blob to a background writer (bounded queue, flush
         barrier on reads).  None (default) resolves to synchronous for
         in-memory stores and asynchronous for directory-backed ones.
+    event_bus : :class:`repro.obs.events.EventBus`, optional
+        Bus the store publishes ``checkpoint_save`` (one per accepted
+        snapshot, from the saving thread) and ``checkpoint_flush`` (one
+        per completed barrier) events onto, source ``"checkpoint"``.
+        The coordinator wires its fit bus in here automatically when
+        the store was not pre-wired to one of its own.  Events mark
+        *acceptance*, not durability — an async save's write may still
+        be in flight until the next flush event.
     """
 
     #: tmp files younger than this are presumed to be a concurrent
@@ -93,10 +101,11 @@ class CheckpointStore:
     QUEUE_MAX = 4
 
     def __init__(self, directory: str | os.PathLike | None = None, *,
-                 keep: int = 2, sync: bool | None = None):
+                 keep: int = 2, sync: bool | None = None, event_bus=None):
         if keep < 1:
             raise ValueError(f"keep must be >= 1, got {keep}")
         self.keep = int(keep)
+        self.event_bus = event_bus
         self.directory = Path(directory) if directory is not None else None
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
@@ -118,6 +127,10 @@ class CheckpointStore:
         self._error: BaseException | None = None
 
     # ------------------------------------------------------------------
+    def _publish(self, kind: str, **fields) -> None:
+        if self.event_bus is not None:
+            self.event_bus.publish(kind, source="checkpoint", **fields)
+
     def _path(self, iteration: int) -> Path:
         return self.directory / f"ckpt_{iteration:08d}.pkl"
 
@@ -150,10 +163,14 @@ class CheckpointStore:
             self._mem[iteration] = blob
             for it in sorted(self._mem)[:-self.keep]:
                 del self._mem[it]
+            self._publish("checkpoint_save", iteration=int(iteration),
+                          nbytes=len(blob), mode="memory")
             return
         if self.sync:
             self._write_blob(iteration, blob)
             self._prune()
+            self._publish("checkpoint_save", iteration=int(iteration),
+                          nbytes=len(blob), mode="sync")
             return
         with self._cond:
             if self._error is not None:
@@ -169,6 +186,10 @@ class CheckpointStore:
                     daemon=True)
                 self._writer.start()
             self._cond.notify_all()
+        # published outside the condition lock: subscribers run on the
+        # saving thread and must never block the writer hand-off
+        self._publish("checkpoint_save", iteration=int(iteration),
+                      nbytes=len(blob), mode="async")
 
     def flush(self) -> None:
         """Barrier: return only when every queued snapshot is durably
@@ -182,6 +203,7 @@ class CheckpointStore:
             if self._error is not None:
                 err, self._error = self._error, None
                 raise err
+        self._publish("checkpoint_flush")
 
     def _drain(self) -> None:
         """Background writer: pop-write-prune until the queue runs dry

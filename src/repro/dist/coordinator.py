@@ -115,6 +115,8 @@ from repro.dist.plan import ShardPlan
 from repro.dist.worker import RoundResult, build_worker
 from repro.gpusim.clock import SimClock
 from repro.gpusim.counters import PerfCounters
+from repro.obs.events import EventBus
+from repro.obs.trace import active_tracer
 
 __all__ = ["Coordinator", "DistFitResult", "PARTIAL_CHECK_RTOL"]
 
@@ -212,10 +214,23 @@ class Coordinator:
         replacement workers during re-expansion (promotion of
         already-booted spares never consults it).
     event_hook : callable, optional
-        Structured fleet event log, forwarded to the
-        :class:`FleetManager` — called synchronously and in order for
-        every heartbeat / promote / shrink / expand action (see
+        Deprecated dict-callable event log, forwarded to the
+        :class:`FleetManager`, which subscribes it to the event bus
+        through the backwards-compatible shim (see
         :class:`repro.dist.fleet.FleetManager`).
+    event_bus : :class:`repro.obs.events.EventBus`, optional
+        Bus for the fit's structured events: fleet membership events
+        (source ``"fleet"``), coordinator ``recovery`` / ``restore`` /
+        ``re_expand`` events (source ``"coordinator"``) and checkpoint
+        ``checkpoint_save`` / ``checkpoint_flush`` events (source
+        ``"checkpoint"``).  A private bus is created when omitted;
+        either way it is exposed as :attr:`event_bus`.
+    tracer : :class:`repro.obs.trace.TraceRecorder`, optional
+        Span recorder for the coordinator-side stage taxonomy ``fit ->
+        round -> {broadcast, compute, gather, merge, update,
+        abft_check, checkpoint}`` (see ``docs/observability.md``).  Off
+        by default; when enabled it records names and clocks only —
+        numerics are untouched, so traced fits stay bit-identical.
     worker_cache : WorkerCacheStore, optional
         Shard-keyed store for the workers' engine operand caches; by
         default derived from a directory-backed checkpoint store (a
@@ -252,6 +267,7 @@ class Coordinator:
                  hot_spares: int | None = None,
                  heartbeat_interval: float | None = None,
                  spawn_hook=None, event_hook=None,
+                 event_bus: EventBus | None = None, tracer=None,
                  worker_cache: WorkerCacheStore | None = None):
         if cfg.mode != "fast":
             raise ValueError("sharded execution requires mode='fast'")
@@ -280,6 +296,8 @@ class Coordinator:
         self.round_timeout = (None if round_timeout is None
                               else float(round_timeout))
         self.executor.round_timeout = self.round_timeout
+        self.event_bus = event_bus if event_bus is not None else EventBus()
+        self.tracer = tracer
         self.fleet = FleetManager(
             target_workers=(cfg.target_workers if target_workers is None
                             else target_workers),
@@ -288,7 +306,14 @@ class Coordinator:
             heartbeat_interval=(cfg.heartbeat_interval
                                 if heartbeat_interval is None
                                 else heartbeat_interval),
-            spawn_hook=spawn_hook, event_hook=event_hook)
+            spawn_hook=spawn_hook, event_hook=event_hook,
+            event_bus=self.event_bus)
+        # the snapshot store and the executor publish on the fit's bus
+        # unless pre-wired to one of their own
+        if getattr(self.store, "event_bus", None) is None:
+            self.store.event_bus = self.event_bus
+        if getattr(self.executor, "event_bus", None) is None:
+            self.executor.event_bus = self.event_bus
         if worker_cache is None and self.store.directory is not None:
             worker_cache = WorkerCacheStore(
                 self.store.directory / "worker_cache")
@@ -318,6 +343,11 @@ class Coordinator:
         sample or None.
         """
         cfg = self.cfg
+        # resolved once per fit: the real recorder when tracing is on,
+        # a shared no-op otherwise — span sites below cost nothing when
+        # tracing is off (and never touch a disabled recorder at all)
+        tr = active_tracer(self.tracer)
+        bus = self.event_bus
         m, k = x.shape
         n_clusters = cfg.n_clusters
         worker_cfg = self._worker_cfg(m, k)
@@ -411,6 +441,13 @@ class Coordinator:
                    and getattr(self.executor, "supports_overlap", False))
         round_times: deque[float] = deque(maxlen=self.ADAPTIVE_WINDOW)
 
+        # the fit span brackets the whole round loop including the
+        # shutdown/flush tail; opened by hand (not ``with``) so the
+        # 200-line loop below keeps its indentation — closed in the
+        # ``finally`` underneath the flush barrier
+        fit_span = tr.span("fit", m=int(m), n_features=int(k),
+                           n_workers=int(plan.n_workers))
+        fit_span.__enter__()
         self.fleet.attach(self.executor, plan)
         self.executor.start(factory, plan.worker_ids)
         n_iter = 0
@@ -427,10 +464,12 @@ class Coordinator:
                         it, plan.worker_ids)
                         if self.faults is not None else {})
                     t_send = time.monotonic()
-                    self.executor.send_round(y, it, directives)
+                    with tr.span("broadcast", iteration=int(it)):
+                        self.executor.send_round(y, it, directives)
                     pending = (it, directives, t_send, plan)
                 try:
-                    results = self.executor.collect_round()
+                    with tr.span("compute", iteration=int(pending[0])):
+                        results = self.executor.collect_round()
                     # between-round liveness sweep (rate-limited): a
                     # worker that answered its round but wedged after
                     # is caught here, not one full round budget later.
@@ -445,6 +484,18 @@ class Coordinator:
                     detector = getattr(crash, "detector", "deadline")
                     if detector == "heartbeat":
                         heartbeat_failures += 1
+                    # explicit handle (not ``with``): the handler exits
+                    # through both ``raise`` and ``continue``, so the
+                    # span is closed on each path by hand
+                    rec_span = tr.span("recovery",
+                                       iteration=int(crash.iteration),
+                                       detector=detector)
+                    rec_span.__enter__()
+                    bus.publish("recovery", source="coordinator",
+                                iteration=int(crash.iteration),
+                                detector=detector,
+                                crashed=sorted(crash.crashed_ids),
+                                stalled=sorted(crash.stalled_ids))
                     for wid in crash.crashed_ids:
                         trace.append({"kind": "crash", "worker": wid,
                                       "iteration": crash.iteration,
@@ -457,6 +508,7 @@ class Coordinator:
                                       "round_timeout":
                                           self.executor.round_timeout})
                     if recoveries > self.max_recoveries:
+                        rec_span.__exit__(None, None, None)
                         raise
                     loaded = self.store.load_latest()
                     if loaded is None:
@@ -468,6 +520,8 @@ class Coordinator:
                     counters = state["counters"]
                     trace.append({"kind": "restore",
                                   "iteration": restored_it})
+                    bus.publish("restore", source="coordinator",
+                                iteration=int(restored_it))
                     # the adaptive deadline's history describes the
                     # pre-recovery membership: after an elastic shrink
                     # the surviving shards are larger and an honest
@@ -520,28 +574,40 @@ class Coordinator:
                         # respawn the current membership in full
                         self.executor.restart()
                     it = restored_it + 1
+                    rec_span.__exit__(None, None, None)
                     continue
                 cur, directives, t_send, cur_plan = pending
                 pending = None
                 round_times.append(time.monotonic() - t_send)
 
+                # the ``round`` span covers the coordinator-side stages
+                # of an answered round (gather -> merge -> update ->
+                # abft_check -> checkpoint).  The sequential path's
+                # broadcast/compute spans precede it as siblings; under
+                # double buffering the *next* round's broadcast nests
+                # here, which is where it genuinely happens.
+                round_span = tr.span("round", iteration=int(cur))
+                round_span.__enter__()
                 # -- gather (worker order == sample order) -------------
-                for res, shard in zip(results, cur_plan.shards):
-                    labels[shard.lo:shard.hi] = res.labels
-                    best[shard.lo:shard.hi] = res.best
-                    counters.merge(res.counters)
-                self._charge_round(clock, results)
+                with tr.span("gather"):
+                    for res, shard in zip(results, cur_plan.shards):
+                        labels[shard.lo:shard.hi] = res.labels
+                        best[shard.lo:shard.hi] = res.best
+                        counters.merge(res.counters)
+                    self._charge_round(clock, results)
 
                 # -- sequential-continuation merge (bit-exact) ---------
-                merge_acc.reset()
-                for shard in cur_plan.shards:
-                    merge_acc.feed(x[shard.slice], labels[shard.slice])
-                merged = merge_acc.packed()
+                with tr.span("merge"):
+                    merge_acc.reset()
+                    for shard in cur_plan.shards:
+                        merge_acc.feed(x[shard.slice], labels[shard.slice])
+                    merged = merge_acc.packed()
 
                 # -- the exact single-device update + convergence ------
-                upd = updater.update(x, labels, best, y, counters,
-                                     fused_sums=merged,
-                                     sample_weight=sample_weight)
+                with tr.span("update"):
+                    upd = updater.update(x, labels, best, y, counters,
+                                         fused_sums=merged,
+                                         sample_weight=sample_weight)
                 for label, t in upd.timings:
                     clock.charge(label, t)
                 y = upd.centroids
@@ -559,6 +625,9 @@ class Coordinator:
                         trace.append({"kind": "expand", "iteration": cur,
                                       "members": list(plan.worker_ids),
                                       "n_workers": plan.n_workers})
+                        bus.publish("re_expand", source="coordinator",
+                                    iteration=int(cur),
+                                    members=list(plan.worker_ids))
 
                 # -- double buffering: the next round's broadcast leaves
                 # as soon as the centroids exist; everything below
@@ -568,14 +637,17 @@ class Coordinator:
                 if overlap and cur < cfg.max_iter:
                     self._arm_deadline(round_times)
                     t_send = time.monotonic()
-                    self.executor.send_round(y, cur + 1, {})
+                    with tr.span("broadcast", iteration=int(cur + 1)):
+                        self.executor.send_round(y, cur + 1, {})
                     pending = (cur + 1, {}, t_send, plan)
 
                 # -- off-critical tail ---------------------------------
                 self._count_directives(faults_seen, trace, directives, cur)
                 counters.checksum_tests += 1
-                self._check_partials(merged, results, cur_plan, x, labels,
-                                     sample_weight, faults_seen, trace, cur)
+                with tr.span("abft_check"):
+                    self._check_partials(merged, results, cur_plan, x,
+                                         labels, sample_weight,
+                                         faults_seen, trace, cur)
                 best64 = best.astype(np.float64)
                 inertia = float(np.sum(best64 * sample_weight)
                                 if sample_weight is not None
@@ -584,10 +656,12 @@ class Coordinator:
                 converged = monitor.update(inertia, upd.shift)
                 if (self.checkpoint_every
                         and cur % self.checkpoint_every == 0):
-                    t0 = time.perf_counter()
-                    self.store.save(cur, self._snapshot(cur, y, monitor,
-                                                        clock, counters))
-                    ckpt_save_s += time.perf_counter() - t0
+                    with tr.span("checkpoint", iteration=int(cur)):
+                        t0 = time.perf_counter()
+                        self.store.save(cur, self._snapshot(
+                            cur, y, monitor, clock, counters))
+                        ckpt_save_s += time.perf_counter() - t0
+                round_span.__exit__(None, None, None)
                 if converged:
                     break
                 it = cur + 1
@@ -615,14 +689,16 @@ class Coordinator:
             # flush barrier: every snapshot of this fit is durable
             # before fit() returns (or propagates its error)
             t0 = time.perf_counter()
-            if sys.exc_info()[0] is None:
-                self.store.flush()
-            else:
-                try:
+            with tr.span("checkpoint_flush"):
+                if sys.exc_info()[0] is None:
                     self.store.flush()
-                except Exception:
-                    pass
+                else:
+                    try:
+                        self.store.flush()
+                    except Exception:
+                        pass
             ckpt_flush_s = time.perf_counter() - t0
+            fit_span.__exit__(None, None, None)
 
         # fold the restore-proof tallies into the final counter totals:
         # crashes and deadline-tripped stalls count the workers lost,

@@ -140,12 +140,25 @@ class BaseExecutor(ABC):
         self.round_timeout: float | None = None
         self._stashed_round: tuple | None = None
         self._spare_tokens = 0
+        #: optional :class:`repro.obs.events.EventBus` — the coordinator
+        #: wires its fit bus in so worker-set lifecycle transitions
+        #: (``executor_start`` / ``executor_restart``, source
+        #: ``"executor"``) appear in the same ordered event stream as
+        #: the fleet and checkpoint events
+        self.event_bus = None
+
+    def _publish(self, kind: str, **fields) -> None:
+        bus = getattr(self, "event_bus", None)
+        if bus is not None:
+            bus.publish(kind, source="executor", **fields)
 
     def start(self, factory, worker_ids) -> None:
         """Build one worker per id via ``factory(worker_id)``."""
         self._factory = factory
         self._worker_ids = tuple(worker_ids)
         self._spawn()
+        self._publish("executor_start", backend=getattr(self, "name", "?"),
+                      worker_ids=list(self._worker_ids))
 
     def restart(self, factory=None, worker_ids=None) -> None:
         """Tear down every worker and rebuild (crash recovery).
@@ -163,6 +176,9 @@ class BaseExecutor(ABC):
             self._worker_ids = tuple(worker_ids)
         self._teardown()
         self._spawn()
+        self._publish("executor_restart",
+                      backend=getattr(self, "name", "?"),
+                      worker_ids=list(self._worker_ids))
 
     def shutdown(self) -> None:
         self._teardown()

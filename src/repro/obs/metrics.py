@@ -1,0 +1,273 @@
+"""Typed metrics registry unifying the repo's scattered counters.
+
+Before this module the stack exposed three disjoint counter surfaces:
+the simulator's :class:`~repro.gpusim.counters.PerfCounters` (flat
+dataclass, snapshot() dict), the engine's ``EngineStats`` (another flat
+dataclass), and the ``dist_*_`` scalar fields scattered over
+:class:`~repro.dist.coordinator.DistFitResult`.  :class:`MetricsRegistry`
+gives them one typed namespace — ``Counter`` (monotonic int),
+``Gauge`` (last-write-wins float), ``Histogram`` (bounded sample
+reservoir with count/sum/min/max) — with point-in-time
+:meth:`~MetricsRegistry.snapshot`, :meth:`~MetricsRegistry.delta`
+between snapshots, and JSON-lines export for offline analysis.
+
+Completeness is machine-checked: :func:`perf_counter_metric_names`
+derives the canonical registry name for **every**
+``PerfCounters.__dataclass_fields__`` entry, and a tier-1 test asserts
+:meth:`MetricsRegistry.register_perf_counters` covers them all — a new
+simulator counter cannot silently bypass export.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+from dataclasses import dataclass, field
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "perf_counter_metric_names", "engine_stat_metric_names",
+           "dist_result_metric_names"]
+
+
+@dataclass
+class Counter:
+    """Monotonic integer counter."""
+
+    name: str
+    help: str = ""
+    value: int = 0
+
+    kind = "counter"
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+    def get(self):
+        return self.value
+
+
+@dataclass
+class Gauge:
+    """Last-write-wins scalar."""
+
+    name: str
+    help: str = ""
+    value: float = 0.0
+
+    kind = "gauge"
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def get(self):
+        return self.value
+
+
+@dataclass
+class Histogram:
+    """Bounded sample accumulator (count / sum / min / max + reservoir).
+
+    Keeps the first ``max_samples`` observations verbatim (enough for
+    the smoke-scale runs the bench analytics consume) while count/sum/
+    min/max stay exact regardless of how many samples arrive.
+    """
+
+    name: str
+    help: str = ""
+    max_samples: int = 512
+    count: int = 0
+    sum: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+    samples: list = field(default_factory=list)
+
+    kind = "histogram"
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self.samples) < self.max_samples:
+            self.samples.append(value)
+
+    def get(self) -> dict:
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0, "min": None, "max": None,
+                    "mean": None}
+        return {"count": self.count, "sum": self.sum, "min": self.min,
+                "max": self.max, "mean": self.sum / self.count}
+
+
+# -- canonical names for the three legacy surfaces ---------------------
+
+def perf_counter_metric_names() -> dict:
+    """``{registry_name: dataclass_field}`` for every PerfCounters field."""
+    from repro.gpusim.counters import PerfCounters
+    return {f"sim.{name}": name
+            for name in PerfCounters.__dataclass_fields__}
+
+
+def engine_stat_metric_names() -> dict:
+    """``{registry_name: dataclass_field}`` for every EngineStats field."""
+    from repro.core.engine import EngineStats
+    return {f"engine.{name}": name
+            for name in EngineStats.__dataclass_fields__}
+
+
+#: the scalar DistFitResult fields exported as ``dist.*`` metrics —
+#: array/object fields (centroids, labels, plan, clock, ...) stay on
+#: the result object
+_DIST_SCALAR_FIELDS = (
+    "inertia", "n_iter", "recoveries", "crash_recoveries",
+    "stall_recoveries", "shrinks", "checkpoint_save_s",
+    "checkpoint_flush_s", "promotions", "expands", "heartbeat_failures",
+)
+
+_DIST_GAUGES = {"inertia", "checkpoint_save_s", "checkpoint_flush_s"}
+
+
+def dist_result_metric_names() -> dict:
+    """``{registry_name: result_field}`` for the scalar dist_* fields."""
+    return {f"dist.{name}": name for name in _DIST_SCALAR_FIELDS}
+
+
+class MetricsRegistry:
+    """One namespace of typed metrics with snapshot/delta and JSONL export."""
+
+    def __init__(self):
+        self._metrics: dict = {}
+        self._lock = threading.Lock()
+
+    # -- registration -------------------------------------------------
+
+    def _register(self, metric):
+        with self._lock:
+            existing = self._metrics.get(metric.name)
+            if existing is not None:
+                if type(existing) is not type(metric):
+                    raise ValueError(
+                        f"metric {metric.name!r} already registered as "
+                        f"{existing.kind}")
+                return existing
+            self._metrics[metric.name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._register(Counter(name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._register(Gauge(name, help))
+
+    def histogram(self, name: str, help: str = "",
+                  max_samples: int = 512) -> Histogram:
+        return self._register(Histogram(name, help, max_samples))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> list:
+        return sorted(self._metrics)
+
+    def get(self, name: str):
+        return self._metrics[name]
+
+    # -- legacy-surface ingestion -------------------------------------
+
+    def register_perf_counters(self, counters=None) -> list:
+        """Register (and optionally load) every ``PerfCounters`` field.
+
+        Each field becomes a ``sim.<field>`` counter.  When a live
+        ``counters`` bundle is passed its snapshot() values are added.
+        Returns the registered metric names.
+        """
+        names = []
+        for reg_name, fld in perf_counter_metric_names().items():
+            c = self.counter(reg_name, f"PerfCounters.{fld}")
+            if counters is not None:
+                c.inc(int(getattr(counters, fld)))
+            names.append(reg_name)
+        return names
+
+    def register_engine_stats(self, stats=None) -> list:
+        """Register every ``EngineStats`` field as ``engine.<field>``.
+
+        Integer fields become counters; float fields (``last_active_frac``)
+        become gauges.
+        """
+        from repro.core.engine import EngineStats
+        names = []
+        for reg_name, fld in engine_stat_metric_names().items():
+            default = EngineStats.__dataclass_fields__[fld].default
+            if isinstance(default, float):
+                m = self.gauge(reg_name, f"EngineStats.{fld}")
+                if stats is not None:
+                    m.set(getattr(stats, fld))
+            else:
+                m = self.counter(reg_name, f"EngineStats.{fld}")
+                if stats is not None:
+                    m.inc(int(getattr(stats, fld)))
+            names.append(reg_name)
+        return names
+
+    def register_dist_result(self, result=None) -> list:
+        """Register the scalar ``DistFitResult`` fields as ``dist.<field>``."""
+        names = []
+        for reg_name, fld in dist_result_metric_names().items():
+            if fld in _DIST_GAUGES:
+                m = self.gauge(reg_name, f"DistFitResult.{fld}")
+                if result is not None:
+                    m.set(float(getattr(result, fld)))
+            else:
+                m = self.counter(reg_name, f"DistFitResult.{fld}")
+                if result is not None:
+                    m.inc(int(getattr(result, fld)))
+            names.append(reg_name)
+        return names
+
+    # -- snapshot / delta / export ------------------------------------
+
+    def snapshot(self) -> dict:
+        """Point-in-time ``{name: value}`` copy (histograms as dicts)."""
+        with self._lock:
+            return {name: m.get() for name, m in sorted(self._metrics.items())}
+
+    @staticmethod
+    def delta(before: dict, after: dict) -> dict:
+        """Numeric difference of two snapshots (histograms by count/sum).
+
+        Names present only in ``after`` are reported at full value;
+        names only in ``before`` are dropped.
+        """
+        out = {}
+        for name, val in after.items():
+            prev = before.get(name)
+            if isinstance(val, dict):
+                pc = prev["count"] if isinstance(prev, dict) else 0
+                ps = prev["sum"] if isinstance(prev, dict) else 0.0
+                out[name] = {"count": val["count"] - pc,
+                             "sum": val["sum"] - (ps or 0.0)}
+            else:
+                out[name] = val - (prev if isinstance(prev, (int, float))
+                                   else 0)
+        return out
+
+    def to_jsonl(self, fh=None) -> str:
+        """One JSON line per metric: name, kind, help, value."""
+        buf = fh if fh is not None else io.StringIO()
+        with self._lock:
+            for name, m in sorted(self._metrics.items()):
+                buf.write(json.dumps(
+                    {"name": name, "kind": m.kind, "help": m.help,
+                     "value": m.get()}, sort_keys=True))
+                buf.write("\n")
+        return "" if fh is not None else buf.getvalue()

@@ -54,11 +54,12 @@ class TestSmokeGate:
     def test_runner_smoke_invocation_records_stage_split(self, tmp_path):
         out = tmp_path / "bench.json"
         runner.main(["--smoke", "--out", str(out), "--dist-out", "-",
+                     "--report", str(tmp_path / "perf.md"),
                      "--m", "1024", "--iters", "1"])
         doc = json.loads(out.read_text())
-        assert doc["schema"] == "fastpath_walltime/v3"
+        assert doc["schema"] == "fastpath_walltime/v4"
         (record,) = doc["entries"]
-        assert record["schema"] == "fastpath_walltime/v3"
+        assert record["schema"] == "fastpath_walltime/v4"
         assert record["config"]["m"] == 1024
         # the per-stage split the streamed-update PR added
         stages = record["stages"]
@@ -88,11 +89,22 @@ class TestSmokeGate:
         assert len(pr["active_frac_per_iter"]) == pr["iters"]
         assert len(pr["pruned_assign_per_iter_s"]) == pr["iters"]
         assert pr["assign_speedup"] > 0
+        # the traced re-run of schema v4: bit-identity re-proved on
+        # every bench run, with the per-stage span breakdown attached
+        tr = record["trace"]
+        assert tr["bit_identical_vs_untraced"] is True
+        assert tr["spans"] >= 1 and tr["dropped"] == 0
+        for stage in ("fit", "iteration", "assign_chunk", "gemm",
+                      "update_feed"):
+            assert stage in tr["stage_totals"], stage
+        # the runner also regenerated the perf report
+        assert (tmp_path / "perf.md").exists()
 
     def test_runner_smoke_appends_to_trajectory(self, tmp_path):
         out = tmp_path / "bench.json"
         for _ in range(2):
             runner.main(["--smoke", "--out", str(out), "--dist-out", "-",
+                         "--report", str(tmp_path / "perf.md"),
                          "--m", "1024", "--iters", "1"])
         assert len(json.loads(out.read_text())["entries"]) == 2
 
@@ -170,8 +182,12 @@ class TestRegressionGate:
         out = tmp_path / "bench.json"
         for _ in range(2):
             runner.main(["--smoke", "--out", str(out), "--dist-out", "-",
+                         "--report", str(tmp_path / "perf.md"),
                          "--m", "1024", "--iters", "1"])
-        assert "regression check" in capsys.readouterr().out
+        out_text = capsys.readouterr().out
+        assert "regression check" in out_text
+        assert "trend" in out_text
+        assert "perf report" in out_text
 
 
 class TestPruningGate:
@@ -253,11 +269,12 @@ class TestDistSmokeGate:
         dist_out = tmp_path / "dist.json"
         runner.main(["--smoke", "--out", str(fp_out),
                      "--dist-out", str(dist_out),
+                     "--report", str(tmp_path / "perf.md"),
                      "--m", "1024", "--iters", "1"])
         doc = json.loads(dist_out.read_text())
-        assert doc["schema"] == "dist_scaling/v4"
+        assert doc["schema"] == "dist_scaling/v5"
         (record,) = doc["entries"]
-        assert record["schema"] == "dist_scaling/v4"
+        assert record["schema"] == "dist_scaling/v5"
         workers = [row["workers"] for row in record["grid"]]
         assert workers == record["config"]["workers_grid"] == [1, 2]
         for row in record["grid"]:
@@ -302,6 +319,13 @@ class TestDistSmokeGate:
                     "recovered_round_overhead_s", "hot_spares",
                     "heartbeat_interval"):
             assert key in sh, key
+        # the traced crash-recovery re-run of schema v5
+        tr = record["trace"]
+        assert tr["bit_identical_vs_untraced"] is True
+        assert tr["spans"] >= 1 and tr["dropped"] == 0
+        for stage in ("fit", "round", "gather", "merge", "update",
+                      "recovery"):
+            assert stage in tr["stage_totals"], stage
 
     def test_dist_bench_cli_direct(self, tmp_path):
         from repro.bench import dist as dist_bench

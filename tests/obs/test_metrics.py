@@ -1,0 +1,164 @@
+"""Unit tests for the typed metrics registry.
+
+Includes the registry-completeness tier-1 guard: every
+``PerfCounters`` field must have a registered ``sim.*`` metric, so a
+new simulator counter cannot silently bypass export.
+"""
+
+import json
+
+import pytest
+
+from repro.core.engine import EngineStats, FastPathEngine  # noqa: F401
+from repro.gpusim.counters import PerfCounters
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    dist_result_metric_names,
+    engine_stat_metric_names,
+    perf_counter_metric_names,
+)
+
+
+class TestMetricTypes:
+    def test_counter_is_monotonic(self):
+        c = Counter("hits")
+        c.inc()
+        c.inc(4)
+        assert c.get() == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge("frac")
+        g.set(0.5)
+        g.set(0.25)
+        assert g.get() == 0.25
+
+    def test_histogram_stats_and_bounded_reservoir(self):
+        h = Histogram("lat", max_samples=3)
+        assert h.get() == {"count": 0, "sum": 0.0, "min": None,
+                           "max": None, "mean": None}
+        for v in (1.0, 3.0, 2.0, 10.0):
+            h.observe(v)
+        got = h.get()
+        assert got["count"] == 4 and got["sum"] == 16.0
+        assert got["min"] == 1.0 and got["max"] == 10.0
+        assert got["mean"] == 4.0
+        assert h.samples == [1.0, 3.0, 2.0]  # reservoir stays bounded
+
+
+class TestRegistry:
+    def test_registration_is_idempotent(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+        assert len(r) == 1
+
+    def test_type_conflict_raises(self):
+        r = MetricsRegistry()
+        r.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            r.gauge("x")
+
+    def test_snapshot_and_delta(self):
+        r = MetricsRegistry()
+        c = r.counter("n")
+        g = r.gauge("v")
+        h = r.histogram("d")
+        c.inc(2)
+        g.set(1.5)
+        h.observe(4.0)
+        before = r.snapshot()
+        c.inc(3)
+        g.set(2.5)
+        h.observe(6.0)
+        delta = MetricsRegistry.delta(before, r.snapshot())
+        assert delta["n"] == 3
+        assert delta["v"] == 1.0
+        assert delta["d"] == {"count": 1, "sum": 6.0}
+
+    def test_delta_handles_new_names(self):
+        after = {"fresh": 7}
+        assert MetricsRegistry.delta({}, after) == {"fresh": 7}
+
+    def test_to_jsonl_lists_every_metric(self):
+        r = MetricsRegistry()
+        r.counter("a", "help a").inc(1)
+        r.gauge("b").set(2.0)
+        docs = [json.loads(line)
+                for line in r.to_jsonl().strip().split("\n")]
+        assert {d["name"] for d in docs} == {"a", "b"}
+        assert {d["kind"] for d in docs} == {"counter", "gauge"}
+
+
+class TestCompleteness:
+    """Tier-1 guard: the three legacy counter surfaces are fully
+    registered — a new field cannot silently bypass export."""
+
+    def test_every_perf_counter_field_is_registered(self):
+        r = MetricsRegistry()
+        registered = set(r.register_perf_counters())
+        expected = {f"sim.{name}"
+                    for name in PerfCounters.__dataclass_fields__}
+        assert registered == expected
+        assert all(name in r for name in expected)
+        # and the canonical-name helper agrees
+        assert set(perf_counter_metric_names()) == expected
+
+    def test_every_engine_stat_field_is_registered(self):
+        r = MetricsRegistry()
+        registered = set(r.register_engine_stats())
+        expected = {f"engine.{name}"
+                    for name in EngineStats.__dataclass_fields__}
+        assert registered == expected == set(engine_stat_metric_names())
+        # float fields export as gauges, int fields as counters
+        assert r.get("engine.last_active_frac").kind == "gauge"
+        assert r.get("engine.chunks_run").kind == "counter"
+
+    def test_dist_scalar_fields_are_registered(self):
+        from repro.dist.coordinator import DistFitResult
+
+        r = MetricsRegistry()
+        registered = set(r.register_dist_result())
+        assert registered == set(dist_result_metric_names())
+        # every exported name is a real DistFitResult field
+        for reg_name, fld in dist_result_metric_names().items():
+            assert fld in DistFitResult.__dataclass_fields__, fld
+        assert r.get("dist.inertia").kind == "gauge"
+        assert r.get("dist.recoveries").kind == "counter"
+
+
+class TestIngestion:
+    def test_register_loads_live_values(self):
+        counters = PerfCounters()
+        counters.flops = 42
+        counters.errors_detected = 3
+        r = MetricsRegistry()
+        r.register_perf_counters(counters)
+        assert r.get("sim.flops").get() == 42
+        assert r.get("sim.errors_detected").get() == 3
+
+    def test_register_engine_stats_loads_live_values(self):
+        stats = EngineStats()
+        stats.chunks_run = 9
+        stats.last_active_frac = 0.125
+        r = MetricsRegistry()
+        r.register_engine_stats(stats)
+        assert r.get("engine.chunks_run").get() == 9
+        assert r.get("engine.last_active_frac").get() == 0.125
+
+    def test_accumulator_lifetime_metrics(self):
+        import numpy as np
+
+        from repro.core.accumulate import StreamedAccumulator
+
+        acc = StreamedAccumulator(2, 3)
+        x = np.ones((4, 3), dtype=np.float32)
+        labels = np.zeros(4, dtype=np.int32)
+        acc.feed(x, labels)
+        acc.reset()                      # per-iteration reset ...
+        acc.feed(x, labels)
+        # ... must not zero the lifetime tallies
+        assert acc.metrics() == {"total_feeds": 2, "total_rows_fed": 8}

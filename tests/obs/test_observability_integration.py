@@ -1,0 +1,193 @@
+"""End-to-end observability contracts on real fits.
+
+Three guarantees the ISSUE pins down:
+
+* **Neutrality** — labels/centroids are bit-identical with tracing on
+  vs. off, including under SEU injection (also covered by a hypothesis
+  case in ``tests/property``).
+* **Zero cost when off** — a fit with a *disabled* recorder never
+  calls into it (booby-trapped recorder), and the disabled path stays
+  within a generous wall budget of the no-recorder path.
+* **Shim fidelity** — a legacy ``event_hook`` and a bus subscriber
+  observe identical ordered event sequences on a real recovering fit.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.api import FTKMeans
+from repro.dist.faults import WorkerFaultInjector
+from repro.obs import EventBus, TraceRecorder
+
+
+def _data(m=512, n=16, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.random((m, n), dtype=np.float64).astype(np.float32)
+
+
+def _fit(x, *, tracer=None, event_bus=None, event_hook=None, workers=1,
+         p_inject=0.0, worker_faults=None, checkpoint_every=0):
+    km = FTKMeans(n_clusters=8, variant="ft" if p_inject else "tensorop",
+                  mode="fast", max_iter=5, tol=0.0, seed=0,
+                  p_inject=p_inject, n_workers=workers,
+                  executor="serial" if workers == 1 else "thread",
+                  checkpoint_every=checkpoint_every,
+                  worker_faults=worker_faults,
+                  tracer=tracer, event_bus=event_bus,
+                  event_hook=event_hook)
+    km.fit(x)
+    return km
+
+
+class BoobyTrappedRecorder(TraceRecorder):
+    """A disabled recorder that detonates if anything calls into it."""
+
+    def __init__(self):
+        super().__init__(enabled=False)
+
+    def span(self, name, **meta):  # pragma: no cover - must never run
+        raise AssertionError("disabled recorder was invoked")
+
+    def instant(self, name, **meta):  # pragma: no cover
+        raise AssertionError("disabled recorder was invoked")
+
+
+class TestNeutrality:
+    def test_single_worker_bit_identical_with_tracing(self):
+        x = _data()
+        base = _fit(x)
+        traced = _fit(x, tracer=TraceRecorder())
+        assert np.array_equal(base.labels_, traced.labels_)
+        assert np.array_equal(base.cluster_centers_.view(np.uint32),
+                              traced.cluster_centers_.view(np.uint32))
+
+    def test_bit_identical_under_seu_injection(self):
+        x = _data()
+        base = _fit(x, p_inject=0.5)
+        traced = _fit(x, p_inject=0.5, tracer=TraceRecorder())
+        assert np.array_equal(base.labels_, traced.labels_)
+        assert np.array_equal(base.cluster_centers_.view(np.uint32),
+                              traced.cluster_centers_.view(np.uint32))
+
+    def test_dist_fit_bit_identical_with_tracing(self):
+        x = _data()
+        base = _fit(x, workers=2)
+        rec = TraceRecorder()
+        traced = _fit(x, workers=2, tracer=rec)
+        assert np.array_equal(base.labels_, traced.labels_)
+        assert np.array_equal(base.cluster_centers_.view(np.uint32),
+                              traced.cluster_centers_.view(np.uint32))
+        names = {s.name for s in rec.spans}
+        # the coordinator taxonomy landed
+        assert {"fit", "round", "gather", "merge", "update"} <= names
+
+    def test_engine_taxonomy_lands_single_worker(self):
+        rec = TraceRecorder()
+        _fit(_data(), tracer=rec)
+        names = {s.name for s in rec.spans}
+        assert {"fit", "iteration", "assign_chunk", "gemm",
+                "update_feed"} <= names
+        fits = [s for s in rec.spans if s.name == "fit"]
+        assert len(fits) == 1 and fits[0].depth == 0
+
+
+class TestZeroCostWhenOff:
+    def test_disabled_recorder_is_never_invoked(self):
+        """The gate resolves a disabled recorder to the shared null
+        ONCE per pass — the user's recorder object is never called."""
+        trap = BoobyTrappedRecorder()
+        km = _fit(_data(), tracer=trap)
+        assert km.n_iter_ >= 1
+        assert len(trap) == 0
+
+    def test_disabled_recorder_is_never_invoked_dist(self):
+        trap = BoobyTrappedRecorder()
+        km = _fit(_data(), workers=2, tracer=trap)
+        assert km.n_iter_ >= 1
+        assert len(trap) == 0
+
+    def test_disabled_path_within_wall_budget(self):
+        """Per-iteration cost with a disabled recorder stays within a
+        generous budget of the no-recorder fit (same data, same
+        trajectory; the budget absorbs scheduler jitter, a real
+        per-span leak on the disabled path would blow far past it)."""
+        x = _data(m=4096, n=32)
+
+        def timed(**kw):
+            t0 = time.perf_counter()
+            km = _fit(x, **kw)
+            return (time.perf_counter() - t0) / km.n_iter_
+
+        baseline = min(timed() for _ in range(3))
+        disabled = min(timed(tracer=BoobyTrappedRecorder())
+                       for _ in range(3))
+        assert disabled <= 2.0 * baseline + 0.05
+
+
+class TestEventShimOnRealFits:
+    def test_legacy_hook_and_bus_subscriber_identical_ordered(self):
+        """The PR 7 ``event_hook`` must see exactly the fleet event
+        stream it always saw — the fleet-sourced subsequence of the
+        bus, in bus order — while a new subscriber also gets the
+        coordinator/checkpoint kinds the old hook never carried."""
+        from repro.core.api import FTKMeans as KM
+
+        x = _data()
+        legacy_seen, new_seen = [], []
+        bus = EventBus()
+        bus.subscribe(new_seen.append)
+        km = KM(n_clusters=8, variant="tensorop", mode="fast",
+                max_iter=5, tol=0.0, seed=0, n_workers=3,
+                executor="serial", checkpoint_every=2, hot_spares=1,
+                worker_faults=WorkerFaultInjector.crash_at(1, 4),
+                event_bus=bus, event_hook=legacy_seen.append)
+        km.fit(x)
+        assert legacy_seen, "no fleet events reached the legacy hook"
+        fleet_events = [e for e in new_seen if e.source == "fleet"]
+        assert legacy_seen == [e.to_legacy_dict() for e in fleet_events]
+        assert [e["event"] for e in legacy_seen] == ["promote"]
+        # the full bus carries strictly more than the legacy surface
+        kinds = [e.kind for e in new_seen]
+        assert "checkpoint_save" in kinds
+        assert len(new_seen) > len(fleet_events)
+        seqs = [e.seq for e in new_seen]
+        assert seqs == sorted(seqs)
+
+    def test_bus_sees_recovery_ordering_on_crash(self):
+        """A crash-restore fit publishes coordinator recovery events
+        in causal order with correct source tags."""
+        x = _data()
+        new_seen = []
+        bus = EventBus()
+        bus.subscribe(new_seen.append)
+        _fit(x, workers=2, checkpoint_every=1,
+             worker_faults=WorkerFaultInjector.crash_at(0, 2),
+             event_bus=bus)
+        seqs = [e.seq for e in new_seen]
+        assert seqs == sorted(seqs)
+        kinds = [e.kind for e in new_seen]
+        assert "recovery" in kinds and "restore" in kinds
+        assert "checkpoint_save" in kinds
+        assert kinds.index("recovery") < kinds.index("restore")
+        sources = {e.kind: e.source for e in new_seen}
+        assert sources["recovery"] == "coordinator"
+        assert sources["checkpoint_save"] == "checkpoint"
+
+    def test_bus_history_replays_the_fit(self):
+        bus = EventBus()
+        _fit(_data(), workers=2, checkpoint_every=1, event_bus=bus)
+        kinds = [e.kind for e in bus.history]
+        assert "executor_start" in kinds
+        assert "checkpoint_save" in kinds
+        assert len(bus) == len(kinds)
+
+    def test_fleet_manager_always_exposes_a_bus(self):
+        from repro.dist.fleet import FleetManager
+
+        seen = []
+        fm = FleetManager(event_hook=seen.append)
+        assert isinstance(fm.event_bus, EventBus)
+        fm.event_bus.publish("heartbeat", source="fleet", iteration=0)
+        assert seen == [{"event": "heartbeat", "iteration": 0}]

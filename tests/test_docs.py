@@ -35,7 +35,7 @@ def _relative_links(path: Path) -> list[str]:
 def test_docs_tree_exists():
     """The README-advertised documentation subsystem is present."""
     for name in ("architecture.md", "streaming.md", "distributed.md",
-                 "api.md"):
+                 "api.md", "observability.md", "perf.md"):
         assert (REPO_ROOT / "docs" / name).is_file(), f"docs/{name} missing"
 
 
@@ -61,10 +61,16 @@ def test_docs_cross_reference_each_other():
     assert "distributed.md" in docs["architecture.md"]
     assert "architecture.md" in docs["distributed.md"]
     assert "streaming.md" in docs["distributed.md"]
+    assert "observability.md" in docs["architecture.md"]
+    assert "observability.md" in docs["api.md"]
+    assert "architecture.md" in docs["observability.md"]
+    assert "perf.md" in docs["observability.md"]
+    assert "observability.md" in docs["perf.md"]
 
 
 def test_readme_links_docs():
     text = (REPO_ROOT / "README.md").read_text()
     for name in ("docs/architecture.md", "docs/streaming.md",
-                 "docs/distributed.md", "docs/api.md"):
+                 "docs/distributed.md", "docs/api.md",
+                 "docs/observability.md", "docs/perf.md"):
         assert name in text, f"README does not link {name}"
