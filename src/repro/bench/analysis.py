@@ -58,7 +58,7 @@ __all__ = [
 
 #: newest schema generation per trajectory family (the versions the
 #: benches write today; the loader accepts every generation up to it)
-SCHEMA_FAMILIES = {"fastpath_walltime": 4, "dist_scaling": 5}
+SCHEMA_FAMILIES = {"fastpath_walltime": 4, "dist_scaling": 6}
 
 #: config keys that must match for two fast-path records to share a
 #: trend series (problem shape + perf-relevant engine config; the
@@ -123,7 +123,9 @@ def infer_entry_schema(entry: dict, family: str) -> str:
         else:
             version = 1
     elif family == "dist_scaling":
-        if "trace" in entry:
+        if "reduce" in entry:
+            version = 6
+        elif "trace" in entry:
             version = 5
         elif "selfheal" in entry:
             version = 4
@@ -448,6 +450,7 @@ _DIST_STAGES = (
     ("compute", "worker compute (assign)"),
     ("gather", "partial gather"),
     ("merge", "partial merge"),
+    ("combine", "pairwise combine (tree)"),
     ("update", "centroid update"),
     ("abft_check", "ABFT checksum verify"),
     ("checkpoint", "checkpoint save"),

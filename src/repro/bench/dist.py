@@ -32,6 +32,19 @@ overhead (gated by ``runner --smoke`` against the best prior same-shape
 entry), the final fleet size and the bit-identity flag against the
 single-worker fit.
 
+A **reduce run** (schema v6) measures the coordinator-occupancy
+scaling of the three reduce topologies over a widening fleet: for each
+worker count, one fit per topology (``star`` / ``stream`` / ``tree``)
+on the serial executor — arrivals are deterministic there, so the
+curve measures reduce *work*, not host thread scheduling — recording
+the coordinator's reduce-busy seconds (``dist_reduce_busy_s_``), the
+per-fit metrics delta, and the bit-identity flag.  The expected shape,
+gated by ``runner --smoke``: star's occupancy grows with the fleet
+(it re-feeds every row through the coordinator's merge each round)
+while stream hides commits behind later arrivals and tree leaves only
+a state adoption plus the inline checksum — both strictly below star
+once the fleet is wide.
+
 A **checkpoint run** measures the per-round checkpoint overhead of the
 synchronous write path against the asynchronous background writer
 (``checkpoint_sync``): three otherwise identical disk-backed fits —
@@ -68,33 +81,39 @@ __all__ = ["run_dist_bench", "run_smoke", "DEFAULT_RESULT_PATH", "main"]
 #: BENCH_fastpath.json, resolved against the working directory)
 DEFAULT_RESULT_PATH = Path("BENCH_dist.json")
 
+#: v6 added the ``reduce`` topology-scaling record (coordinator
+#: occupancy of star vs stream vs tree over a widening fleet, with
+#: per-fit metrics deltas) — gated by ``runner --smoke``.
 #: v5 added the traced crash-recovery pass (``trace`` key): the
 #: recovery fit re-run under a :class:`~repro.obs.trace.TraceRecorder`
-#: so the coordinator-side stage breakdown (gather / merge / update /
-#: abft_check / checkpoint / recovery) lands in the record and
+#: so the coordinator-side stage breakdown (gather / merge / combine /
+#: update / abft_check / checkpoint / recovery) lands in the record and
 #: ``docs/perf.md`` regenerates from the trajectory file alone.
 #: v2 added the ``elastic`` stall-then-shrink record; v3 the
 #: ``checkpoint`` sync-vs-async overhead record; v4 the ``selfheal``
 #: kill → spawn → re-expand record
-SCHEMA = "dist_scaling/v5"
+SCHEMA = "dist_scaling/v6"
 
 #: full grid (CI-feasible, a few minutes)
 FULL_SHAPE = dict(m_grid=(60_000, 120_000), n_features=64, n_clusters=64,
-                  iters=5, workers_grid=(1, 2, 4))
+                  iters=5, workers_grid=(1, 2, 4),
+                  reduce_workers_grid=(1, 2, 4, 8, 16, 32))
 
 #: smoke/gating configuration (< 30 s wall clock)
 SMOKE_SHAPE = dict(m_grid=(16_384,), n_features=32, n_clusters=16, iters=3,
-                   workers_grid=(1, 2))
+                   workers_grid=(1, 2), reduce_workers_grid=(1, 2, 8))
 
 
 def _fit_once(x, y0, *, n_clusters, iters, workers, executor, seed,
               checkpoint_every=0, worker_faults=None, elastic=False,
               round_timeout=None, checkpoint_sync=False,
               checkpoint_dir=None, target_workers=None, hot_spares=0,
-              heartbeat_interval=None, tracer=None):
+              heartbeat_interval=None, tracer=None,
+              reduce_topology="auto"):
     """One timed sharded (or single-worker) fit; returns (model, wall)."""
     km = FTKMeans(n_clusters=n_clusters, variant="tensorop", mode="fast",
                   n_workers=workers, tracer=tracer,
+                  reduce_topology=reduce_topology,
                   executor=executor if workers > 1 else "serial",
                   checkpoint_every=checkpoint_every if workers > 1 else 0,
                   max_iter=iters, tol=0.0, seed=seed, init_centroids=y0,
@@ -116,9 +135,11 @@ def run_dist_bench(m_grid=FULL_SHAPE["m_grid"],
                    n_clusters: int = FULL_SHAPE["n_clusters"],
                    iters: int = FULL_SHAPE["iters"], *,
                    workers_grid=FULL_SHAPE["workers_grid"],
+                   reduce_workers_grid=FULL_SHAPE["reduce_workers_grid"],
                    executor: str = "thread", dtype: str = "float32",
                    seed: int = 0, checkpoint_every: int = 2,
-                   round_timeout: float = 1.5) -> dict:
+                   round_timeout: float = 1.5,
+                   trace_out: str | None = None) -> dict:
     """One workers × M scaling run + recovery + elastic overhead; JSON
     record.  ``round_timeout`` bounds the elastic run's stall detection
     (the stalled child sleeps far past it and is terminated)."""
@@ -130,6 +151,9 @@ def run_dist_bench(m_grid=FULL_SHAPE["m_grid"],
         raise ValueError(f"bad m_grid {m_grid!r}")
     if not workers_grid or min(workers_grid) < 1:
         raise ValueError(f"bad workers_grid {workers_grid!r}")
+    reduce_workers_grid = tuple(int(v) for v in reduce_workers_grid)
+    if not reduce_workers_grid or min(reduce_workers_grid) < 1:
+        raise ValueError(f"bad reduce_workers_grid {reduce_workers_grid!r}")
     rng = np.random.default_rng(seed)
 
     grid = []
@@ -167,6 +191,10 @@ def run_dist_bench(m_grid=FULL_SHAPE["m_grid"],
                 "sim_speedup_vs_single": (
                     base[0].sim_time_s_ / max(1e-12, km.sim_time_s_)),
             }
+            if workers > 1:
+                # per-fit metrics delta: the unified registry view of
+                # this cell (sim.* counters + dist.* scalars)
+                row["metrics"] = km.dist_metrics_
             grid.append(row)
         rec_data = (x, y0)  # recovery runs at the largest M
 
@@ -197,6 +225,7 @@ def run_dist_bench(m_grid=FULL_SHAPE["m_grid"],
         "recovered_bit_identical": bool(
             np.array_equal(crashed.cluster_centers_,
                            clean.cluster_centers_)),
+        "metrics": crashed.dist_metrics_,
     }
 
     # -- traced pass: the crash-recovery fit once more under the span
@@ -223,6 +252,10 @@ def run_dist_bench(m_grid=FULL_SHAPE["m_grid"],
         "bit_identical_vs_untraced": True,  # asserted above
         "stage_totals": recorder.stage_totals(),
     }
+    if trace_out:
+        with open(trace_out, "w") as fh:
+            recorder.to_chrome_trace(fh)
+        trace_summary["chrome_trace_path"] = str(trace_out)
 
     # -- elastic shrink: stall one worker past the round deadline -----
     # process executor so the detector really terminates the child; the
@@ -367,6 +400,51 @@ def run_dist_bench(m_grid=FULL_SHAPE["m_grid"],
                            base[0].cluster_centers_)),
     }
 
+    # -- reduce topologies: coordinator occupancy over a widening fleet
+    # serial executor on purpose: arrivals are deterministic, so the
+    # occupancy ordering (star above stream/tree once the fleet is
+    # wide) measures reduce work, not host thread scheduling
+    reduce_curve = []
+    single_wall = None
+    for w in reduce_workers_grid:
+        if w <= 1:
+            _, single_wall = _fit_once(
+                x, y0, n_clusters=n_clusters, iters=iters, workers=1,
+                executor="serial", seed=seed)
+            continue
+        for topology in ("star", "stream", "tree"):
+            km_t, wall_t = _fit_once(
+                x, y0, n_clusters=n_clusters, iters=iters, workers=w,
+                executor="serial", seed=seed, reduce_topology=topology)
+            reduce_curve.append({
+                "workers": w,
+                "workers_effective": km_t.n_workers_,
+                "topology": topology,
+                "wall_s": wall_t,
+                "reduce_busy_s": km_t.dist_reduce_busy_s_,
+                "reduce_busy_per_round_s": (
+                    km_t.dist_reduce_busy_s_ / max(1, km_t.n_iter_)),
+                "bit_identical_vs_single": bool(
+                    np.array_equal(km_t.labels_, base[0].labels_)
+                    and np.array_equal(km_t.cluster_centers_,
+                                       base[0].cluster_centers_)),
+                "metrics": km_t.dist_metrics_,
+            })
+    widest = max(reduce_workers_grid)
+    auto_km, _ = _fit_once(
+        x, y0, n_clusters=n_clusters, iters=iters, workers=widest,
+        executor="serial", seed=seed, reduce_topology="auto")
+    reduce = {
+        "m": x.shape[0],
+        "executor": "serial",
+        "workers_grid": list(reduce_workers_grid),
+        "single_wall_s": single_wall,
+        "auto_resolved": {"workers": widest,
+                          "workers_effective": auto_km.n_workers_,
+                          "topology": auto_km.dist_reduce_topology_},
+        "curve": reduce_curve,
+    }
+
     return {
         "bench": "dist_scaling",
         "schema": SCHEMA,
@@ -379,6 +457,7 @@ def run_dist_bench(m_grid=FULL_SHAPE["m_grid"],
             "executor": executor, "workers_grid": list(workers_grid),
             "seed": seed, "checkpoint_every": checkpoint_every,
             "round_timeout": round_timeout,
+            "reduce_workers_grid": list(reduce_workers_grid),
         },
         "grid": grid,
         "recovery": recovery,
@@ -386,6 +465,7 @@ def run_dist_bench(m_grid=FULL_SHAPE["m_grid"],
         "checkpoint": checkpoint,
         "selfheal": selfheal,
         "trace": trace_summary,
+        "reduce": reduce,
     }
 
 
@@ -448,6 +528,24 @@ def _summarise(record: dict) -> str:
             f" (bit-identical {trc['bit_identical_vs_untraced']}): "
             + ", ".join(f"{name} {tot['wall_s']:.3f} s"
                         for name, tot in top))
+        if trc.get("chrome_trace_path"):
+            lines.append(f"  chrome trace   -> {trc['chrome_trace_path']}")
+    red = record.get("reduce")
+    if red:
+        by_workers = {}
+        for row in red["curve"]:
+            by_workers.setdefault(row["workers"], {})[row["topology"]] = row
+        for w, cells in sorted(by_workers.items()):
+            lines.append(
+                f"  reduce W={w}: " + " | ".join(
+                    f"{t} busy {cells[t]['reduce_busy_s'] * 1e3:.2f} ms"
+                    f" (bit-identical {cells[t]['bit_identical_vs_single']})"
+                    for t in ("star", "stream", "tree") if t in cells))
+        auto = red["auto_resolved"]
+        lines.append(
+            f"  reduce auto: {auto['workers']} workers "
+            f"({auto['workers_effective']} effective) -> "
+            f"{auto['topology']}")
     return "\n".join(lines)
 
 
@@ -469,6 +567,9 @@ def main(argv=None) -> dict:
                              "shrink-recovery run")
     parser.add_argument("--out", default=str(DEFAULT_RESULT_PATH),
                         help="trajectory JSON to append to ('-' to skip)")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="write the traced run as a Chrome trace JSON "
+                             "(load via chrome://tracing or Perfetto)")
     args = parser.parse_args(argv)
 
     kwargs = dict(SMOKE_SHAPE if args.smoke else FULL_SHAPE)
@@ -482,7 +583,8 @@ def main(argv=None) -> dict:
         kwargs["workers_grid"] = tuple(
             int(v) for v in args.workers.split(","))
     record = run_dist_bench(executor=args.executor,
-                            round_timeout=args.round_timeout, **kwargs)
+                            round_timeout=args.round_timeout,
+                            trace_out=args.trace_out, **kwargs)
     print(_summarise(record))
     if args.out != "-":
         path = write_record(record, args.out, schema=SCHEMA)

@@ -99,7 +99,14 @@ class FTKMeans:
     plus the checkpoint-overhead split ``dist_checkpoint_save_s_``
     (in-loop save cost: full writes when ``checkpoint_sync=True``,
     snapshot+enqueue when async) and ``dist_checkpoint_flush_s_`` (the
-    end-of-fit flush barrier of the async writer).
+    end-of-fit flush barrier of the async writer), the reduce-topology
+    pair ``dist_reduce_topology_`` (the resolved topology of the fit's
+    last round — see ``reduce_topology`` in
+    :class:`~repro.core.config.KMeansConfig`) and ``dist_reduce_busy_s_``
+    (coordinator occupancy of the reduce: wall seconds of merge work
+    not hidden under still-computing workers), and ``dist_metrics_``
+    (the fit's :class:`~repro.obs.metrics.MetricsRegistry` delta —
+    ``sim.*`` / ``dist.*`` scalars contributed by exactly this fit).
 
     ``spawn_hook`` (constructor-only, like ``worker_faults``) is the
     fleet manager's budget callback for booting replacement workers
@@ -134,6 +141,7 @@ class FTKMeans:
                  round_timeout=None, elastic: bool = False,
                  target_workers: int | None = None, hot_spares: int = 0,
                  heartbeat_interval: float | None = None,
+                 reduce_topology: str = "auto",
                  reassignment_mode: str = "deterministic",
                  reassignment_ratio: float = 0.01,
                  init: str = "k-means++", max_iter: int = 50,
@@ -154,6 +162,7 @@ class FTKMeans:
             round_timeout=round_timeout, elastic=elastic,
             target_workers=target_workers, hot_spares=hot_spares,
             heartbeat_interval=heartbeat_interval,
+            reduce_topology=reduce_topology,
             reassignment_mode=reassignment_mode,
             reassignment_ratio=reassignment_ratio,
             init=init, max_iter=max_iter, tol=tol, seed=seed)
@@ -367,6 +376,9 @@ class FTKMeans:
         self.dist_trace_ = res.trace
         self.dist_checkpoint_save_s_ = res.checkpoint_save_s
         self.dist_checkpoint_flush_s_ = res.checkpoint_flush_s
+        self.dist_reduce_busy_s_ = res.reduce_busy_s
+        self.dist_reduce_topology_ = res.reduce_topology
+        self.dist_metrics_ = res.metrics
         # predict/score run single-pass through an ordinary assigner
         self._assigner = build_assignment(cfg, m, k, rng)
         return self

@@ -48,7 +48,11 @@ module: shard-keyed checkpoints of the *workers'* engine operand caches
 (norms + hoisted operand copies), so a replacement worker booting onto
 a shard skips recomputing per-fit invariants the dead worker already
 paid for.  Unlike coordinator snapshots these never affect the fit's
-bits — a missing or compacted entry only costs boot time.
+bits — a missing or compacted entry only costs boot time.  Both stores
+share one :class:`_DaemonWriter` implementation for their asynchronous
+write paths; the cache store additionally exposes :meth:`refresh` so
+long fits can periodically re-assert entries that compaction evicted,
+paying only an existence check while the entry is still warm.
 """
 
 from __future__ import annotations
@@ -64,6 +68,83 @@ from pathlib import Path
 import numpy as np
 
 __all__ = ["CheckpointStore", "WorkerCacheStore"]
+
+
+class _DaemonWriter:
+    """Bounded queue of write thunks drained by one self-respawning daemon.
+
+    The shared engine behind both stores' asynchronous write paths:
+    :meth:`submit` enqueues a zero-argument callable (blocking once
+    ``queue_max`` thunks are outstanding, so a producer that outruns
+    the disk throttles instead of buffering unbounded blobs) and
+    :meth:`flush` is the barrier — it returns only when every accepted
+    thunk has run.  A thunk that raises poisons the writer: the queue
+    is dropped and the exception re-raises at the next submit/flush.
+
+    The drain thread exits when idle and is respawned by the next
+    submit.  Liveness is a lock-guarded flag cleared in the same
+    critical section as the exit decision — ``Thread.is_alive()`` could
+    report a dying-but-alive thread and let a submit skip the respawn,
+    orphaning its freshly queued thunk.
+    """
+
+    def __init__(self, name: str = "daemon-writer", *, queue_max: int = 4):
+        self.name = name
+        self.queue_max = int(queue_max)
+        self._cond = threading.Condition()
+        self._pending: deque = deque()
+        self._thread: threading.Thread | None = None
+        self._live = False
+        self._busy = False
+        self._error: BaseException | None = None
+
+    def submit(self, fn) -> None:
+        with self._cond:
+            if self._error is not None:
+                err, self._error = self._error, None
+                raise err
+            while len(self._pending) >= self.queue_max:
+                self._cond.wait()
+            self._pending.append(fn)
+            if not self._live:
+                self._live = True
+                self._thread = threading.Thread(
+                    target=self._drain, name=self.name, daemon=True)
+                self._thread.start()
+            self._cond.notify_all()
+
+    def flush(self) -> None:
+        with self._cond:
+            while self._pending or self._busy:
+                self._cond.wait()
+            if self._error is not None:
+                err, self._error = self._error, None
+                raise err
+
+    def _drain(self) -> None:
+        while True:
+            with self._cond:
+                if not self._pending:
+                    # exit decision and liveness clear are atomic under
+                    # the lock: any submit() arriving after this sees a
+                    # dead writer and spawns a fresh one
+                    self._live = False
+                    self._busy = False
+                    self._cond.notify_all()
+                    return
+                fn = self._pending.popleft()
+                self._busy = True
+                self._cond.notify_all()
+            try:
+                fn()
+            except BaseException as exc:
+                with self._cond:
+                    self._error = exc
+                    self._pending.clear()
+                    self._live = False
+                    self._busy = False
+                    self._cond.notify_all()
+                return
 
 
 class CheckpointStore:
@@ -112,19 +193,9 @@ class CheckpointStore:
             self._sweep_tmp()
         self.sync = (self.directory is None) if sync is None else bool(sync)
         self._mem: dict[int, bytes] = {}
-        # background-writer state (directory-backed async stores only)
-        self._cond = threading.Condition()
-        self._pending: deque[tuple[int, bytes]] = deque()
-        self._writer: threading.Thread | None = None
-        # lock-guarded liveness flag: the writer clears it under the
-        # condition lock in the same critical section where it decides
-        # to exit, so a saver can never observe a dying-but-alive
-        # thread and skip the respawn (Thread.is_alive() could — the
-        # thread stays alive for a window after its exit decision,
-        # which would orphan the saver's freshly queued blob)
-        self._writer_live = False
-        self._writing = False
-        self._error: BaseException | None = None
+        # background writer (directory-backed async stores only)
+        self._writer = _DaemonWriter("checkpoint-writer",
+                                     queue_max=self.QUEUE_MAX)
 
     # ------------------------------------------------------------------
     def _publish(self, kind: str, **fields) -> None:
@@ -172,22 +243,9 @@ class CheckpointStore:
             self._publish("checkpoint_save", iteration=int(iteration),
                           nbytes=len(blob), mode="sync")
             return
-        with self._cond:
-            if self._error is not None:
-                err, self._error = self._error, None
-                raise err
-            while len(self._pending) >= self.QUEUE_MAX:
-                self._cond.wait()
-            self._pending.append((iteration, blob))
-            if not self._writer_live:
-                self._writer_live = True
-                self._writer = threading.Thread(
-                    target=self._drain, name="checkpoint-writer",
-                    daemon=True)
-                self._writer.start()
-            self._cond.notify_all()
-        # published outside the condition lock: subscribers run on the
-        # saving thread and must never block the writer hand-off
+        self._writer.submit(lambda: self._write_and_prune(iteration, blob))
+        # published outside the writer hand-off: subscribers run on the
+        # saving thread and must never block the drain loop
         self._publish("checkpoint_save", iteration=int(iteration),
                       nbytes=len(blob), mode="async")
 
@@ -197,41 +255,12 @@ class CheckpointStore:
         synchronous and in-memory stores."""
         if self.directory is None or self.sync:
             return
-        with self._cond:
-            while self._pending or self._writing:
-                self._cond.wait()
-            if self._error is not None:
-                err, self._error = self._error, None
-                raise err
+        self._writer.flush()
         self._publish("checkpoint_flush")
 
-    def _drain(self) -> None:
-        """Background writer: pop-write-prune until the queue runs dry
-        (the thread exits when idle and is respawned by the next save)."""
-        while True:
-            with self._cond:
-                if not self._pending:
-                    # exit decision and liveness clear are atomic under
-                    # the lock: any save() arriving after this sees a
-                    # dead writer and spawns a fresh one
-                    self._writer_live = False
-                    self._writing = False
-                    self._cond.notify_all()
-                    return
-                iteration, blob = self._pending.popleft()
-                self._writing = True
-                self._cond.notify_all()
-            try:
-                self._write_blob(iteration, blob)
-                self._prune()
-            except BaseException as exc:
-                with self._cond:
-                    self._error = exc
-                    self._pending.clear()
-                    self._writer_live = False
-                    self._writing = False
-                    self._cond.notify_all()
-                return
+    def _write_and_prune(self, iteration: int, blob: bytes) -> None:
+        self._write_blob(iteration, blob)
+        self._prune()
 
     def _write_blob(self, iteration: int, blob: bytes) -> None:
         # unique tmp name (two writers on one directory can never step
@@ -326,13 +355,31 @@ class WorkerCacheStore:
 
     Two modes: **directory-backed** (one ``.npz`` pair per key, written
     tmp-then-:func:`os.replace` so readers never see a torn entry;
-    shareable across processes — the store holds no locks or threads
-    and pickles freely into process-executor children) or **in-memory**
+    shareable across processes — the writer state is dropped on pickle,
+    so the store still pickles freely into process-executor children,
+    each of which lazily spawns its own writer) or **in-memory**
     (``directory=None``; effective on the serial/thread backends only,
     since a forked child's copy dies with it).
 
     ``save`` skips keys that already have a light entry — first writer
-    wins, and replayed boots stay write-free.
+    wins, and replayed boots stay write-free.  :meth:`refresh` is the
+    long-fit companion: a first-writer-wins re-save that builds its
+    payload lazily, so keeping an entry warm past compaction costs
+    nothing while the entry still exists.
+
+    **Asynchronous writes.**  Directory-backed stores default to the
+    same :class:`_DaemonWriter` the coordinator's snapshot store uses
+    (``sync=None`` resolves exactly like :class:`CheckpointStore`):
+    ``save`` runs the existence check and heavy-budget eviction inline,
+    then hands the npz writes to the background writer, keeping worker
+    boot and refresh cadence off the write+fsync cost.  Reads and
+    :meth:`clear` flush first, so a same-process load never races a
+    write.  Unlike coordinator snapshots a failed cache write is
+    *swallowed* — counted in ``write_errors``, never raised — because a
+    missing entry only costs a later boot time, and failing a healthy
+    fit over a best-effort cache would invert the store's purpose.
+    Operand payloads are per-fit-static, so deferring the write never
+    snapshots a torn value.
     """
 
     #: always-kept operand names (small: O(rows) scalars)
@@ -341,16 +388,48 @@ class WorkerCacheStore:
     HEAVY_KEYS = ("x_rounded", "x_t")
 
     def __init__(self, directory: str | os.PathLike | None = None, *,
-                 budget_bytes: int = 256 << 20):
+                 budget_bytes: int = 256 << 20, sync: bool | None = None):
         self.directory = Path(directory) if directory is not None else None
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
         self.budget_bytes = int(budget_bytes)
+        self.sync = (self.directory is None) if sync is None else bool(sync)
         self._light: dict[str, dict] = {}
         self._heavy: dict[str, dict] = {}
+        #: keys whose write is queued but possibly not yet on disk —
+        #: keeps save/refresh first-writer-wins within this process
+        #: during the async in-flight window
+        self._queued: set[str] = set()
+        self._writer: _DaemonWriter | None = None
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.write_errors = 0
+
+    def __getstate__(self):
+        # threads and locks never cross a process boundary: a pickled
+        # copy (process-executor child) starts with a fresh lazy writer
+        # and an empty in-flight set — at worst it re-queues a write the
+        # parent already has in flight, and tmp+replace makes that safe
+        state = self.__dict__.copy()
+        state["_writer"] = None
+        state["_queued"] = set()
+        return state
+
+    def _writer_handle(self) -> _DaemonWriter:
+        if self._writer is None:
+            self._writer = _DaemonWriter("workercache-writer")
+        return self._writer
+
+    def flush(self) -> None:
+        """Barrier: wait out queued cache writes (failures are counted
+        in ``write_errors``, not raised — entries are best-effort)."""
+        if self._writer is None:
+            return
+        try:
+            self._writer.flush()
+        except Exception:
+            self.write_errors += 1
 
     # ------------------------------------------------------------------
     def _light_path(self, key: str) -> Path:
@@ -390,6 +469,10 @@ class WorkerCacheStore:
         False when the new payload alone exceeds the budget."""
         if nbytes > self.budget_bytes:
             return False
+        # the budget decision reads on-disk usage, so queued writes
+        # must land first — heavy admission is the one save path that
+        # synchronizes; light-only saves and refresh no-ops never wait
+        self.flush()
         usage = self._heavy_usage()
         used = sum(n for _, _, n in usage)
         for _, handle, n in usage:
@@ -416,9 +499,7 @@ class WorkerCacheStore:
         heavy = {k: operands[k] for k in self.HEAVY_KEYS if k in operands}
         if not light:
             return False
-        exists = (key in self._light if self.directory is None
-                  else self._light_path(key).exists())
-        if exists:
+        if self._has_entry(key):
             return False
         heavy_bytes = sum(a.nbytes for a in heavy.values())
         keep_heavy = heavy and self._evict_for(heavy_bytes)
@@ -428,10 +509,43 @@ class WorkerCacheStore:
                 self._heavy[key] = {k: np.array(v)
                                     for k, v in heavy.items()}
             return True
-        if keep_heavy:
-            self._write_npz(self._heavy_path(key), heavy)
-        self._write_npz(self._light_path(key), light)
+
+        def write():
+            # light last: its presence is the entry-exists marker, so a
+            # reader that sees it knows the heavy write already landed
+            # (or was compacted) — same order the sync path always used
+            if keep_heavy:
+                self._write_npz(self._heavy_path(key), heavy)
+            self._write_npz(self._light_path(key), light)
+
+        if self.sync:
+            write()
+            return True
+        self._queued.add(key)
+        try:
+            self._writer_handle().submit(write)
+        except Exception:
+            self.write_errors += 1
         return True
+
+    def _has_entry(self, key: str) -> bool:
+        if self.directory is None:
+            return key in self._light
+        return key in self._queued or self._light_path(key).exists()
+
+    def refresh(self, key: str, payload_fn) -> bool:
+        """First-writer-wins re-save with a lazily built payload.
+
+        While the key's light entry exists (or its write is still in
+        flight) this is a pure existence check — ``payload_fn`` is
+        never called.  Once compaction (or an operator wiping the
+        directory) dropped the entry, ``payload_fn()`` supplies fresh
+        operands and the entry is re-saved through :meth:`save`.
+        Returns True when a re-save was written/queued.
+        """
+        if self._has_entry(key):
+            return False
+        return self.save(key, payload_fn())
 
     def load(self, key: str) -> dict | None:
         """The shard's preload dict, or None (counted as hit/miss).
@@ -448,6 +562,7 @@ class WorkerCacheStore:
             out = dict(light)
             out.update(self._heavy.get(key, {}))
             return out
+        self.flush()          # a same-process load never races a write
         try:
             with np.load(self._light_path(key)) as z:
                 out = {k: z[k] for k in z.files}
@@ -466,7 +581,9 @@ class WorkerCacheStore:
         """Drop every entry (call between fits — operands are per-x)."""
         self._light.clear()
         self._heavy.clear()
+        self._queued.clear()
         if self.directory is not None:
+            self.flush()      # no in-flight write survives to recreate
             for pattern in ("*.npz", "*.tmp"):
                 for p in self.directory.glob(pattern):
                     p.unlink(missing_ok=True)

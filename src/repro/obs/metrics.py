@@ -128,9 +128,11 @@ _DIST_SCALAR_FIELDS = (
     "inertia", "n_iter", "recoveries", "crash_recoveries",
     "stall_recoveries", "shrinks", "checkpoint_save_s",
     "checkpoint_flush_s", "promotions", "expands", "heartbeat_failures",
+    "reduce_busy_s",
 )
 
-_DIST_GAUGES = {"inertia", "checkpoint_save_s", "checkpoint_flush_s"}
+_DIST_GAUGES = {"inertia", "checkpoint_save_s", "checkpoint_flush_s",
+                "reduce_busy_s"}
 
 
 def dist_result_metric_names() -> dict:

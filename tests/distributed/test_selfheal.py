@@ -462,6 +462,60 @@ class TestWorkerCacheStore:
         assert store.load("shard_0_64") is None
         assert list(tmp_path.glob("*.npz")) == []
 
+    @pytest.mark.parametrize("backed", ["memory", "disk"])
+    def test_refresh_is_lazy_while_entry_is_warm(self, tmp_path, backed):
+        store = WorkerCacheStore(tmp_path if backed == "disk" else None)
+        ops = self._operands(np.random.default_rng(1))
+        store.save("shard_0_64", ops)
+        calls = []
+        assert store.refresh(
+            "shard_0_64", lambda: calls.append(1) or ops) is False
+        assert calls == []                 # payload never built
+
+    def test_refresh_resaves_an_evicted_entry(self, tmp_path):
+        store = WorkerCacheStore(tmp_path)
+        ops = self._operands(np.random.default_rng(1))
+        store.save("shard_0_64", ops)
+        store.flush()
+        for p in tmp_path.glob("*.npz"):   # compaction / operator wipe
+            p.unlink()
+        fresh = WorkerCacheStore(tmp_path)
+        assert fresh.refresh("shard_0_64", lambda: dict(ops)) is True
+        out = fresh.load("shard_0_64")
+        assert out is not None
+        assert np.array_equal(out["x_norms"], ops["x_norms"])
+
+    def test_async_default_and_pickled_copy_sheds_writer(self, tmp_path):
+        import pickle
+
+        assert WorkerCacheStore(tmp_path).sync is False
+        assert WorkerCacheStore().sync is True       # in-memory: no I/O
+        store = WorkerCacheStore(tmp_path)
+        store.save("shard_0_64", self._operands(np.random.default_rng(1)))
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone._writer is None and clone._queued == set()
+        store.flush()
+        assert clone.load("shard_0_64") is not None
+
+    def test_queued_save_keeps_first_writer_wins(self, tmp_path):
+        store = WorkerCacheStore(tmp_path)
+        a = self._operands(np.random.default_rng(1))
+        b = self._operands(np.random.default_rng(2))
+        assert store.save("shard_0_64", a) is True
+        # second save lands inside the async in-flight window
+        assert store.save("shard_0_64", b) is False
+        assert np.array_equal(store.load("shard_0_64")["x_norms"],
+                              a["x_norms"])
+
+    def test_failed_write_is_counted_not_raised(self, tmp_path):
+        import pathlib
+
+        store = WorkerCacheStore(tmp_path)
+        store.directory = pathlib.Path(tmp_path) / "vanished"
+        store.save("shard_0_64", self._operands(np.random.default_rng(1)))
+        store.flush()                      # must not raise
+        assert store.write_errors >= 1
+
 
 class TestOperandHoist:
     """Satellites: the blocked transpose and the update stage's bound
