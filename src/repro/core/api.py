@@ -104,7 +104,16 @@ class FTKMeans:
     last round — see ``reduce_topology`` in
     :class:`~repro.core.config.KMeansConfig`) and ``dist_reduce_busy_s_``
     (coordinator occupancy of the reduce: wall seconds of merge work
-    not hidden under still-computing workers), and ``dist_metrics_``
+    not hidden under still-computing workers), the transport quartet
+    ``dist_transport_`` (the resolved round-loop transport, 'pipe' or
+    'shm' — see ``transport`` in
+    :class:`~repro.core.config.KMeansConfig`),
+    ``dist_broadcast_bytes_`` / ``dist_gather_bytes_`` (per-fit bytes
+    moved over the executor's worker pipes in each direction — full
+    pickled payloads under 'pipe', control/ack tokens only under
+    'shm') and ``dist_boot_stats_`` (worker boot/attach walls
+    aggregated by kind: cold spawn vs spare promote vs warm
+    reconfigure), and ``dist_metrics_``
     (the fit's :class:`~repro.obs.metrics.MetricsRegistry` delta —
     ``sim.*`` / ``dist.*`` scalars contributed by exactly this fit).
 
@@ -142,6 +151,7 @@ class FTKMeans:
                  target_workers: int | None = None, hot_spares: int = 0,
                  heartbeat_interval: float | None = None,
                  reduce_topology: str = "auto",
+                 transport: str = "auto",
                  reassignment_mode: str = "deterministic",
                  reassignment_ratio: float = 0.01,
                  init: str = "k-means++", max_iter: int = 50,
@@ -163,6 +173,7 @@ class FTKMeans:
             target_workers=target_workers, hot_spares=hot_spares,
             heartbeat_interval=heartbeat_interval,
             reduce_topology=reduce_topology,
+            transport=transport,
             reassignment_mode=reassignment_mode,
             reassignment_ratio=reassignment_ratio,
             init=init, max_iter=max_iter, tol=tol, seed=seed)
@@ -378,6 +389,10 @@ class FTKMeans:
         self.dist_checkpoint_flush_s_ = res.checkpoint_flush_s
         self.dist_reduce_busy_s_ = res.reduce_busy_s
         self.dist_reduce_topology_ = res.reduce_topology
+        self.dist_transport_ = res.transport
+        self.dist_broadcast_bytes_ = res.broadcast_bytes
+        self.dist_gather_bytes_ = res.gather_bytes
+        self.dist_boot_stats_ = res.boot_stats
         self.dist_metrics_ = res.metrics
         # predict/score run single-pass through an ordinary assigner
         self._assigner = build_assignment(cfg, m, k, rng)

@@ -13,7 +13,7 @@ from repro.gpusim.device import DeviceSpec, get_device
 
 __all__ = ["KMeansConfig", "VARIANT_NAMES", "MODES", "UPDATE_MODES",
            "EXECUTORS", "REASSIGNMENT_MODES", "PRUNE_MODES",
-           "REDUCE_TOPOLOGIES"]
+           "REDUCE_TOPOLOGIES", "TRANSPORTS"]
 
 #: assignment-stage implementations, in the paper's optimisation order
 VARIANT_NAMES = ("naive", "v1", "v2", "v3", "tensorop", "ft")
@@ -32,6 +32,11 @@ EXECUTORS = ("serial", "thread", "process")
 #: effective worker count: 'tree' on wide fleets, 'stream' mid-size,
 #: 'star' for small ones)
 REDUCE_TOPOLOGIES = ("auto", "star", "stream", "tree")
+
+#: bulk-payload transports of the sharded round loop ('auto' resolves
+#: per executor: the zero-copy shared-memory plane on the process
+#: backend, plain pipes everywhere else)
+TRANSPORTS = ("auto", "pipe", "shm")
 
 #: empty-cluster handling policies of the online/mini-batch update
 REASSIGNMENT_MODES = ("deterministic", "count_threshold", "random")
@@ -198,6 +203,25 @@ class KMeansConfig:
         association never changes; see ``docs/distributed.md``).
         'auto' (default) picks 'tree' for 8+ workers, 'stream' for
         3-7 and 'star' below.
+    transport:
+        With ``n_workers > 1``: how the round loop's bulk payloads
+        move between the coordinator and the workers.  'pipe' pickles
+        everything over the executor's pipes (the legacy behaviour;
+        the only option on the in-process backends, which have no
+        serialization to eliminate).  'shm' (process backend) is the
+        zero-copy shared-memory plane (:mod:`repro.dist.shm`): the
+        dataset lives once in ``multiprocessing.shared_memory`` and
+        workers map their shard as a view (spares and re-expands
+        attach in O(1) instead of re-pickling rows), the per-round
+        centroid broadcast is one write into a generation-stamped
+        buffer instead of W pipe sends, and labels/distances/partials
+        come back through per-worker shared slots — the pipes carry
+        only control/ack tokens.  Both transports are bit-identical to
+        each other and to ``n_workers=1`` for every topology ×
+        membership history.  'auto' (default) picks 'shm' on the
+        process executor (falling back to 'pipe' with a warning if
+        segment creation fails) and 'pipe' elsewhere; an explicit
+        'shm' raises instead of falling back.
     heartbeat_interval:
         With ``n_workers > 1``: minimum seconds between the fleet
         manager's between-round liveness sweeps (None disables).  A
@@ -247,6 +271,7 @@ class KMeansConfig:
     hot_spares: int = 0
     heartbeat_interval: float | None = None
     reduce_topology: str = "auto"
+    transport: str = "auto"
     reassignment_mode: str = "deterministic"
     reassignment_ratio: float = 0.01
     init: str = "k-means++"
@@ -352,6 +377,15 @@ class KMeansConfig:
             raise ValueError(
                 f"unknown reduce_topology {self.reduce_topology!r}; "
                 f"choose from {REDUCE_TOPOLOGIES}")
+        if self.transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {self.transport!r}; "
+                f"choose from {TRANSPORTS}")
+        if self.transport == "shm" and self.executor != "process":
+            raise ValueError(
+                "transport='shm' requires executor='process' (the "
+                "in-process backends have no serialization to "
+                "eliminate); use 'auto' or 'pipe'")
         if self.reassignment_mode not in REASSIGNMENT_MODES:
             raise ValueError(
                 f"unknown reassignment_mode {self.reassignment_mode!r}; "
@@ -405,3 +439,24 @@ class KMeansConfig:
         if w >= 3:
             return "stream"
         return "star"
+
+    def resolved_transport(self, executor: str | None = None) -> str:
+        """The effective round-loop transport ('auto' resolved).
+
+        Parameters
+        ----------
+        executor : str, optional
+            Executor backend to resolve against; defaults to the
+            configured ``executor``.
+
+        Returns
+        -------
+        str
+            'shm' on the process executor (unless ``transport='pipe'``
+            was forced); 'pipe' on the in-process backends, which move
+            no bytes at all.
+        """
+        ex = self.executor if executor is None else executor
+        if ex != "process":
+            return "pipe"
+        return "shm" if self.transport in ("auto", "shm") else "pipe"

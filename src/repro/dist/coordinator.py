@@ -128,6 +128,7 @@ from __future__ import annotations
 import pickle
 import sys
 import time
+import warnings
 from collections import deque
 from dataclasses import dataclass, field, replace
 from functools import partial
@@ -135,7 +136,7 @@ from functools import partial
 import numpy as np
 
 from repro.core.accumulate import StreamedAccumulator
-from repro.core.config import KMeansConfig
+from repro.core.config import TRANSPORTS, KMeansConfig
 from repro.core.convergence import ConvergenceMonitor
 from repro.core.engine import resolve_operand_budget, transpose_blocked
 from repro.core.update import UpdateStage
@@ -145,6 +146,7 @@ from repro.dist.executors import BaseExecutor, make_executor
 from repro.dist.faults import WorkerCrash, WorkerFaultInjector
 from repro.dist.fleet import FleetManager
 from repro.dist.plan import ShardPlan, combine_schedule
+from repro.dist.shm import ShmSession
 from repro.dist.worker import RoundResult, build_worker
 from repro.gpusim.clock import SimClock
 from repro.gpusim.counters import PerfCounters
@@ -191,6 +193,10 @@ class DistFitResult:
     heartbeat_failures: int = 0          # losses caught by heartbeat
     reduce_busy_s: float = 0.0           # coordinator reduce occupancy
     reduce_topology: str = "star"        # resolved topology (last round)
+    transport: str = "pipe"              # resolved round-loop transport
+    broadcast_bytes: int = 0             # pipe bytes coordinator->workers
+    gather_bytes: int = 0                # pipe bytes workers->coordinator
+    boot_stats: dict = field(default_factory=dict)  # boot walls by kind
     metrics: dict = field(default_factory=dict)  # per-fit registry delta
 
 
@@ -228,6 +234,26 @@ class ReduceOccupancy:
         t_last = self._t_last
         self.busy_s += sum(max(0.0, t1 - max(t0, t_last))
                            for t0, t1 in self._segments)
+
+
+def _boot_stats(events: list[dict]) -> dict:
+    """Aggregate a fit's boot events by kind (count / total / mean / max).
+
+    ``events`` are the executor's per-handshake records ({"kind",
+    "worker_id", "wall_s"}); the aggregate is what rides on
+    :attr:`DistFitResult.boot_stats` and into the bench records, where
+    the spare-promote / shm-attach win over a cold spawn is visible.
+    """
+    stats: dict[str, dict] = {}
+    for ev in events:
+        s = stats.setdefault(ev["kind"],
+                             {"count": 0, "total_s": 0.0, "max_s": 0.0})
+        s["count"] += 1
+        s["total_s"] += float(ev["wall_s"])
+        s["max_s"] = max(s["max_s"], float(ev["wall_s"]))
+    for s in stats.values():
+        s["mean_s"] = s["total_s"] / s["count"]
+    return stats
 
 
 class Coordinator:
@@ -309,6 +335,14 @@ class Coordinator:
         Shard-keyed store for the workers' engine operand caches; by
         default derived from a directory-backed checkpoint store (a
         ``worker_cache/`` subdirectory), absent otherwise.
+    transport : str, optional
+        Round-loop bulk-payload transport ('auto' / 'pipe' / 'shm');
+        defaults to ``cfg.transport``.  Resolved per fit against the
+        executor backend: 'shm' (the zero-copy shared-memory plane,
+        :mod:`repro.dist.shm`) only ever engages on the process
+        executor; in-process backends always run 'pipe'.  Under 'auto'
+        a failed segment creation falls back to 'pipe' with a warning;
+        an explicit 'shm' lets the failure raise.
     """
 
     #: adaptive deadline = ADAPTIVE_MULT x trailing-median round time
@@ -342,7 +376,8 @@ class Coordinator:
                  heartbeat_interval: float | None = None,
                  spawn_hook=None, event_hook=None,
                  event_bus: EventBus | None = None, tracer=None,
-                 worker_cache: WorkerCacheStore | None = None):
+                 worker_cache: WorkerCacheStore | None = None,
+                 transport: str | None = None):
         if cfg.mode != "fast":
             raise ValueError("sharded execution requires mode='fast'")
         self.cfg = cfg
@@ -370,6 +405,11 @@ class Coordinator:
         self.round_timeout = (None if round_timeout is None
                               else float(round_timeout))
         self.executor.round_timeout = self.round_timeout
+        self.transport = cfg.transport if transport is None else transport
+        if self.transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {self.transport!r}; "
+                f"choose from {TRANSPORTS}")
         self.event_bus = event_bus if event_bus is not None else EventBus()
         self.tracer = tracer
         self.fleet = FleetManager(
@@ -452,11 +492,47 @@ class Coordinator:
         cache_refresh_every = (self.checkpoint_every
                                if self.worker_cache is not None else 0)
 
+        # transport resolution: the shared-memory plane only ever
+        # engages on the process executor (the in-process backends have
+        # no serialization to eliminate); 'auto' degrades to 'pipe'
+        # with a warning if segment creation fails, explicit 'shm' lets
+        # the failure surface
+        transport = ("shm" if (getattr(self.executor, "name", "custom")
+                               == "process"
+                               and self.transport in ("auto", "shm"))
+                     else "pipe")
+        shm_session = None
+        if transport == "shm":
+            try:
+                shm_session = ShmSession(x, sample_weight)
+            except OSError as exc:
+                if self.transport == "shm":
+                    raise
+                warnings.warn(
+                    f"shared-memory transport unavailable "
+                    f"({exc}); falling back to the pipe transport",
+                    RuntimeWarning, stacklevel=2)
+                transport = "pipe"
+
         # functools.partial of a module-level function: picklable, so
         # the process executor can ship it under any start method.  The
         # plan is baked in, so every membership change builds a fresh
-        # factory for the executor restart.
+        # factory for the executor restart.  Under shm the factory
+        # carries segment *refs* instead of the arrays — booting a
+        # replacement (cold, spare promote, or re-expand) pickles a few
+        # hundred bytes and attaches the shard as a view in O(1).
         def make_factory(p: ShardPlan):
+            if shm_session is not None:
+                shm_session.make_slots(p, n_clusters, k, cfg.dtype,
+                                       export_state)
+                return partial(build_worker, plan=p, cfg=worker_cfg,
+                               n_clusters=n_clusters,
+                               data_ref=shm_session.data_ref,
+                               weight_ref=shm_session.weight_ref,
+                               base_seed=base_seed,
+                               cache_store=self.worker_cache,
+                               cache_refresh_every=cache_refresh_every,
+                               export_state=export_state)
             return partial(build_worker, x=x, plan=p, cfg=worker_cfg,
                            n_clusters=n_clusters,
                            sample_weight=sample_weight,
@@ -546,6 +622,9 @@ class Coordinator:
                            n_workers=int(plan.n_workers))
         fit_span.__enter__()
         self.fleet.attach(self.executor, plan)
+        if hasattr(self.executor, "reset_transport_stats"):
+            self.executor.reset_transport_stats()
+        self.executor.shm_session = shm_session
         self.executor.start(factory, plan.worker_ids)
         n_iter = 0
         # the round in flight: (iteration, directives, send time, plan
@@ -561,12 +640,18 @@ class Coordinator:
                         it, plan.worker_ids)
                         if self.faults is not None else {})
                     t_send = time.monotonic()
-                    with tr.span("broadcast", iteration=int(it)):
+                    with tr.span("broadcast", iteration=int(it)) as sp:
+                        b0 = getattr(self.executor, "broadcast_bytes", 0)
                         self.executor.send_round(y, it, directives)
+                        if sp is not None:
+                            sp.meta["payload_bytes"] = (
+                                getattr(self.executor,
+                                        "broadcast_bytes", 0) - b0)
                     pending = (it, directives, t_send, plan)
                 cur, directives, t_send, cur_plan = pending
                 topology = cfg.resolved_reduce_topology(cur_plan.n_workers)
                 occ.begin_round()
+                g0 = getattr(self.executor, "gather_bytes", 0)
                 abft_done = False
                 round_span = None
                 try:
@@ -598,7 +683,7 @@ class Coordinator:
                         round_span = tr.span("round", iteration=int(cur))
                         round_span.__enter__()
                         # -- gather (worker order == sample order) -----
-                        with tr.span("gather"):
+                        with tr.span("gather") as sp:
                             t0 = time.monotonic()
                             for res, shard in zip(results,
                                                   cur_plan.shards):
@@ -607,6 +692,10 @@ class Coordinator:
                                 counters.merge(res.counters)
                             self._charge_round(clock, results)
                             occ.segment(t0)
+                            if sp is not None:
+                                sp.meta["payload_bytes"] = (
+                                    getattr(self.executor,
+                                            "gather_bytes", 0) - g0)
                         if topology == "tree":
                             # pairwise combine tree on the workers; a
                             # mid-combine death routes into the same
@@ -783,8 +872,13 @@ class Coordinator:
                 if overlap and cur < cfg.max_iter:
                     self._arm_deadline(round_times)
                     t_send = time.monotonic()
-                    with tr.span("broadcast", iteration=int(cur + 1)):
+                    with tr.span("broadcast", iteration=int(cur + 1)) as sp:
+                        b0 = getattr(self.executor, "broadcast_bytes", 0)
                         self.executor.send_round(y, cur + 1, {})
+                        if sp is not None:
+                            sp.meta["payload_bytes"] = (
+                                getattr(self.executor,
+                                        "broadcast_bytes", 0) - b0)
                     pending = (cur + 1, {}, t_send, plan)
 
                 # -- off-critical tail ---------------------------------
@@ -833,6 +927,13 @@ class Coordinator:
                     except Exception:
                         pass
             self.executor.shutdown()
+            # unlink the fit's shared segments on the way out (error
+            # paths included); a coordinator killed before reaching
+            # here is covered by the resource tracker — either way
+            # /dev/shm holds no strays once the fit is gone
+            self.executor.shm_session = None
+            if shm_session is not None:
+                shm_session.close()
             # flush barrier: every snapshot of this fit is durable
             # before fit() returns (or propagates its error)
             t0 = time.perf_counter()
@@ -870,7 +971,13 @@ class Coordinator:
             checkpoint_save_s=ckpt_save_s, checkpoint_flush_s=ckpt_flush_s,
             promotions=self.fleet.promotions, expands=self.fleet.expands,
             heartbeat_failures=heartbeat_failures,
-            reduce_busy_s=occ.busy_s, reduce_topology=topology)
+            reduce_busy_s=occ.busy_s, reduce_topology=topology,
+            transport=transport,
+            broadcast_bytes=int(getattr(self.executor,
+                                        "broadcast_bytes", 0)),
+            gather_bytes=int(getattr(self.executor, "gather_bytes", 0)),
+            boot_stats=_boot_stats(getattr(self.executor,
+                                           "boot_events", [])))
         # per-fit metrics delta: a fresh registry ingests the fit's two
         # counter surfaces, and the delta against the empty snapshot —
         # i.e. exactly what *this* fit contributed — rides on the result

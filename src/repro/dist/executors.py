@@ -113,18 +113,44 @@ waiting for its answers — the speculative round after convergence.
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing as mp
 import os
+import pickle
 import threading
 import time
 from abc import ABC, abstractmethod
 from multiprocessing.connection import wait as conn_wait
 
 from repro.dist.faults import WorkerCrash, WorkerStall
+from repro.dist.shm import detach_all as _shm_detach_all
+from repro.dist.shm import read_broadcast as _shm_read_broadcast
+from repro.dist.shm import write_slot as _shm_write_slot
 from repro.dist.worker import RoundResult, ShardWorker
 
 __all__ = ["BaseExecutor", "SerialExecutor", "ThreadExecutor",
            "ProcessExecutor", "make_executor"]
+
+
+def _pickled_nbytes(obj) -> int:
+    """Exact pickled size of a (small) pipe payload."""
+    return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def _result_nbytes(res: RoundResult) -> int:
+    """Pipe-payload size estimate of a full round result.
+
+    Analytic (array nbytes + a small framing constant) rather than a
+    second ``pickle.dumps`` of arrays the pipe already serialised once
+    — the estimate is for the transport counters, not for billing.
+    """
+    n = 256
+    for arr in (res.labels, res.best, res.partial):
+        if arr is not None:
+            n += arr.nbytes
+    if res.state is not None:
+        n += (res.state["sums_t"].nbytes + res.state["counts"].nbytes + 64)
+    return n
 
 
 def _round_failure(iteration: int, crashed: list[int], stalled: list[int],
@@ -169,6 +195,27 @@ class BaseExecutor(ABC):
         #: ``"executor"``) appear in the same ordered event stream as
         #: the fleet and checkpoint events
         self.event_bus = None
+        #: coordinator-owned :class:`repro.dist.shm.ShmSession` when the
+        #: fit's resolved transport is 'shm' (process backend only);
+        #: None keeps the legacy everything-over-the-pipe transport
+        self.shm_session = None
+        #: per-fit transport counters: bytes moved over the executor's
+        #: worker channel — under 'pipe' that is the full pickled round
+        #: traffic, under 'shm' only the control/ack tokens (the bulk
+        #: payloads move through shared memory and cost the pipes
+        #: nothing).  In-process backends move no bytes and stay 0.
+        self.broadcast_bytes = 0
+        self.gather_bytes = 0
+        #: worker boot/attach walls of the current fit (process
+        #: backend): {"kind": 'cold_spawn'|'spare_promote'|'reconfigure',
+        #: "worker_id", "wall_s"} per ready handshake
+        self.boot_events: list[dict] = []
+
+    def reset_transport_stats(self) -> None:
+        """Zero the per-fit transport counters and boot-event log."""
+        self.broadcast_bytes = 0
+        self.gather_bytes = 0
+        self.boot_events = []
 
     def _publish(self, kind: str, **fields) -> None:
         bus = getattr(self, "event_bus", None)
@@ -633,19 +680,36 @@ _PONG = "__pong__"
 _COMBINE_ERR = "__combine_error__"
 
 
-def _child_main(conn, factory, worker_id: int) -> None:
+def _child_main(conn, factory, worker_id: int, stale_conns=()) -> None:
     """Process-executor child loop: build the worker, answer messages.
 
+    ``stale_conns`` are parent-side pipe ends a *forked* child inherited
+    (other workers' conns, spare conns, and this pipe's own parent end);
+    they are closed first thing so that coordinator death reaches every
+    worker as pipe EOF instead of deadlocking the fleet on fd copies.
+
     Messages are tagged tuples — ``("round", y, iteration, directive)``,
-    ``("ping",)``, ``("configure", factory, worker_id)`` — or ``None``
-    (shut down).  With ``factory=None`` the child boots as an
-    *unconfigured hot spare*: interpreter and imports are paid for up
-    front, the worker itself is built by a later configure message.
+    ``("shmround", bcast_ref, slot_ref, generation, iteration,
+    directive)``, ``("ping",)``, ``("configure", factory, worker_id)``
+    — or ``None`` (shut down).  With ``factory=None`` the child boots
+    as an *unconfigured hot spare*: interpreter and imports are paid
+    for up front, the worker itself is built by a later configure
+    message.
+
+    A ``shmround`` is the shared-memory transport's round: the token
+    names the generation-stamped broadcast buffer and this worker's
+    result slot; the child reads the centroids out of the buffer
+    (validating the seqlock stamps against the token's generation),
+    runs the identical round, writes its arrays into the slot, and
+    acks with the *stripped* round result — counters/timings only, no
+    arrays — so the pipe carries tokens either way.
 
     An injected crash hard-exits the process (no exception channel, no
     cleanup) so the parent sees exactly what a real worker death looks
     like: a broken pipe.
     """
+    for stale in stale_conns:
+        stale.close()
     worker = None
     if factory is not None:
         worker = factory(worker_id)
@@ -684,6 +748,20 @@ def _child_main(conn, factory, worker_id: int) -> None:
                     # re-raise there, instead of dying like a fault
                     out = (_COMBINE_ERR, exc)
                 conn.send(out)
+            elif tag == "shmround":
+                _, bcast_ref, slot_ref, generation, iteration, directive = msg
+                y = _shm_read_broadcast(bcast_ref, generation)
+                try:
+                    result = worker.run_round(y, iteration, directive)
+                except WorkerCrash:
+                    os._exit(17)
+                # arrays go through the slot (including an injected
+                # corrupt-partial flip — ABFT checks the shared plane,
+                # not a pipe copy); the ack is token-sized
+                _shm_write_slot(slot_ref, result, generation)
+                conn.send(dataclasses.replace(
+                    result, labels=None, best=None, partial=None,
+                    state=None))
             else:                              # "round"
                 _, y, iteration, directive = msg
                 try:
@@ -694,6 +772,7 @@ def _child_main(conn, factory, worker_id: int) -> None:
     finally:
         if worker is not None:
             worker.close()
+        _shm_detach_all()
         conn.close()
 
 
@@ -743,12 +822,79 @@ class ProcessExecutor(BaseExecutor):
         #: pre-booted unconfigured children: [proc, conn, ready] — ready
         #: flips True once the _SPARE_READY handshake has been consumed
         self._spares: list[list] = []
+        #: broadcast ref + generation of the round in flight (shm)
+        self._shm_bcast_ref = None
+        self._shm_generation = 0
+        #: boots awaiting their ready handshake: wid -> (kind, t0)
+        self._boot_pending: dict[int, tuple[str, float]] = {}
+
+    # -- boot-wall accounting ------------------------------------------
+    def _note_boot(self, wid: int, kind: str) -> None:
+        self._boot_pending[wid] = (kind, time.monotonic())
+
+    def _finish_boot(self, wid: int) -> None:
+        note = self._boot_pending.pop(wid, None)
+        if note is not None:
+            kind, t0 = note
+            self.boot_events.append(
+                {"kind": kind, "worker_id": int(wid),
+                 "wall_s": time.monotonic() - t0})
+
+    # -- shm round plumbing --------------------------------------------
+    def _round_payload(self, wid: int, y, iteration: int, directives):
+        """This worker's round message (and its pipe byte cost)."""
+        if self.shm_session is not None:
+            payload = ("shmround", self._shm_bcast_ref,
+                       self.shm_session.slot_ref(wid),
+                       self._shm_generation, iteration,
+                       directives.get(wid))
+        else:
+            payload = ("round", y, iteration, directives.get(wid))
+        self.broadcast_bytes += _pickled_nbytes(payload)
+        return payload
+
+    def _hydrate(self, wid: int, res):
+        """Rebuild a shm-stripped round result from the worker's slot.
+
+        Arrays come back as **copies** of the slot (the coordinator may
+        overlap the next round before the ABFT check reads these
+        partials, so a fast worker must never scribble over them);
+        the slot stamps are validated against the in-flight generation.
+        Pipe-transport results pass through, only counted.
+        """
+        if not isinstance(res, RoundResult):
+            return res
+        if res.labels is None and self.shm_session is not None:
+            self.gather_bytes += _pickled_nbytes(res)
+            data = self.shm_session.read_slot(wid, self._shm_generation)
+            res.labels = data["labels"]
+            res.best = data["best"]
+            res.partial = data["partial"]
+            res.state = data["state"]
+        else:
+            self.gather_bytes += _result_nbytes(res)
+        return res
 
     def _boot_child(self, factory, wid: int):
         """Fork/spawn one child process; returns (proc, parent_conn)."""
         parent, child = self._ctx.Pipe()
+        stale = ()
+        if self._ctx.get_start_method() == "fork":
+            # a forked child inherits every parent-side pipe fd open at
+            # fork time — including its *own* pipe's parent end.  Those
+            # copies keep the pipe peers alive after a coordinator
+            # SIGKILL, so EOF — the workers' only signal that the
+            # coordinator died — would never fire and the fleet (and
+            # with it the resource tracker holding the shm segments)
+            # would outlive the fit forever.  Hand the stale Connection
+            # objects to the child to close at boot; under 'spawn'
+            # nothing is inherited and pickling them would *duplicate*
+            # the handles instead.
+            stale = (tuple(getattr(self, "_conns", {}).values())
+                     + tuple(entry[1] for entry in self._spares)
+                     + (parent,))
         proc = self._ctx.Process(target=_child_main,
-                                 args=(child, factory, wid),
+                                 args=(child, factory, wid, stale),
                                  daemon=True)
         proc.start()
         child.close()
@@ -759,6 +905,7 @@ class ProcessExecutor(BaseExecutor):
         self._procs: dict[int, mp.Process] = {}
         self._conns: dict[int, object] = {}
         for wid in self._worker_ids:
+            self._note_boot(wid, "cold_spawn")
             proc, parent = self._boot_child(self._factory, wid)
             self._procs[wid] = proc
             self._conns[wid] = parent
@@ -778,6 +925,7 @@ class ProcessExecutor(BaseExecutor):
                 self._teardown()
                 raise WorkerCrash(wid, 0,
                                   reason="worker failed to start")
+            self._finish_boot(wid)
 
     def _teardown(self) -> None:
         spare_conns = [entry[1] for entry in getattr(self, "_spares", [])]
@@ -859,8 +1007,13 @@ class ProcessExecutor(BaseExecutor):
         crashed, stalled = [], []
         deadline = (None if self.round_timeout is None
                     else time.monotonic() + self.round_timeout)
+        if self.shm_session is not None:
+            # one buffer write for the whole fleet; each pipe then
+            # carries only a generation-stamped token
+            self._shm_bcast_ref, self._shm_generation = (
+                self.shm_session.publish(y, iteration))
         for wid in self._worker_ids:
-            payload = ("round", y, iteration, directives.get(wid))
+            payload = self._round_payload(wid, y, iteration, directives)
             if deadline is None:
                 try:
                     self._conns[wid].send(payload)
@@ -926,7 +1079,7 @@ class ProcessExecutor(BaseExecutor):
             for conn in ready:
                 wid = pending.pop(conn)
                 try:
-                    results[wid] = conn.recv()
+                    results[wid] = self._hydrate(wid, conn.recv())
                 except (EOFError, OSError):
                     # the child is gone: real (or injected-hard-exit)
                     # death.  Reap the corpse immediately — an in-place
@@ -973,7 +1126,7 @@ class ProcessExecutor(BaseExecutor):
             for conn in ready:
                 wid = pending.pop(conn)
                 try:
-                    result = conn.recv()
+                    result = self._hydrate(wid, conn.recv())
                 except (EOFError, OSError):
                     self._kill_worker(wid)
                     crashed.append(wid)
@@ -998,6 +1151,10 @@ class ProcessExecutor(BaseExecutor):
             raise WorkerCrash(worker_id, iteration,
                               reason="worker process died")
         payload = ("combine", seed_state, lo, hi, iteration, labels)
+        # combine traffic stays on the pipe under both transports (an
+        # O(log W) trickle of continuation states, not a bulk payload)
+        # and counts against the same per-fit byte totals
+        self.broadcast_bytes += _pickled_nbytes(payload)
         try:
             conn.send(payload)
             if self.round_timeout is not None:
@@ -1011,6 +1168,7 @@ class ProcessExecutor(BaseExecutor):
                               reason="worker process died") from None
         if isinstance(out, tuple) and len(out) == 2 and out[0] == _COMBINE_ERR:
             raise out[1]
+        self.gather_bytes += _pickled_nbytes(out)
         return out
 
     def run_round(self, y, iteration, directives) -> list[RoundResult]:
@@ -1146,6 +1304,7 @@ class ProcessExecutor(BaseExecutor):
             if msg != _READY:
                 self._kill_worker(wid)
                 raise WorkerCrash(wid, 0, reason=reason)
+            self._finish_boot(wid)
 
     def replace_workers(self, factory, worker_ids) -> None:
         """Promote spares (or cold-spawn) onto exactly ``worker_ids``.
@@ -1164,8 +1323,10 @@ class ProcessExecutor(BaseExecutor):
             spare = self._take_ready_spare()
             if spare is not None:
                 proc, conn = spare
+                self._note_boot(wid, "spare_promote")
                 conn.send(("configure", factory, wid))
             else:
+                self._note_boot(wid, "cold_spawn")
                 proc, conn = self._boot_child(factory, wid)
             self._procs[wid] = proc
             self._conns[wid] = conn
@@ -1200,12 +1361,14 @@ class ProcessExecutor(BaseExecutor):
             while pool:
                 proc, conn = pool.pop(0)
                 try:
+                    self._note_boot(wid, "reconfigure")
                     conn.send(("configure", self._factory, wid))
                     break
                 except (BrokenPipeError, OSError):
                     self._reap(proc, conn)    # died warm — try the next
                     proc = conn = None
             if proc is None:
+                self._note_boot(wid, "cold_spawn")
                 proc, conn = self._boot_child(self._factory, wid)
             self._procs[wid] = proc
             self._conns[wid] = conn

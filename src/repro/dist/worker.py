@@ -313,11 +313,12 @@ class ShardWorker:
         self.kernel.end_fit()
 
 
-def build_worker(worker_id: int, *, x: np.ndarray, plan, cfg,
+def build_worker(worker_id: int, *, x: np.ndarray | None = None, plan, cfg,
                  n_clusters: int, sample_weight=None,
                  base_seed: int = 0, cache_store=None,
                  cache_refresh_every: int = 0,
-                 export_state: bool = False) -> ShardWorker:
+                 export_state: bool = False,
+                 data_ref=None, weight_ref=None) -> ShardWorker:
     """Module-level worker factory (picklable for the process executor).
 
     Slices the worker's shard out of the full arrays via the
@@ -332,7 +333,19 @@ def build_worker(worker_id: int, *, x: np.ndarray, plan, cfg,
     full ``x`` / ``sample_weight`` references ride into the worker for
     the tree reduce's cross-shard combines (the factory closure holds
     them already, so this costs nothing).
+
+    Under the shared-memory transport the factory carries ``data_ref``
+    / ``weight_ref`` (:class:`repro.dist.shm.ArrayRef`) instead of the
+    arrays themselves: the worker maps the shared dataset segment and
+    takes its shard as a zero-copy **view**, so pickling the factory —
+    at boot, spare promotion, or elastic re-expand — ships only the
+    tiny refs, never the rows.
     """
+    if data_ref is not None:
+        from repro.dist.shm import attach_array
+        x = attach_array(data_ref)
+        if weight_ref is not None:
+            sample_weight = attach_array(weight_ref)
     shard = plan.shard_of(worker_id)
     w = (None if sample_weight is None
          else sample_weight[shard.lo:shard.hi])

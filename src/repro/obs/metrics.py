@@ -128,7 +128,7 @@ _DIST_SCALAR_FIELDS = (
     "inertia", "n_iter", "recoveries", "crash_recoveries",
     "stall_recoveries", "shrinks", "checkpoint_save_s",
     "checkpoint_flush_s", "promotions", "expands", "heartbeat_failures",
-    "reduce_busy_s",
+    "reduce_busy_s", "broadcast_bytes", "gather_bytes",
 )
 
 _DIST_GAUGES = {"inertia", "checkpoint_save_s", "checkpoint_flush_s",

@@ -123,10 +123,19 @@ class TraceRecorder:
         trace growing without limit.
     clock:
         Timestamp source (injectable for deterministic tests).
+    sink:
+        Optional streaming JSONL destination.  A path (str/PathLike) is
+        opened lazily on the first completed span; a file-like object is
+        written to directly and never closed by the recorder.  Each span
+        is appended as one JSON line *as it closes* (inside
+        :meth:`_finish` / :meth:`instant`) and flushed, so a trace
+        survives a crash mid-fit and a tail of the file follows the run
+        live — unlike the post-hoc :meth:`to_jsonl` export, which only
+        sees spans still in the bounded ring.
     """
 
     def __init__(self, enabled: bool = True, *, max_spans: int = 100_000,
-                 clock=time.perf_counter):
+                 clock=time.perf_counter, sink=None):
         self.enabled = bool(enabled)
         self.max_spans = int(max_spans)
         self._clock = clock
@@ -134,6 +143,10 @@ class TraceRecorder:
         self._stack: list[Span] = []
         self._lock = threading.Lock()
         self.dropped = 0
+        self._sink = sink
+        self._sink_fh = None
+        self._owns_sink = False
+        self.sink_spans = 0
 
     # -- recording ----------------------------------------------------
 
@@ -167,6 +180,7 @@ class TraceRecorder:
             if len(self._spans) == self._spans.maxlen:
                 self.dropped += 1
             self._spans.append(span)
+            self._stream(span)
 
     def instant(self, name: str, **meta) -> None:
         """Record a zero-duration marker span."""
@@ -175,10 +189,39 @@ class TraceRecorder:
         t = self._clock()
         with self._lock:
             parent = self._stack[-1] if self._stack else None
-            self._spans.append(Span(
+            span = Span(
                 name=name, t0=t, t1=t, depth=len(self._stack),
                 parent=parent.name if parent is not None else "",
-                meta=meta))
+                meta=meta)
+            self._spans.append(span)
+            self._stream(span)
+
+    # -- streaming sink -----------------------------------------------
+
+    def _stream(self, span: Span) -> None:
+        """Append one closed span to the sink (caller holds the lock)."""
+        if self._sink is None:
+            return
+        if self._sink_fh is None:
+            if hasattr(self._sink, "write"):
+                self._sink_fh = self._sink
+            else:
+                self._sink_fh = open(self._sink, "a", encoding="utf-8")
+                self._owns_sink = True
+        self._sink_fh.write(json.dumps(span.to_dict(), sort_keys=True))
+        self._sink_fh.write("\n")
+        self._sink_fh.flush()
+        self.sink_spans += 1
+
+    def close_sink(self) -> None:
+        """Flush and close a recorder-owned sink (no-op otherwise)."""
+        with self._lock:
+            fh = self._sink_fh
+            self._sink_fh = None
+            self._sink = None
+            if fh is not None and self._owns_sink:
+                fh.close()
+            self._owns_sink = False
 
     # -- inspection ---------------------------------------------------
 

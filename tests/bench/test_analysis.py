@@ -67,6 +67,10 @@ class TestSchemaHelpers:
             == "dist_scaling/v4"
         assert analysis.infer_entry_schema({"trace": {}}, fam) \
             == "dist_scaling/v5"
+        assert analysis.infer_entry_schema({"reduce": {}}, fam) \
+            == "dist_scaling/v6"
+        assert analysis.infer_entry_schema({"transport": {}}, fam) \
+            == "dist_scaling/v7"
 
     def test_migrate_entry_stamps_schema(self):
         out = analysis.migrate_entry(_fp_entry(1.0), "fastpath_walltime")

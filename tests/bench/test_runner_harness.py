@@ -272,9 +272,9 @@ class TestDistSmokeGate:
                      "--report", str(tmp_path / "perf.md"),
                      "--m", "1024", "--iters", "1"])
         doc = json.loads(dist_out.read_text())
-        assert doc["schema"] == "dist_scaling/v6"
+        assert doc["schema"] == "dist_scaling/v7"
         (record,) = doc["entries"]
-        assert record["schema"] == "dist_scaling/v6"
+        assert record["schema"] == "dist_scaling/v7"
         workers = [row["workers"] for row in record["grid"]]
         assert workers == record["config"]["workers_grid"] == [1, 2]
         for row in record["grid"]:
@@ -345,6 +345,18 @@ class TestDistSmokeGate:
         assert star > cells["stream"]["reduce_busy_s"]
         assert star > cells["tree"]["reduce_busy_s"]
         assert red["auto_resolved"]["topology"] == "tree"
+        # the shared-memory transport record of schema v7: bit-identical
+        # to the pipe fit, pipe traffic down to control tokens, and the
+        # re-expand-visible boot stats on the selfheal record
+        tp = record["transport"]
+        assert tp["pipe"]["transport"] == "pipe"
+        assert tp["shm"]["transport"] == "shm"
+        assert tp["bit_identical_shm_vs_pipe"] is True
+        assert tp["bit_identical_vs_single"] is True
+        assert tp["shm_broadcast_bytes_per_round_worker"] <= 4096
+        assert tp["gather_bytes_reduction"] > 1
+        assert tp["shm"]["boot_stats"]["cold_spawn"]["count"] == tp["workers"]
+        assert sh["boot_stats"]["cold_spawn"]["count"] >= 1
 
     def test_dist_bench_cli_direct(self, tmp_path):
         from repro.bench import dist as dist_bench

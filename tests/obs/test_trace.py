@@ -162,3 +162,61 @@ class TestDisabledPath:
         assert NULL_TRACER.instant("y") is None
         assert NULL_TRACER.stage_totals() == {}
         assert NULL_TRACER.spans == ()
+
+
+class TestStreamingSink:
+    """The optional JSONL sink appends each span the moment it closes —
+    a crash mid-fit loses nothing already streamed."""
+
+    def test_spans_stream_as_they_close(self, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        rec = TraceRecorder(clock=FakeClock(), sink=out)
+        with rec.span("fit"):
+            with rec.span("round", iteration=0):
+                pass
+            # the inner span is already on disk before the outer closes
+            lines = out.read_text().splitlines()
+            assert len(lines) == 1
+            assert json.loads(lines[0])["name"] == "round"
+        rec.instant("marker")
+        rec.close_sink()
+        docs = [json.loads(ln) for ln in out.read_text().splitlines()]
+        assert [d["name"] for d in docs] == ["round", "fit", "marker"]
+        assert docs[0]["meta"] == {"iteration": 0}
+        assert rec.sink_spans == 3
+
+    def test_sink_accepts_file_object_and_does_not_close_it(self, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        with open(out, "w", encoding="utf-8") as fh:
+            rec = TraceRecorder(clock=FakeClock(), sink=fh)
+            with rec.span("a"):
+                pass
+            rec.close_sink()
+            assert not fh.closed       # caller-owned handle stays open
+        assert json.loads(out.read_text())["name"] == "a"
+
+    def test_streamed_lines_survive_ring_eviction(self, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        rec = TraceRecorder(clock=FakeClock(), max_spans=2, sink=out)
+        for i in range(5):
+            with rec.span(f"s{i}"):
+                pass
+        rec.close_sink()
+        assert len(rec.spans) == 2 and rec.dropped == 3
+        assert len(out.read_text().splitlines()) == 5
+
+    def test_no_sink_means_no_file(self, tmp_path):
+        rec = TraceRecorder(clock=FakeClock())
+        with rec.span("a"):
+            pass
+        rec.close_sink()               # no-op without a sink
+        assert rec.sink_spans == 0
+
+    def test_disabled_recorder_never_opens_the_sink(self, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        rec = TraceRecorder(enabled=False, sink=out)
+        with rec.span("a"):
+            pass
+        rec.instant("b")
+        rec.close_sink()
+        assert not out.exists()
